@@ -1,0 +1,56 @@
+//! Criterion bench of the value-candidate pipeline (Section IV-B): NER,
+//! generation and validation on the paper's example questions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use valuenet_dataset::all_domains;
+use valuenet_preprocess::{
+    generate_candidates, preprocess, tokenize_question, CandidateConfig, HeuristicNer, Ner,
+};
+use valuenet_storage::Database;
+
+fn bench_candidates(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let specs = all_domains(&mut rng, 400);
+    let flights = &specs[1];
+    let db = Database::with_rows(flights.schema.clone(), flights.rows.clone());
+    let cfg = CandidateConfig::default();
+    let ner = HeuristicNer::new();
+
+    let questions = [
+        ("easy_number", "Show all flights with a duration of more than 6 hours"),
+        (
+            "hard_airport",
+            "Find all routes that have destination John F Kennedy International Airport",
+        ),
+        ("misspelled", "List the flights operated by Lufthanza"),
+        ("month_wildcard", "Which flights departed in August?"),
+    ];
+
+    let mut group = c.benchmark_group("candidate_generation");
+    for (name, q) in &questions {
+        group.bench_with_input(BenchmarkId::from_parameter(name), q, |b, q| {
+            b.iter(|| {
+                let tokens = tokenize_question(q);
+                let extracted = ner.extract(q, &tokens);
+                generate_candidates(&extracted, &tokens, &db, &cfg)
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("preprocess_full", |b| {
+        b.iter(|| {
+            preprocess(
+                "Find all routes that have destination John F Kennedy International Airport",
+                &db,
+                &ner,
+                &cfg,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_candidates);
+criterion_main!(benches);

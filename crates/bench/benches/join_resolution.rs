@@ -1,0 +1,60 @@
+//! Criterion bench of the schema-graph join planning (Section III-C2):
+//! shortest paths and the Steiner-tree heuristic on synthetic schemas of
+//! growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use valuenet_schema::{ColumnType, DbSchema, SchemaBuilder, SchemaGraph, TableId};
+
+/// A chain-of-stars schema: `n` hubs in a chain, each with 3 satellites —
+/// a caricature of a warehouse schema with bridge tables.
+fn chain_of_stars(n: usize) -> DbSchema {
+    let mut b = SchemaBuilder::new("synthetic");
+    for i in 0..n {
+        b = b
+            .table(&format!("hub{i}"), &[("id", ColumnType::Number), ("next_id", ColumnType::Number)])
+            .primary_key(&format!("hub{i}"), "id");
+        for s in 0..3 {
+            b = b.table(
+                &format!("sat{i}_{s}"),
+                &[("id", ColumnType::Number), ("hub_id", ColumnType::Number)],
+            );
+        }
+    }
+    for i in 0..n {
+        for s in 0..3 {
+            b = b.foreign_key(&format!("sat{i}_{s}"), "hub_id", &format!("hub{i}"), "id");
+        }
+        if i + 1 < n {
+            b = b.foreign_key(&format!("hub{i}"), "next_id", &format!("hub{}", i + 1), "id");
+        }
+    }
+    b.build()
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_resolution");
+    for hubs in [4usize, 16, 64] {
+        let schema = chain_of_stars(hubs);
+        let graph = SchemaGraph::new(&schema);
+        let first_sat = schema.table_by_name("sat0_0").unwrap();
+        let last_sat = schema.table_by_name(&format!("sat{}_2", hubs - 1)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("shortest_path", hubs),
+            &graph,
+            |b, graph| b.iter(|| graph.shortest_path(first_sat, last_sat).unwrap()),
+        );
+        // Steiner tree over satellites spread across the chain.
+        let terminals: Vec<TableId> = (0..hubs)
+            .map(|i| schema.table_by_name(&format!("sat{i}_1")).unwrap())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("steiner_tree", hubs),
+            &graph,
+            |b, graph| b.iter(|| graph.join_tree(&terminals).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

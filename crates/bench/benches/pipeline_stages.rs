@@ -1,0 +1,59 @@
+//! Criterion bench of the end-to-end translation and its stages
+//! (the micro counterpart of Table II).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use valuenet_core::{train, ModelConfig, TrainConfig, ValueMode};
+use valuenet_dataset::{generate, CorpusConfig};
+use valuenet_exec::execute;
+use valuenet_sql::parse_select;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let corpus = generate(&CorpusConfig {
+        seed: 42,
+        train_size: 300,
+        dev_size: 40,
+        rows_per_table: 60,
+        ..CorpusConfig::default()
+    });
+    let (pipeline, _) = train(
+        &corpus,
+        ValueMode::Full,
+        ModelConfig::tiny(),
+        &TrainConfig { epochs: 2, ..Default::default() },
+    );
+    let sample = &corpus.dev[0];
+    let db = corpus.db(sample);
+
+    c.bench_function("translate_end_to_end", |b| {
+        b.iter(|| pipeline.translate(db, &sample.question, None))
+    });
+
+    let gold = parse_select(&sample.sql).unwrap();
+    c.bench_function("execute_gold_query", |b| b.iter(|| execute(db, &gold).unwrap()));
+
+    c.bench_function("model_predict_only", |b| {
+        // Isolates encoder/decoder from pre/post-processing.
+        let pred = pipeline.translate(db, &sample.question, None);
+        assert!(pred.semql.is_some());
+        b.iter(|| {
+            let pre = valuenet_preprocess::preprocess(
+                &sample.question,
+                db,
+                &pipeline.ner,
+                &pipeline.cand_cfg,
+            );
+            let cands = valuenet_core::assemble_candidates(
+                db,
+                &pre,
+                ValueMode::Full,
+                None,
+                false,
+            );
+            let input = valuenet_core::build_input(db, &pre, &cands, &pipeline.model.vocab);
+            pipeline.model.predict(&input).ok()
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

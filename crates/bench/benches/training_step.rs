@@ -1,0 +1,93 @@
+//! Criterion bench of one training step (forward + backward + Adam) and of
+//! raw autodiff primitives — the compute budget behind the trainer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use valuenet_core::{
+    assemble_candidates, build_input, ModelConfig, ValueMode, ValueNetModel, Vocab,
+};
+use valuenet_dataset::{generate, CorpusConfig};
+use valuenet_nn::{Adam, AdamConfig};
+use valuenet_preprocess::{preprocess, CandidateConfig, HeuristicNer};
+use valuenet_semql::ast_to_actions;
+use valuenet_tensor::{Graph, Tensor};
+
+fn bench_training(c: &mut Criterion) {
+    let corpus = generate(&CorpusConfig {
+        seed: 42,
+        train_size: 40,
+        dev_size: 8,
+        rows_per_table: 20,
+        ..CorpusConfig::default()
+    });
+    let sample = &corpus.train[0];
+    let db = corpus.db(sample);
+    let vocab = Vocab::build(corpus.train.iter().map(|s| s.question.as_str()));
+    let pre = preprocess(&sample.question, db, &HeuristicNer::new(), &CandidateConfig::default());
+    let cands = assemble_candidates(db, &pre, ValueMode::Light, Some(&sample.values), true);
+    let input = build_input(db, &pre, &cands, &vocab);
+    let actions = ast_to_actions(&sample.semql);
+
+    for (name, cfg) in [("tiny", ModelConfig::tiny()), ("default", ModelConfig::default())] {
+        let model = ValueNetModel::new(cfg, vocab.clone(), 7);
+        c.bench_function(&format!("forward_loss_{name}"), |b| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let loss = model.loss(&mut g, &input, &actions, None);
+                g.value(loss).scalar_value()
+            })
+        });
+        c.bench_function(&format!("forward_backward_{name}"), |b| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let loss = model.loss(&mut g, &input, &actions, None);
+                g.backward(loss)
+            })
+        });
+        let mut model = model;
+        let mut opt = Adam::new(
+            &model.params,
+            AdamConfig { group_lrs: vec![1e-3, 1e-3, 1e-3], ..Default::default() },
+        );
+        c.bench_function(&format!("full_train_step_{name}"), |b| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let loss = model.loss(&mut g, &input, &actions, None);
+                let grads = g.backward(loss);
+                opt.step(&mut model.params, &grads);
+            })
+        });
+        c.bench_function(&format!("greedy_decode_{name}"), |b| {
+            b.iter(|| model.predict(&input).ok())
+        });
+    }
+
+    // Raw matmul throughput (the hot primitive).
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 64, 128] {
+        let a = valuenet_nn::Initializer::Uniform(1.0).sample(&mut rng, n, n);
+        let b_m = valuenet_nn::Initializer::Uniform(1.0).sample(&mut rng, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| a.matmul(&b_m))
+        });
+    }
+    group.finish();
+
+    // Backward pass through a deep chain (tape overhead).
+    c.bench_function("autodiff_chain_depth_100", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let mut x = g.param(Tensor::full(1, 64, 0.5), 0);
+            for _ in 0..100 {
+                x = g.tanh(x);
+            }
+            let loss = g.sum_all(x);
+            g.backward(loss)
+        })
+    });
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

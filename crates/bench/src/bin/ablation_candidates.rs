@@ -1,0 +1,95 @@
+//! Ablation of the value-candidate pipeline (DESIGN.md Section 5).
+//!
+//! Re-trains and evaluates ValueNet (full mode) with individual candidate
+//! generators disabled, quantifying the contribution of:
+//!
+//! - **validation** (Section IV-B3: exact DB lookups pruning candidates),
+//! - **similarity search** (Damerau–Levenshtein against the base data),
+//! - **n-grams** (sub-spans of multi-token values),
+//! - **handcrafted heuristics** (gender / boolean / ordinal / month),
+//! - the **candidate cap** (a large cap shows the paper's "(too) many
+//!   value candidates" effect).
+//!
+//! ```text
+//! cargo run --release -p valuenet-bench --bin ablation_candidates
+//! ```
+
+use valuenet_bench::{evaluate, BenchConfig};
+use valuenet_core::{train, ModelConfig, TrainConfig, ValueMode};
+use valuenet_dataset::generate;
+use valuenet_eval::TextTable;
+use valuenet_preprocess::CandidateConfig;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let corpus = generate(&cfg.corpus(0));
+
+    let variants: Vec<(&str, CandidateConfig)> = vec![
+        ("full pipeline", CandidateConfig::default()),
+        (
+            "no validation",
+            CandidateConfig { enable_validation: false, ..Default::default() },
+        ),
+        (
+            "no similarity search",
+            CandidateConfig { enable_similarity: false, ..Default::default() },
+        ),
+        ("no n-grams", CandidateConfig { enable_ngrams: false, ..Default::default() }),
+        (
+            "no handcrafted heuristics",
+            CandidateConfig { enable_heuristics: false, ..Default::default() },
+        ),
+        (
+            "candidate cap 40 (many candidates)",
+            CandidateConfig { max_candidates: 40, ..Default::default() },
+        ),
+        (
+            "candidate cap 4 (starved)",
+            CandidateConfig { max_candidates: 4, ..Default::default() },
+        ),
+    ];
+
+    println!(
+        "Candidate-pipeline ablation — ValueNet (full), {} train / {} dev, {} epochs\n",
+        cfg.train_size, cfg.dev_size, cfg.epochs
+    );
+    let mut table = TextTable::new(vec!["variant", "exec accuracy", "skipped train samples"]);
+    for (name, cand_cfg) in variants {
+        eprintln!("training variant: {name}...");
+        let tc = TrainConfig { cand_cfg, ..cfg.train_cfg(0) };
+        let (pipeline, report) = train(&corpus, ValueMode::Full, ModelConfig::default(), &tc);
+        let stats = evaluate(&pipeline, &corpus, &corpus.dev);
+        table.row(vec![
+            name.to_string(),
+            format!("{:.1}%", 100.0 * stats.execution_accuracy()),
+            report.skipped_samples.to_string(),
+        ]);
+    }
+    print!("{table}");
+
+    // Model-input ablations (DESIGN.md: hints, value-location encoding) and
+    // the beam-search extension, all trained on the same corpus.
+    let model_variants: Vec<(&str, ModelConfig)> = vec![
+        ("no hints", ModelConfig { use_hints: false, ..Default::default() }),
+        (
+            "no value-location encoding",
+            ModelConfig { encode_value_location: false, ..Default::default() },
+        ),
+        (
+            "beam width 4 + execution-guided",
+            ModelConfig { beam_width: 4, ..Default::default() },
+        ),
+    ];
+    let mut table = TextTable::new(vec!["model variant", "exec accuracy"]);
+    for (name, model_cfg) in model_variants {
+        eprintln!("training model variant: {name}...");
+        let (pipeline, _) = train(&corpus, ValueMode::Full, model_cfg, &cfg.train_cfg(0));
+        let stats = evaluate(&pipeline, &corpus, &corpus.dev);
+        table.row(vec![
+            name.to_string(),
+            format!("{:.1}%", 100.0 * stats.execution_accuracy()),
+        ]);
+    }
+    print!("{table}");
+    println!("\nshape check: the full pipeline should be at or near the top.");
+}

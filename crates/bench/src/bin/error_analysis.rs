@@ -1,0 +1,88 @@
+//! Regenerates the **Section V-G** error analysis: failed dev predictions
+//! classified by cause.
+//!
+//! Paper (352 failures, ~176 analysed; several causes may co-occur):
+//! wrong column 50% (of which half also wrong table → 25%), SQL-sketch
+//! errors 39% (76% of them on Hard/Extra-hard), value selection 9%,
+//! false negatives 9%.
+//!
+//! ```text
+//! cargo run --release -p valuenet-bench --bin error_analysis
+//! ```
+
+use valuenet_bench::{evaluate, BenchConfig};
+use valuenet_core::{train, ModelConfig, ValueMode};
+use valuenet_dataset::generate;
+use valuenet_eval::{error_analysis, Difficulty, ErrorCause, TextTable};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let corpus = generate(&cfg.corpus(0));
+    eprintln!("training ValueNet (full mode)...");
+    let (pipeline, _) =
+        train(&corpus, ValueMode::Full, ModelConfig::default(), &cfg.train_cfg(0));
+    let stats = evaluate(&pipeline, &corpus, &corpus.dev);
+    let failures = stats.failures();
+
+    println!(
+        "Section V-G — error analysis over {} failed dev samples (of {})\n",
+        failures.len(),
+        stats.samples.len()
+    );
+    if failures.is_empty() {
+        println!("no failures — nothing to analyse at this scale.");
+        return;
+    }
+
+    let mut cause_counts = [0usize; 4];
+    let mut sketch_hard = 0usize;
+    let mut sketch_total = 0usize;
+    let mut undecoded = 0usize;
+    for f in &failures {
+        let Some(pred_tree) = &f.prediction.semql else {
+            undecoded += 1;
+            continue;
+        };
+        let sample = &corpus.dev[f.index];
+        let report = error_analysis(
+            pred_tree,
+            &sample.semql,
+            &f.prediction.candidates,
+            &sample.values,
+        );
+        for (i, c) in ErrorCause::ALL.iter().enumerate() {
+            if report.has(*c) {
+                cause_counts[i] += 1;
+            }
+        }
+        if report.has(ErrorCause::Sketch) {
+            sketch_total += 1;
+            if f.difficulty >= Difficulty::Hard {
+                sketch_hard += 1;
+            }
+        }
+    }
+
+    let n = failures.len() as f64;
+    let paper = ["50%", "25%", "39%", "9%"];
+    let mut table = TextTable::new(vec!["cause", "failures", "share", "paper"]);
+    for (i, c) in ErrorCause::ALL.iter().enumerate() {
+        table.row(vec![
+            c.label().to_string(),
+            cause_counts[i].to_string(),
+            format!("{:.0}%", 100.0 * cause_counts[i] as f64 / n),
+            paper[i].to_string(),
+        ]);
+    }
+    print!("{table}");
+    if undecoded > 0 {
+        println!("\n(decoding/lowering failed outright for {undecoded} samples)");
+    }
+    if sketch_total > 0 {
+        println!(
+            "sketch errors on Hard/Extra-hard queries: {:.0}% (paper: 76%)",
+            100.0 * sketch_hard as f64 / sketch_total as f64
+        );
+    }
+    println!("note: causes can co-occur, so shares may exceed 100% (as in the paper).");
+}

@@ -1,0 +1,54 @@
+//! Regenerates **Fig. 9**: the distribution of value counts over the
+//! training split.
+//!
+//! Paper (7,000 train questions): 3,469 samples with no values, 2,494 with
+//! one, 945 with two, 62 with three and 30 with four.
+//!
+//! ```text
+//! cargo run --release -p valuenet-bench --bin fig9_value_distribution
+//! ```
+
+use valuenet_bench::BenchConfig;
+use valuenet_dataset::generate;
+use valuenet_eval::TextTable;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let corpus = generate(&cfg.corpus(0));
+
+    let mut counts = [0usize; 5];
+    let mut total_values = 0usize;
+    for s in &corpus.train {
+        let n = s.num_question_values().min(4);
+        counts[n] += 1;
+        total_values += s.num_question_values();
+    }
+    let with_values: usize = counts[1..].iter().sum();
+    let total = corpus.train.len();
+
+    println!("Fig. 9 — value distribution in the synthetic train split");
+    println!("({} questions; paper: 7,000 questions over Spider)\n", total);
+    let paper = [3469.0, 2494.0, 945.0, 62.0, 30.0];
+    let paper_total: f64 = paper.iter().sum();
+    let mut table = TextTable::new(vec!["values per question", "samples", "share", "paper share"]);
+    for (i, &c) in counts.iter().enumerate() {
+        table.row(vec![
+            i.to_string(),
+            c.to_string(),
+            format!("{:.1}%", 100.0 * c as f64 / total as f64),
+            format!("{:.1}%", 100.0 * paper[i] / paper_total),
+        ]);
+    }
+    print!("{table}");
+    println!(
+        "\n{} of {} samples contain values ({:.1}%; paper: 3,531 of 7,000 = 50.4%)",
+        with_values,
+        total,
+        100.0 * with_values as f64 / total as f64
+    );
+    println!(
+        "total values: {} (paper: 4,690); mean per value-bearing sample: {:.2} (paper: 1.33)",
+        total_values,
+        total_values as f64 / with_values.max(1) as f64
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Table I**: Execution Accuracy of ValueNet grouped by the
+//! Spider query-difficulty heuristic.
+//!
+//! Paper: Easy 0.77, Medium 0.62, Hard 0.57, Extra-hard 0.43.
+//!
+//! ```text
+//! cargo run --release -p valuenet-bench --bin table1_difficulty
+//! ```
+
+use valuenet_bench::{evaluate, BenchConfig};
+use valuenet_core::{train, ModelConfig, ValueMode};
+use valuenet_dataset::generate;
+use valuenet_eval::{Difficulty, TextTable};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let corpus = generate(&cfg.corpus(0));
+    eprintln!("training ValueNet (full mode)...");
+    let (pipeline, _) =
+        train(&corpus, ValueMode::Full, ModelConfig::default(), &cfg.train_cfg(0));
+    let stats = evaluate(&pipeline, &corpus, &corpus.dev);
+    let by_diff = stats.by_difficulty();
+
+    println!(
+        "Table I — ValueNet Execution Accuracy by query difficulty \
+         ({} dev questions)\n",
+        corpus.dev.len()
+    );
+    let paper = [("Easy", 0.77), ("Medium", 0.62), ("Hard", 0.57), ("Extra-Hard", 0.43)];
+    let mut table = TextTable::new(vec!["Difficulty", "Accuracy", "n", "paper"]);
+    for (i, d) in Difficulty::ALL.iter().enumerate() {
+        let (correct, total) = by_diff.get(d).copied().unwrap_or((0, 0));
+        let acc = if total > 0 { correct as f64 / total as f64 } else { f64::NAN };
+        table.row(vec![
+            d.label().to_string(),
+            if total > 0 { format!("{acc:.2}") } else { "-".into() },
+            total.to_string(),
+            format!("{:.2}", paper[i].1),
+        ]);
+    }
+    print!("{table}");
+    println!(
+        "\noverall: {:.1}% execution accuracy, {:.1}% exact-match",
+        100.0 * stats.execution_accuracy(),
+        100.0 * stats.exact_match_accuracy()
+    );
+    println!("shape check: accuracy should decay monotonically with difficulty.");
+}

@@ -1,0 +1,194 @@
+//! Shared harness for the table/figure regeneration binaries.
+//!
+//! Every binary reads its scale from environment variables so the default
+//! `cargo run` finishes in minutes while `VN_TRAIN=7000 VN_DEV=1034
+//! VN_SEEDS=5 VN_EPOCHS=10` reproduces the paper-scale runs:
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `VN_TRAIN` | training questions | 1800 |
+//! | `VN_DEV` | dev questions | 300 |
+//! | `VN_ROWS` | rows per table | 30 |
+//! | `VN_EPOCHS` | training epochs | 6 |
+//! | `VN_SEEDS` | independent runs to average (Fig. 10) | 3 |
+//! | `VN_SEED` | base RNG seed | 42 |
+
+use std::collections::BTreeMap;
+use valuenet_core::{Pipeline, Prediction, ValueMode};
+use valuenet_dataset::{Corpus, CorpusConfig, Sample};
+use valuenet_eval::{exact_match, execution_accuracy, Difficulty, ExecOutcome};
+use valuenet_sql::{parse_select, SelectStmt};
+
+/// Scale knobs for the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Training questions.
+    pub train_size: usize,
+    /// Dev questions.
+    pub dev_size: usize,
+    /// Rows per table.
+    pub rows_per_table: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Independent seeds to average.
+    pub seeds: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Surface-difficulty weights (Easy/Medium/Hard/Extra-hard); override
+    /// with `VN_HARD=1` to bias towards the harder classes.
+    pub surface_weights: [u32; 4],
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+impl BenchConfig {
+    /// Reads the configuration from the environment (see module docs).
+    pub fn from_env() -> Self {
+        BenchConfig {
+            train_size: env_usize("VN_TRAIN", 1800),
+            dev_size: env_usize("VN_DEV", 300),
+            rows_per_table: env_usize("VN_ROWS", 30),
+            epochs: env_usize("VN_EPOCHS", 6),
+            seeds: env_usize("VN_SEEDS", 3),
+            seed: env_usize("VN_SEED", 42) as u64,
+            surface_weights: if std::env::var("VN_HARD").is_ok() {
+                [25, 25, 30, 20]
+            } else {
+                valuenet_dataset::DEFAULT_SURFACE_WEIGHTS
+            },
+        }
+    }
+
+    /// The corresponding corpus configuration.
+    pub fn corpus(&self, seed_offset: u64) -> CorpusConfig {
+        CorpusConfig {
+            seed: self.seed + seed_offset,
+            train_size: self.train_size,
+            dev_size: self.dev_size,
+            rows_per_table: self.rows_per_table,
+            surface_weights: self.surface_weights,
+        }
+    }
+
+    /// The corresponding training configuration.
+    pub fn train_cfg(&self, seed_offset: u64) -> valuenet_core::TrainConfig {
+        valuenet_core::TrainConfig {
+            epochs: self.epochs,
+            seed: self.seed + seed_offset,
+            verbose: std::env::var("VN_VERBOSE").is_ok(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Evaluation outcome of one sample.
+pub struct SampleEval {
+    /// Index into the evaluated split.
+    pub index: usize,
+    /// The execution-accuracy outcome.
+    pub outcome: ExecOutcome,
+    /// Whether the sketch/schema components matched (Exact-Match metric).
+    pub exact: bool,
+    /// Query difficulty.
+    pub difficulty: Difficulty,
+    /// The full prediction (for error analysis and timing).
+    pub prediction: Prediction,
+    /// The parsed gold query.
+    pub gold: SelectStmt,
+}
+
+/// Aggregate evaluation of a split.
+pub struct EvalStats {
+    /// Per-sample outcomes.
+    pub samples: Vec<SampleEval>,
+}
+
+impl EvalStats {
+    /// Execution accuracy over all samples (gold failures excluded).
+    pub fn execution_accuracy(&self) -> f64 {
+        let scored: Vec<&SampleEval> = self
+            .samples
+            .iter()
+            .filter(|s| s.outcome != ExecOutcome::GoldFailed)
+            .collect();
+        if scored.is_empty() {
+            return 0.0;
+        }
+        scored.iter().filter(|s| s.outcome.is_correct()).count() as f64 / scored.len() as f64
+    }
+
+    /// Exact-Matching accuracy.
+    pub fn exact_match_accuracy(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.exact).count() as f64 / self.samples.len() as f64
+    }
+
+    /// `(correct, total)` per Spider difficulty.
+    pub fn by_difficulty(&self) -> BTreeMap<Difficulty, (usize, usize)> {
+        let mut map: BTreeMap<Difficulty, (usize, usize)> = BTreeMap::new();
+        for s in &self.samples {
+            if s.outcome == ExecOutcome::GoldFailed {
+                continue;
+            }
+            let e = map.entry(s.difficulty).or_insert((0, 0));
+            e.1 += 1;
+            if s.outcome.is_correct() {
+                e.0 += 1;
+            }
+        }
+        map
+    }
+
+    /// The failed samples.
+    pub fn failures(&self) -> Vec<&SampleEval> {
+        self.samples
+            .iter()
+            .filter(|s| {
+                matches!(s.outcome, ExecOutcome::WrongResult | ExecOutcome::PredictionFailed)
+            })
+            .collect()
+    }
+}
+
+/// Runs a pipeline over a sample set and scores every prediction. In
+/// [`ValueMode::Light`] the gold value options are passed through (the
+/// oracle the paper describes).
+pub fn evaluate(pipeline: &Pipeline, corpus: &Corpus, samples: &[Sample]) -> EvalStats {
+    let mut out = Vec::with_capacity(samples.len());
+    for (index, sample) in samples.iter().enumerate() {
+        let db = corpus.db(sample);
+        let gold = parse_select(&sample.sql).expect("gold SQL parses by construction");
+        let gold_values = match pipeline.mode {
+            ValueMode::Light => Some(sample.values.as_slice()),
+            _ => None,
+        };
+        let prediction = pipeline.translate(db, &sample.question, gold_values);
+        let (outcome, exact) = match &prediction.sql {
+            Some(sql) => (execution_accuracy(db, sql, &gold), exact_match(sql, &gold)),
+            None => (ExecOutcome::PredictionFailed, false),
+        };
+        out.push(SampleEval {
+            index,
+            outcome,
+            exact,
+            difficulty: sample.difficulty,
+            prediction,
+            gold,
+        });
+    }
+    EvalStats { samples: out }
+}
+
+/// Mean and (population) standard deviation of a series.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}

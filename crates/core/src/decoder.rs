@@ -1,0 +1,438 @@
+//! The grammar-constrained LSTM decoder with pointer networks
+//! (paper Section III-B2).
+
+use crate::encoder::{Encodings, GROUP_CONNECT, GROUP_DECODER};
+use crate::model::ModelConfig;
+use rand::rngs::SmallRng;
+use valuenet_nn::{Embedding, Linear, LstmCell, LstmState, ParamStore};
+use valuenet_semql::{Action, NonTerminal, TransitionSystem, SKETCH_VOCAB};
+use valuenet_tensor::{Graph, Tensor, Var};
+
+/// The decoder: an LSTM over action embeddings with attention over the
+/// question encodings, a sketch-action head, and one pointer network each
+/// for columns, tables and value candidates.
+pub struct Decoder {
+    /// Sketch-action embeddings; index 0 is the start-of-derivation token.
+    action_emb: Embedding,
+    /// Projects a pointed item's encoding into action-embedding space (so
+    /// pointer selections feed back into the LSTM like sketch actions).
+    item_in: Linear,
+    cell: LstmCell,
+    init_h: Linear,
+    attn_q: Linear,
+    sketch_head: Linear,
+    ptr_col: Linear,
+    ptr_tab: Linear,
+    ptr_val: Linear,
+    d: usize,
+}
+
+impl Decoder {
+    /// Builds the decoder's parameters.
+    pub fn new(ps: &mut ParamStore, rng: &mut SmallRng, cfg: &ModelConfig) -> Self {
+        let d = cfg.d_model;
+        let adim = cfg.action_dim;
+        let hidden = cfg.decoder_hidden;
+        Decoder {
+            action_emb: Embedding::new(
+                ps,
+                rng,
+                "dec.action",
+                GROUP_DECODER,
+                SKETCH_VOCAB + 1,
+                adim,
+            ),
+            item_in: Linear::new(ps, rng, "dec.item_in", GROUP_CONNECT, d, adim),
+            cell: LstmCell::new(ps, rng, "dec.cell", GROUP_DECODER, adim + d, hidden),
+            init_h: Linear::new(ps, rng, "dec.init_h", GROUP_CONNECT, d, hidden),
+            attn_q: Linear::new(ps, rng, "dec.attn_q", GROUP_DECODER, hidden, d),
+            sketch_head: Linear::new(
+                ps,
+                rng,
+                "dec.sketch",
+                GROUP_DECODER,
+                hidden + d,
+                SKETCH_VOCAB,
+            ),
+            ptr_col: Linear::new(ps, rng, "dec.ptr_col", GROUP_DECODER, hidden + d, d),
+            ptr_tab: Linear::new(ps, rng, "dec.ptr_tab", GROUP_DECODER, hidden + d, d),
+            ptr_val: Linear::new(ps, rng, "dec.ptr_val", GROUP_DECODER, hidden + d, d),
+            d,
+        }
+    }
+
+    fn init_state(&self, g: &mut Graph, ps: &ParamStore, enc: &Encodings) -> LstmState {
+        let h0 = self.init_h.forward(g, ps, enc.pooled);
+        let h = g.tanh(h0);
+        let c = g.input(Tensor::zeros(1, g.value(h).cols()));
+        LstmState { h, c }
+    }
+
+    /// One LSTM + attention step. Returns the new state, the feature vector
+    /// `[1, hidden + d]`, and the attention context.
+    fn step(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        enc: &Encodings,
+        prev_emb: Var,
+        prev_ctx: Var,
+        state: LstmState,
+    ) -> (LstmState, Var) {
+        let x = g.concat_cols(&[prev_emb, prev_ctx]);
+        let state = self.cell.step(g, ps, x, state);
+        // Attention over the question encodings.
+        let q = self.attn_q.forward(g, ps, state.h);
+        let kt = g.transpose(enc.question);
+        let raw = g.matmul(q, kt);
+        let scores = g.scale(raw, 1.0 / (self.d as f32).sqrt());
+        let attn = g.softmax_rows(scores);
+        let ctx = g.matmul(attn, enc.question);
+        let f = g.concat_cols(&[state.h, ctx]);
+        (state, f)
+    }
+
+    /// Sketch-action indices legal at the current frontier, additionally
+    /// excluding value-consuming rules when no candidates exist.
+    fn valid_sketch(&self, ts: &TransitionSystem, has_values: bool) -> Vec<usize> {
+        let mut valid = ts.valid_sketch_actions();
+        if !has_values {
+            valid.retain(|&idx| !action_needs_value(Action::from_sketch_index(idx)));
+        }
+        valid
+    }
+
+    /// The embedding fed into the next step for an already-chosen action.
+    fn action_input(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        enc: &Encodings,
+        action: &Action,
+    ) -> Var {
+        match action {
+            Action::C(i) => {
+                let row = g.slice_rows(enc.columns, *i, i + 1);
+                self.item_in.forward(g, ps, row)
+            }
+            Action::T(i) => {
+                let row = g.slice_rows(enc.tables, *i, i + 1);
+                self.item_in.forward(g, ps, row)
+            }
+            Action::V(i) => {
+                let values = enc.values.expect("V action without candidates");
+                let row = g.slice_rows(values, *i, i + 1);
+                self.item_in.forward(g, ps, row)
+            }
+            sketch => {
+                let idx = sketch.sketch_index().expect("sketch action") + 1;
+                self.action_emb.forward(g, ps, &[idx])
+            }
+        }
+    }
+
+    fn masked_sketch_logits(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        f: Var,
+        valid: &[usize],
+    ) -> Var {
+        let logits = self.sketch_head.forward(g, ps, f);
+        let mut mask = Tensor::full(1, SKETCH_VOCAB, -1e9);
+        for &i in valid {
+            mask.set(0, i, 0.0);
+        }
+        let m = g.input(mask);
+        g.add(logits, m)
+    }
+
+    fn pointer_scores(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        f: Var,
+        items: Var,
+        which: NonTerminal,
+    ) -> Var {
+        let proj = match which {
+            NonTerminal::C => self.ptr_col.forward(g, ps, f),
+            NonTerminal::T => self.ptr_tab.forward(g, ps, f),
+            NonTerminal::V => self.ptr_val.forward(g, ps, f),
+            other => unreachable!("pointer_scores on {other:?}"),
+        };
+        let t = g.transpose(items);
+        let raw = g.matmul(proj, t);
+        g.scale(raw, 1.0 / (self.d as f32).sqrt())
+    }
+
+    /// Teacher-forced loss over a gold action sequence. Returns a scalar.
+    pub fn loss(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        enc: &Encodings,
+        actions: &[Action],
+    ) -> Var {
+        let has_values = enc.values.is_some();
+        let mut ts = TransitionSystem::new();
+        let mut state = self.init_state(g, ps, enc);
+        let mut prev_emb = self.action_emb.forward(g, ps, &[0]);
+        let mut prev_ctx = enc.pooled;
+        let mut losses = Vec::with_capacity(actions.len());
+        for action in actions {
+            let frontier = ts.frontier().expect("gold actions exceed derivation");
+            let (next_state, f) = self.step(g, ps, enc, prev_emb, prev_ctx, state);
+            state = next_state;
+            // Keep the attention context for the next input.
+            prev_ctx = g.slice_cols(f, g.value(state.h).cols(), g.value(state.h).cols() + self.d);
+            let loss = match frontier {
+                NonTerminal::C => {
+                    let Action::C(i) = action else { panic!("expected C, got {action:?}") };
+                    let scores = self.pointer_scores(g, ps, f, enc.columns, NonTerminal::C);
+                    let lp = g.log_softmax_rows(scores);
+                    g.nll_loss(lp, &[*i])
+                }
+                NonTerminal::T => {
+                    let Action::T(i) = action else { panic!("expected T, got {action:?}") };
+                    let scores = self.pointer_scores(g, ps, f, enc.tables, NonTerminal::T);
+                    let lp = g.log_softmax_rows(scores);
+                    g.nll_loss(lp, &[*i])
+                }
+                NonTerminal::V => {
+                    let Action::V(i) = action else { panic!("expected V, got {action:?}") };
+                    let values = enc.values.expect("gold V action without candidates");
+                    let scores = self.pointer_scores(g, ps, f, values, NonTerminal::V);
+                    let lp = g.log_softmax_rows(scores);
+                    g.nll_loss(lp, &[*i])
+                }
+                _ => {
+                    let idx = action
+                        .sketch_index()
+                        .unwrap_or_else(|| panic!("pointer action at sketch frontier: {action:?}"));
+                    let valid = self.valid_sketch(&ts, has_values);
+                    debug_assert!(valid.contains(&idx), "gold action masked out: {action:?}");
+                    let logits = self.masked_sketch_logits(g, ps, f, &valid);
+                    let lp = g.log_softmax_rows(logits);
+                    g.nll_loss(lp, &[idx])
+                }
+            };
+            losses.push(loss);
+            prev_emb = self.action_input(g, ps, enc, action);
+            ts.apply(action).expect("gold action sequence must be grammar-valid");
+        }
+        assert!(ts.is_complete(), "gold action sequence incomplete");
+        let stacked = g.concat_rows(&losses);
+        g.mean_all(stacked)
+    }
+
+    /// Beam-search decoding under the same grammar constraints.
+    ///
+    /// Returns up to `beam_width` completed hypotheses, best first, each
+    /// with its summed log-probability. An empty result means no hypothesis
+    /// completed within `max_steps`.
+    ///
+    /// This is the paper lineage's standard decoding upgrade (IRNet decodes
+    /// with beam search); combined with execution-guided selection in the
+    /// pipeline it also realises a piece of the paper's future work — using
+    /// the database to discard candidates that cannot execute.
+    pub fn decode_beam(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        enc: &Encodings,
+        max_steps: usize,
+        beam_width: usize,
+    ) -> Vec<(Vec<Action>, f32)> {
+        assert!(beam_width >= 1, "beam width must be at least 1");
+        struct Hyp {
+            ts: TransitionSystem,
+            state: LstmState,
+            prev_emb: Var,
+            prev_ctx: Var,
+            actions: Vec<Action>,
+            score: f32,
+        }
+        let has_values = enc.values.is_some();
+        let start = self.action_emb.forward(g, ps, &[0]);
+        let init = self.init_state(g, ps, enc);
+        let mut beams = vec![Hyp {
+            ts: TransitionSystem::new(),
+            state: init,
+            prev_emb: start,
+            prev_ctx: enc.pooled,
+            actions: Vec::new(),
+            score: 0.0,
+        }];
+        let mut completed: Vec<(Vec<Action>, f32)> = Vec::new();
+        for _ in 0..max_steps {
+            if beams.is_empty() {
+                break;
+            }
+            let mut expansions: Vec<Hyp> = Vec::new();
+            for hyp in beams.drain(..) {
+                let frontier = hyp.ts.frontier().expect("incomplete hypotheses only");
+                let (state, f) =
+                    self.step(g, ps, enc, hyp.prev_emb, hyp.prev_ctx, hyp.state);
+                let hidden = g.value(state.h).cols();
+                let ctx = g.slice_cols(f, hidden, hidden + self.d);
+                // Log-probabilities over the legal actions at this frontier.
+                let choices: Vec<(Action, f32)> = match frontier {
+                    NonTerminal::C | NonTerminal::T | NonTerminal::V => {
+                        let items = match frontier {
+                            NonTerminal::C => enc.columns,
+                            NonTerminal::T => enc.tables,
+                            NonTerminal::V => enc.values.expect("masking guarantees candidates"),
+                            _ => unreachable!(),
+                        };
+                        let scores = self.pointer_scores(g, ps, f, items, frontier);
+                        let lp = g.log_softmax_rows(scores);
+                        let row = g.value(lp).row(0).to_vec();
+                        row.into_iter()
+                            .enumerate()
+                            .map(|(i, p)| {
+                                let a = match frontier {
+                                    NonTerminal::C => Action::C(i),
+                                    NonTerminal::T => Action::T(i),
+                                    _ => Action::V(i),
+                                };
+                                (a, p)
+                            })
+                            .collect()
+                    }
+                    _ => {
+                        let valid = self.valid_sketch(&hyp.ts, has_values);
+                        if valid.is_empty() {
+                            continue; // dead hypothesis
+                        }
+                        let logits = self.masked_sketch_logits(g, ps, f, &valid);
+                        let lp = g.log_softmax_rows(logits);
+                        let row = g.value(lp).row(0);
+                        valid
+                            .iter()
+                            .map(|&i| (Action::from_sketch_index(i), row[i]))
+                            .collect()
+                    }
+                };
+                let mut ranked = choices;
+                ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                for (action, logp) in ranked.into_iter().take(beam_width) {
+                    let mut ts = hyp.ts.clone();
+                    if ts.apply(&action).is_err() {
+                        continue;
+                    }
+                    let mut actions = hyp.actions.clone();
+                    actions.push(action);
+                    let score = hyp.score + logp;
+                    if ts.is_complete() {
+                        completed.push((actions, score));
+                    } else {
+                        let prev_emb = self.action_input(g, ps, enc, &action);
+                        expansions.push(Hyp {
+                            ts,
+                            state,
+                            prev_emb,
+                            prev_ctx: ctx,
+                            actions,
+                            score,
+                        });
+                    }
+                }
+            }
+            expansions
+                .sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+            expansions.truncate(beam_width);
+            beams = expansions;
+            // Early exit: enough completed hypotheses that beat every open one.
+            if completed.len() >= beam_width
+                && beams
+                    .iter()
+                    .all(|h| completed.iter().any(|(_, cs)| *cs >= h.score))
+            {
+                break;
+            }
+        }
+        completed
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        completed.truncate(beam_width);
+        completed
+    }
+
+    /// Greedy grammar-constrained decoding.
+    ///
+    /// # Errors
+    /// Returns an error if the derivation does not complete in `max_steps`.
+    pub fn decode_greedy(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        enc: &Encodings,
+        max_steps: usize,
+    ) -> Result<Vec<Action>, String> {
+        let has_values = enc.values.is_some();
+        let num_values = enc.values.map(|v| g.value(v).rows()).unwrap_or(0);
+        let mut ts = TransitionSystem::new();
+        let mut state = self.init_state(g, ps, enc);
+        let mut prev_emb = self.action_emb.forward(g, ps, &[0]);
+        let mut prev_ctx = enc.pooled;
+        let mut actions = Vec::new();
+        while !ts.is_complete() {
+            if actions.len() >= max_steps {
+                return Err(format!("decoding exceeded {max_steps} steps"));
+            }
+            let frontier = ts.frontier().expect("incomplete derivation has a frontier");
+            let (next_state, f) = self.step(g, ps, enc, prev_emb, prev_ctx, state);
+            state = next_state;
+            prev_ctx = g.slice_cols(f, g.value(state.h).cols(), g.value(state.h).cols() + self.d);
+            let action = match frontier {
+                NonTerminal::C => {
+                    let scores = self.pointer_scores(g, ps, f, enc.columns, NonTerminal::C);
+                    Action::C(g.value(scores).argmax())
+                }
+                NonTerminal::T => {
+                    let scores = self.pointer_scores(g, ps, f, enc.tables, NonTerminal::T);
+                    Action::T(g.value(scores).argmax())
+                }
+                NonTerminal::V => {
+                    debug_assert!(num_values > 0, "V frontier reached without candidates");
+                    let values = enc.values.expect("checked above");
+                    let scores = self.pointer_scores(g, ps, f, values, NonTerminal::V);
+                    Action::V(g.value(scores).argmax())
+                }
+                _ => {
+                    let valid = self.valid_sketch(&ts, has_values);
+                    if valid.is_empty() {
+                        return Err(format!("no valid action at frontier {frontier:?}"));
+                    }
+                    let logits = self.masked_sketch_logits(g, ps, f, &valid);
+                    Action::from_sketch_index(g.value(logits).argmax())
+                }
+            };
+            prev_emb = self.action_input(g, ps, enc, &action);
+            ts.apply(&action).map_err(|e| format!("decoder chose invalid action: {e}"))?;
+            actions.push(action);
+        }
+        Ok(actions)
+    }
+}
+
+/// Whether applying this sketch action eventually forces a `V` pointer.
+fn action_needs_value(a: Action) -> bool {
+    use valuenet_semql::{FilterRule, RRule};
+    match a {
+        Action::R(RRule::SSup) | Action::R(RRule::SSupF) | Action::SupRule(_) => true,
+        Action::F(rule) => matches!(
+            rule,
+            FilterRule::Eq
+                | FilterRule::Ne
+                | FilterRule::Lt
+                | FilterRule::Gt
+                | FilterRule::Le
+                | FilterRule::Ge
+                | FilterRule::Between
+                | FilterRule::Like
+                | FilterRule::NotLike
+        ),
+        _ => false,
+    }
+}

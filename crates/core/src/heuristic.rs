@@ -1,0 +1,156 @@
+//! A rule-based NL-to-SQL baseline (no neural network).
+//!
+//! Serves as a floor in the Fig. 10 comparison: table/column selection by
+//! hint matching, a single equality filter from the first located value
+//! candidate, `count(*)` for "how many" questions. Roughly what pre-neural
+//! keyword systems achieve on cross-domain data.
+
+use valuenet_preprocess::{preprocess, CandidateConfig, HeuristicNer, SchemaHint};
+use valuenet_schema::{ColumnType, SchemaGraph, TableId};
+use valuenet_semql::{
+    to_sql, Agg, CmpOp, Filter, QueryR, ResolvedValue, Select, SemQl, ValueRef,
+};
+use valuenet_sql::SelectStmt;
+use valuenet_storage::Database;
+
+/// The rule-based baseline translator.
+#[derive(Debug, Default, Clone)]
+pub struct HeuristicBaseline {
+    cand_cfg: CandidateConfig,
+}
+
+impl HeuristicBaseline {
+    /// A baseline with default candidate configuration.
+    pub fn new() -> Self {
+        HeuristicBaseline { cand_cfg: CandidateConfig::default() }
+    }
+
+    /// Translates a question with rules only.
+    pub fn translate(&self, db: &Database, question: &str) -> Option<SelectStmt> {
+        let pre = preprocess(question, db, &HeuristicNer::new(), &self.cand_cfg);
+        let schema = db.schema();
+
+        // Table: best schema hint, falling back to the first candidate's
+        // location, then table 0.
+        let rank = |h: SchemaHint| match h {
+            SchemaHint::Exact => 3,
+            SchemaHint::Partial => 2,
+            SchemaHint::ValueCandidate => 1,
+            SchemaHint::None => 0,
+        };
+        let mut table = TableId(0);
+        let mut best = 0;
+        for (i, &h) in pre.schema_hints.tables.iter().enumerate() {
+            if rank(h) > best {
+                best = rank(h);
+                table = TableId(i);
+            }
+        }
+        if best == 0 {
+            if let Some(col) = pre.candidates.iter().flat_map(|c| &c.locations).next() {
+                if let Some(t) = schema.column(*col).table {
+                    table = t;
+                }
+            }
+        }
+
+        // Projection: count(*) for counting questions, otherwise the first
+        // mentioned (or first textual) column of the table.
+        let ql = question.to_lowercase();
+        let counting = ql.contains("how many") || ql.contains("number of") || ql.starts_with("count");
+        let select = if counting {
+            Select::new(vec![Agg::count_star(table)])
+        } else {
+            let col = schema
+                .table(table)
+                .columns
+                .iter()
+                .copied()
+                .find(|&c| {
+                    pre.schema_hints.columns[c.0] != SchemaHint::None
+                        && schema.column(c).ty == ColumnType::Text
+                })
+                .or_else(|| {
+                    schema
+                        .table(table)
+                        .columns
+                        .iter()
+                        .copied()
+                        .find(|&c| schema.column(c).ty == ColumnType::Text)
+                })
+                .or_else(|| schema.table(table).columns.first().copied())?;
+            Select::new(vec![Agg::plain(col, table)])
+        };
+
+        // Filter: equality with the first validated candidate.
+        let mut values = Vec::new();
+        let filter = pre
+            .candidates
+            .iter()
+            .find_map(|c| {
+                let col = *c.locations.first()?;
+                let t = schema.column(col).table?;
+                values.push(ResolvedValue::new(c.text.clone()));
+                Some(Filter::Cmp {
+                    op: CmpOp::Eq,
+                    agg: Agg::plain(col, t),
+                    value: ValueRef(0),
+                })
+            });
+
+        let tree = SemQl::Single(Box::new(QueryR {
+            select,
+            order: None,
+            superlative: None,
+            filter,
+        }));
+        let graph = SchemaGraph::new(schema);
+        to_sql(&tree, schema, &graph, &values).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valuenet_exec::execute;
+    use valuenet_schema::SchemaBuilder;
+
+    fn db() -> Database {
+        let schema = SchemaBuilder::new("d")
+            .table(
+                "student",
+                &[
+                    ("stu_id", ColumnType::Number),
+                    ("name", ColumnType::Text),
+                    ("home_country", ColumnType::Text),
+                ],
+            )
+            .build();
+        let mut db = Database::new(schema);
+        let s = db.schema().table_by_name("student").unwrap();
+        db.insert(s, vec![1.into(), "Alice".into(), "France".into()]);
+        db.insert(s, vec![2.into(), "Bob".into(), "Germany".into()]);
+        db.rebuild_index();
+        db
+    }
+
+    #[test]
+    fn counts_filtered_students() {
+        let db = db();
+        let sql = HeuristicBaseline::new()
+            .translate(&db, "How many students are from France?")
+            .expect("baseline produced SQL");
+        let rs = execute(&db, &sql).unwrap();
+        assert_eq!(rs.rows[0][0].as_number(), Some(1.0));
+    }
+
+    #[test]
+    fn lists_names_without_filter() {
+        let db = db();
+        let sql = HeuristicBaseline::new()
+            .translate(&db, "List the names of all students.")
+            .expect("baseline produced SQL");
+        let rs = execute(&db, &sql).unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+}

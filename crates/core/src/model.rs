@@ -1,0 +1,200 @@
+//! The assembled ValueNet model: encoder + decoder + parameters.
+
+use crate::decoder::Decoder;
+use crate::encoder::{Encoder, Encodings};
+use crate::input::{InputOptions, ModelInput};
+use crate::vocab::Vocab;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use valuenet_nn::ParamStore;
+use valuenet_semql::Action;
+use valuenet_tensor::{Graph, Var};
+
+/// Model hyper-parameters. The defaults are laptop-scale versions of the
+/// paper's setup (the paper uses BERT-Base with 300-dimensional LSTM
+/// summarisers; we train from scratch, so smaller is both sufficient and
+/// necessary for CPU training).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Shared model dimension.
+    pub d_model: usize,
+    /// Hidden size of the Bi-LSTM item summariser (output is twice this).
+    pub summary_hidden: usize,
+    /// Attention heads per transformer block.
+    pub heads: usize,
+    /// Number of transformer blocks.
+    pub encoder_layers: usize,
+    /// Transformer feed-forward inner size.
+    pub ffn_inner: usize,
+    /// Action-embedding dimension.
+    pub action_dim: usize,
+    /// Decoder LSTM hidden size.
+    pub decoder_hidden: usize,
+    /// Dropout probability (question embeddings, training only).
+    pub dropout: f32,
+    /// Decoding step budget.
+    pub max_decode_steps: usize,
+    /// Beam width for decoding (`1` = greedy). With a width above one the
+    /// pipeline performs execution-guided selection: the best-scoring
+    /// hypothesis whose SQL actually executes wins.
+    pub beam_width: usize,
+    /// Feed question/schema hints to the encoder (ablation knob).
+    pub use_hints: bool,
+    /// Encode value candidates with their table/column location (Fig. 8;
+    /// ablation knob).
+    pub encode_value_location: bool,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            d_model: 64,
+            summary_hidden: 32,
+            heads: 4,
+            encoder_layers: 2,
+            ffn_inner: 128,
+            action_dim: 48,
+            decoder_hidden: 128,
+            dropout: 0.1,
+            max_decode_steps: 80,
+            beam_width: 1,
+            use_hints: true,
+            encode_value_location: true,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// An even smaller configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        ModelConfig {
+            d_model: 32,
+            summary_hidden: 16,
+            heads: 2,
+            encoder_layers: 1,
+            ffn_inner: 48,
+            action_dim: 24,
+            decoder_hidden: 48,
+            dropout: 0.0,
+            max_decode_steps: 80,
+            beam_width: 1,
+            use_hints: true,
+            encode_value_location: true,
+        }
+    }
+}
+
+/// Serialised model (config + vocabulary + weights).
+#[derive(Serialize, Deserialize)]
+struct SavedModel {
+    config: ModelConfig,
+    vocab: Vocab,
+    params: String,
+}
+
+/// The complete ValueNet neural model.
+pub struct ValueNetModel {
+    /// Hyper-parameters.
+    pub config: ModelConfig,
+    /// Word vocabulary.
+    pub vocab: Vocab,
+    /// All trainable weights.
+    pub params: ParamStore,
+    encoder: Encoder,
+    decoder: Decoder,
+}
+
+impl ValueNetModel {
+    /// Builds a freshly initialised model.
+    pub fn new(config: ModelConfig, vocab: Vocab, seed: u64) -> Self {
+        let mut ps = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let encoder = Encoder::new(&mut ps, &mut rng, &config, vocab.len());
+        let decoder = Decoder::new(&mut ps, &mut rng, &config);
+        ValueNetModel { config, vocab, params: ps, encoder, decoder }
+    }
+
+    /// Number of scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.params.num_weights()
+    }
+
+    /// The input-construction options implied by this configuration.
+    pub fn input_options(&self) -> InputOptions {
+        InputOptions {
+            use_hints: self.config.use_hints,
+            encode_value_location: self.config.encode_value_location,
+        }
+    }
+
+    /// Encodes an input (training mode when `dropout_rng` is provided).
+    pub fn encode(
+        &self,
+        g: &mut Graph,
+        input: &ModelInput,
+        dropout_rng: Option<&mut SmallRng>,
+    ) -> Encodings {
+        self.encoder.forward(g, &self.params, input, self.config.dropout, dropout_rng)
+    }
+
+    /// Teacher-forced loss of one sample; returns the graph's loss node.
+    pub fn loss(
+        &self,
+        g: &mut Graph,
+        input: &ModelInput,
+        gold_actions: &[Action],
+        dropout_rng: Option<&mut SmallRng>,
+    ) -> Var {
+        let enc = self.encode(g, input, dropout_rng);
+        self.decoder.loss(g, &self.params, &enc, gold_actions)
+    }
+
+    /// Greedy grammar-constrained prediction.
+    ///
+    /// # Errors
+    /// Propagates decoding failures (step-budget exhaustion).
+    pub fn predict(&self, input: &ModelInput) -> Result<Vec<Action>, String> {
+        let mut g = Graph::new();
+        let enc = self.encode(&mut g, input, None);
+        self.decoder.decode_greedy(&mut g, &self.params, &enc, self.config.max_decode_steps)
+    }
+
+    /// Beam-search prediction: up to `config.beam_width` completed action
+    /// sequences, best first, with their summed log-probabilities.
+    pub fn predict_beam(&self, input: &ModelInput) -> Vec<(Vec<Action>, f32)> {
+        let mut g = Graph::new();
+        let enc = self.encode(&mut g, input, None);
+        self.decoder.decode_beam(
+            &mut g,
+            &self.params,
+            &enc,
+            self.config.max_decode_steps,
+            self.config.beam_width.max(1),
+        )
+    }
+
+    /// Serialises config, vocabulary and weights to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&SavedModel {
+            config: self.config.clone(),
+            vocab: self.vocab.clone(),
+            params: self.params.to_json(),
+        })
+        .expect("model serialisation cannot fail")
+    }
+
+    /// Restores a model saved with [`ValueNetModel::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let saved: SavedModel = serde_json::from_str(json)?;
+        let mut model = ValueNetModel::new(saved.config, saved.vocab, 0);
+        let params = ParamStore::from_json(&saved.params)?;
+        assert_eq!(
+            params.len(),
+            model.params.len(),
+            "saved parameter count does not match the architecture"
+        );
+        model.params = params;
+        Ok(model)
+    }
+}

@@ -1,0 +1,269 @@
+//! The end-to-end NL-to-SQL pipeline (paper Fig. 5) with per-stage timing
+//! (paper Table II).
+
+use crate::heuristic::HeuristicBaseline;
+use crate::input::build_input_opts;
+use crate::model::ValueNetModel;
+use std::time::{Duration, Instant};
+use valuenet_exec::{execute, ResultSet};
+use valuenet_preprocess::{
+    generate_candidates, question_hints, schema_hints, tokenize_question, CandidateConfig,
+    Ner, Preprocessed, StatisticalNer,
+};
+use valuenet_schema::{ColumnId, SchemaGraph};
+use valuenet_semql::{actions_to_ast, to_sql, Action, ResolvedValue, SemQl};
+use valuenet_sql::SelectStmt;
+use valuenet_storage::Database;
+
+/// How value options are supplied to the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueMode {
+    /// *ValueNet light*: the gold value options are provided by an oracle
+    /// (paper Section IV-A).
+    Light,
+    /// *ValueNet*: value candidates are extracted from the question and the
+    /// database content (paper Section IV-B).
+    Full,
+    /// The pre-ValueNet baseline: a constant placeholder `1` is the only
+    /// available value (what Exact-Match-era systems effectively do,
+    /// paper Section III).
+    NoValue,
+}
+
+impl ValueMode {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ValueMode::Light => "ValueNet light",
+            ValueMode::Full => "ValueNet",
+            ValueMode::NoValue => "NoValue baseline",
+        }
+    }
+}
+
+/// Wall-clock duration of each pipeline stage (paper Table II rows).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Tokenisation + question/schema hints.
+    pub pre_processing: Duration,
+    /// NER + candidate generation + database validation.
+    pub value_lookup: Duration,
+    /// Neural encoding and grammar-constrained decoding.
+    pub encoder_decoder: Duration,
+    /// SemQL → SQL lowering.
+    pub post_processing: Duration,
+    /// Executing the synthesized query.
+    pub query_execution: Duration,
+}
+
+impl StageTimings {
+    /// Total translation time.
+    pub fn total(&self) -> Duration {
+        self.pre_processing
+            + self.value_lookup
+            + self.encoder_decoder
+            + self.post_processing
+            + self.query_execution
+    }
+}
+
+/// A completed hypothesis chosen by execution-guided selection.
+type ChosenHypothesis = (Vec<Action>, SemQl, Option<SelectStmt>, Option<ResultSet>);
+
+/// The outcome of translating one question.
+pub struct Prediction {
+    /// Decoded action sequence (empty on decoding failure).
+    pub actions: Vec<Action>,
+    /// The predicted SemQL tree, when decoding succeeded.
+    pub semql: Option<SemQl>,
+    /// The synthesized SQL, when lowering succeeded.
+    pub sql: Option<SelectStmt>,
+    /// The candidate list the `V` pointers index into.
+    pub candidates: Vec<String>,
+    /// The execution result, when the query ran.
+    pub result: Option<ResultSet>,
+    /// Per-stage timings.
+    pub timings: StageTimings,
+}
+
+impl Prediction {
+    /// The value texts actually selected by the decoder, in `V`-pointer order.
+    pub fn selected_values(&self) -> Vec<String> {
+        self.actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::V(i) => {
+                    Some(self.candidates.get(*i).cloned().unwrap_or_else(|| "<missing>".into()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Assembles the candidate list for a mode. `gold` must be provided in
+/// [`ValueMode::Light`]; `for_training` appends missing gold values in
+/// [`ValueMode::Full`] so the value pointer always has a target.
+pub fn assemble_candidates(
+    db: &Database,
+    pre: &Preprocessed,
+    mode: ValueMode,
+    gold: Option<&[String]>,
+    for_training: bool,
+) -> Vec<(String, Vec<ColumnId>)> {
+    let locate = |text: &str| db.index().find_exact(text);
+    let mut out: Vec<(String, Vec<ColumnId>)> = Vec::new();
+    let push = |text: &str, locations: Vec<ColumnId>, out: &mut Vec<(String, Vec<ColumnId>)>| {
+        if !out.iter().any(|(t, _)| t.eq_ignore_ascii_case(text)) {
+            out.push((text.to_string(), locations));
+        }
+    };
+    match mode {
+        ValueMode::Light => {
+            let gold = gold.expect("ValueNet light requires the gold value options");
+            for v in gold {
+                push(v, locate(v), &mut out);
+            }
+        }
+        ValueMode::Full => {
+            for cand in &pre.candidates {
+                push(&cand.text, cand.locations.clone(), &mut out);
+            }
+            // The implicit LIMIT 1 of superlatives never appears in the
+            // question; a constant candidate keeps it selectable.
+            push("1", Vec::new(), &mut out);
+            if for_training {
+                if let Some(gold) = gold {
+                    for v in gold {
+                        push(v, locate(v), &mut out);
+                    }
+                }
+            }
+        }
+        ValueMode::NoValue => {
+            push("1", Vec::new(), &mut out);
+        }
+    }
+    out
+}
+
+/// The end-to-end system: pre-processing, the neural model, SemQL lowering,
+/// and execution.
+pub struct Pipeline {
+    /// The trained model.
+    pub model: ValueNetModel,
+    /// Operating mode.
+    pub mode: ValueMode,
+    /// The trained statistical NER (combined with the heuristics).
+    pub ner: StatisticalNer,
+    /// Candidate-pipeline configuration.
+    pub cand_cfg: CandidateConfig,
+}
+
+impl Pipeline {
+    /// Wraps a trained model.
+    pub fn new(model: ValueNetModel, mode: ValueMode, ner: StatisticalNer) -> Self {
+        Pipeline { model, mode, ner, cand_cfg: CandidateConfig::default() }
+    }
+
+    /// Translates a question end to end. `gold_values` is consumed only in
+    /// [`ValueMode::Light`] (the oracle's value options).
+    pub fn translate(
+        &self,
+        db: &Database,
+        question: &str,
+        gold_values: Option<&[String]>,
+    ) -> Prediction {
+        let mut timings = StageTimings::default();
+
+        // Stage 1a: tokenisation (pre-processing).
+        let t0 = Instant::now();
+        let tokens = tokenize_question(question);
+        timings.pre_processing += t0.elapsed();
+
+        // Stage 2: value extraction + candidate generation + validation
+        // ("Value lookup" in Table II — dominated by database lookups).
+        let t0 = Instant::now();
+        let extracted = self.ner.extract(question, &tokens);
+        let candidates = generate_candidates(&extracted, &tokens, db, &self.cand_cfg);
+        timings.value_lookup += t0.elapsed();
+
+        // Stage 1b: hint classification (needs the candidates for the
+        // value-candidate-match class).
+        let t0 = Instant::now();
+        let qh = question_hints(&tokens, db);
+        let sh = schema_hints(&tokens, db, &candidates);
+        let pre = Preprocessed {
+            tokens,
+            question_hints: qh,
+            schema_hints: sh,
+            candidates,
+        };
+        timings.pre_processing += t0.elapsed();
+
+        // Stage 3: encode + decode (greedy, or beam search when the model
+        // is configured with a beam width above one).
+        let t0 = Instant::now();
+        let cands = assemble_candidates(db, &pre, self.mode, gold_values, false);
+        let input = build_input_opts(db, &pre, &cands, &self.model.vocab, self.model.input_options());
+        let hypotheses: Vec<Vec<Action>> = if self.model.config.beam_width > 1 {
+            self.model.predict_beam(&input).into_iter().map(|(a, _)| a).collect()
+        } else {
+            self.model.predict(&input).into_iter().collect()
+        };
+        timings.encoder_decoder += t0.elapsed();
+
+        // Stages 4 + 5: lower each hypothesis (best first) and keep the
+        // first whose SQL executes — execution-guided selection. With a
+        // greedy decode there is exactly one hypothesis, so this reduces to
+        // the paper's deterministic post-processing.
+        let graph = SchemaGraph::new(db.schema());
+        let resolved: Vec<ResolvedValue> =
+            input.candidates.iter().map(ResolvedValue::new).collect();
+        let mut chosen: Option<ChosenHypothesis> = None;
+        for actions in &hypotheses {
+            let t0 = Instant::now();
+            let semql = actions_to_ast(actions).ok();
+            let sql = semql
+                .as_ref()
+                .and_then(|tree| to_sql(tree, db.schema(), &graph, &resolved).ok());
+            timings.post_processing += t0.elapsed();
+            let t0 = Instant::now();
+            let result = sql.as_ref().and_then(|stmt| execute(db, stmt).ok());
+            timings.query_execution += t0.elapsed();
+            let executed = result.is_some();
+            if let Some(tree) = semql {
+                if chosen.is_none() || executed {
+                    chosen = Some((actions.clone(), tree, sql, result));
+                }
+            }
+            if executed {
+                break;
+            }
+        }
+
+        match chosen {
+            Some((actions, semql, sql, result)) => Prediction {
+                actions,
+                semql: Some(semql),
+                sql,
+                candidates: input.candidates,
+                result,
+                timings,
+            },
+            None => Prediction {
+                actions: hypotheses.into_iter().next().unwrap_or_default(),
+                semql: None,
+                sql: None,
+                candidates: input.candidates,
+                result: None,
+                timings,
+            },
+        }
+    }
+
+    /// The rule-based baseline sharing this pipeline's pre-processing.
+    pub fn heuristic_baseline(&self) -> HeuristicBaseline {
+        HeuristicBaseline::new()
+    }
+}

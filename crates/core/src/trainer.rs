@@ -1,0 +1,243 @@
+//! Training: teacher forcing with Adam and the paper's three learning-rate
+//! groups (encoder / decoder / connection parameters, Section V-C).
+
+use crate::input::{build_input_opts, ModelInput};
+use crate::model::{ModelConfig, ValueNetModel};
+use crate::pipeline::{assemble_candidates, Pipeline, ValueMode};
+use crate::vocab::Vocab;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use valuenet_dataset::{Corpus, Sample};
+use valuenet_nn::{Adam, AdamConfig, ParamId};
+use valuenet_preprocess::{preprocess, CandidateConfig, StatisticalNer, tokenize_question};
+use valuenet_semql::{ast_to_actions, Action};
+use valuenet_tensor::{Graph, Tensor};
+
+/// Training hyper-parameters. The three learning rates mirror the paper's
+/// grouping; since our encoder trains from scratch (no pretrained BERT), all
+/// three default to the same magnitude.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training split.
+    pub epochs: usize,
+    /// Encoder learning rate (paper: 2e-5 for BERT fine-tuning).
+    pub lr_encoder: f32,
+    /// Decoder learning rate (paper: 1e-3).
+    pub lr_decoder: f32,
+    /// Connection-parameter learning rate (paper: 1e-4).
+    pub lr_connection: f32,
+    /// Gradient-accumulation batch size (paper: 20).
+    pub batch_size: usize,
+    /// RNG seed (shuffling, dropout).
+    pub seed: u64,
+    /// Print progress to stderr.
+    pub verbose: bool,
+    /// Candidate-pipeline configuration (ablation knob; see
+    /// `CandidateConfig`'s `enable_*` flags).
+    pub cand_cfg: CandidateConfig,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 12,
+            lr_encoder: 2e-3,
+            lr_decoder: 2e-3,
+            lr_connection: 2e-3,
+            batch_size: 16,
+            seed: 1,
+            verbose: false,
+            cand_cfg: CandidateConfig::default(),
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Number of usable training samples.
+    pub trained_samples: usize,
+    /// Samples skipped (gold value unmappable to a candidate).
+    pub skipped_samples: usize,
+}
+
+struct PreparedSample {
+    input: ModelInput,
+    actions: Vec<Action>,
+}
+
+/// Builds the vocabulary: training questions, every schema's names, and the
+/// distinct database values (standing in for the pretrained word-piece
+/// coverage of the original system; see `DESIGN.md`).
+fn build_vocab(corpus: &Corpus) -> Vocab {
+    let mut texts: Vec<String> = Vec::new();
+    for s in &corpus.train {
+        texts.push(s.question.to_lowercase());
+    }
+    for db in &corpus.databases {
+        for t in &db.schema().tables {
+            texts.push(t.display.clone());
+        }
+        for c in &db.schema().columns {
+            texts.push(c.display.clone());
+        }
+        // Database content words give the encoder word-piece-like coverage
+        // of value candidates. Purely numeric values are skipped (each is a
+        // unique, meaningless token) and each column is capped so the
+        // vocabulary — and with it the embedding table the optimiser walks —
+        // stays bounded on large databases.
+        for (i, _) in db.schema().columns.iter().enumerate() {
+            for v in db
+                .index()
+                .distinct_values(valuenet_schema::ColumnId(i))
+                .iter()
+                .filter(|v| v.parse::<f64>().is_err())
+                .take(300)
+            {
+                texts.push(v.to_lowercase());
+            }
+        }
+    }
+    Vocab::build(texts.iter().map(String::as_str))
+}
+
+/// Trains the statistical NER on the train split (question tokens labelled
+/// by whether they belong to a gold value surface).
+fn train_ner(corpus: &Corpus) -> StatisticalNer {
+    let mut ner = StatisticalNer::new();
+    let examples: Vec<(Vec<valuenet_preprocess::Token>, Vec<String>)> = corpus
+        .train
+        .iter()
+        .map(|s| {
+            let tokens = tokenize_question(&s.question);
+            let surfaces: Vec<String> = s
+                .value_infos
+                .iter()
+                .filter(|v| !v.implicit)
+                .map(|v| v.question_text.clone())
+                .collect();
+            (tokens, surfaces)
+        })
+        .collect();
+    ner.fit(&examples);
+    ner
+}
+
+/// Remaps the gold tree's `ValueRef`s (indices into `sample.values`) to
+/// indices into the candidate list. Returns `None` when a gold value is not
+/// among the candidates.
+fn remap_actions(sample: &Sample, candidates: &[String]) -> Option<Vec<Action>> {
+    let actions = ast_to_actions(&sample.semql);
+    actions
+        .into_iter()
+        .map(|a| match a {
+            Action::V(i) => {
+                let gold = sample.values.get(i)?;
+                let idx =
+                    candidates.iter().position(|c| c.eq_ignore_ascii_case(gold))?;
+                Some(Action::V(idx))
+            }
+            other => Some(other),
+        })
+        .collect()
+}
+
+/// Trains a ValueNet model on the corpus's training split and returns the
+/// ready-to-use [`Pipeline`] together with a [`TrainReport`].
+pub fn train(
+    corpus: &Corpus,
+    mode: ValueMode,
+    model_cfg: ModelConfig,
+    cfg: &TrainConfig,
+) -> (Pipeline, TrainReport) {
+    let vocab = build_vocab(corpus);
+    let ner = train_ner(corpus);
+    let cand_cfg = cfg.cand_cfg.clone();
+
+    // Precompute inputs and remapped gold actions once.
+    let mut prepared = Vec::with_capacity(corpus.train.len());
+    let mut skipped = 0;
+    for sample in &corpus.train {
+        let db = corpus.db(sample);
+        let pre = preprocess(&sample.question, db, &ner, &cand_cfg);
+        let cands = assemble_candidates(db, &pre, mode, Some(&sample.values), true);
+        let cand_texts: Vec<String> = cands.iter().map(|(t, _)| t.clone()).collect();
+        let Some(actions) = remap_actions(sample, &cand_texts) else {
+            skipped += 1;
+            continue;
+        };
+        let input = build_input_opts(
+            db,
+            &pre,
+            &cands,
+            &vocab,
+            crate::input::InputOptions {
+                use_hints: model_cfg.use_hints,
+                encode_value_location: model_cfg.encode_value_location,
+            },
+        );
+        prepared.push(PreparedSample { input, actions });
+    }
+
+    let model = ValueNetModel::new(model_cfg, vocab, cfg.seed);
+    let mut opt = Adam::new(
+        &model.params,
+        AdamConfig {
+            group_lrs: vec![cfg.lr_encoder, cfg.lr_decoder, cfg.lr_connection],
+            ..Default::default()
+        },
+    );
+
+    let mut model = model;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(1));
+    let mut order: Vec<usize> = (0..prepared.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut batch_grads: Vec<(ParamId, Tensor)> = Vec::new();
+        let mut in_batch = 0;
+        for (step, &i) in order.iter().enumerate() {
+            let sample = &prepared[i];
+            let mut g = Graph::new();
+            let loss = model.loss(&mut g, &sample.input, &sample.actions, Some(&mut rng));
+            epoch_loss += g.value(loss).scalar_value();
+            let grads = g.backward(loss);
+            for (id, grad) in model.params.collect_grads(&grads) {
+                match batch_grads.iter_mut().find(|(pid, _)| *pid == id) {
+                    Some((_, acc)) => acc.add_assign(&grad),
+                    None => batch_grads.push((id, grad)),
+                }
+            }
+            in_batch += 1;
+            if in_batch >= cfg.batch_size || step + 1 == order.len() {
+                // Average over the batch before the Adam step.
+                let scale = 1.0 / in_batch as f32;
+                for (_, grad) in &mut batch_grads {
+                    for x in grad.as_mut_slice() {
+                        *x *= scale;
+                    }
+                }
+                opt.step_collected(&mut model.params, std::mem::take(&mut batch_grads));
+                in_batch = 0;
+            }
+        }
+        let mean = epoch_loss / prepared.len().max(1) as f32;
+        epoch_losses.push(mean);
+        if cfg.verbose {
+            eprintln!("epoch {:>2}/{}: mean loss {mean:.4}", epoch + 1, cfg.epochs);
+        }
+    }
+
+    let report = TrainReport {
+        epoch_losses,
+        trained_samples: prepared.len(),
+        skipped_samples: skipped,
+    };
+    let mut pipeline = Pipeline::new(model, mode, ner);
+    pipeline.cand_cfg = cand_cfg;
+    (pipeline, report)
+}

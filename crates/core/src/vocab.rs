@@ -1,0 +1,108 @@
+//! Word vocabulary.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A word-level vocabulary with an `<unk>` fallback, built from the training
+/// questions, all schema names and the database content the candidates draw
+/// from. Lookup is case-insensitive.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    words: HashMap<String, usize>,
+    size: usize,
+}
+
+/// Id of the unknown token.
+pub const UNK: usize = 0;
+
+impl Vocab {
+    /// Builds the vocabulary from an iterator of texts (each is split on
+    /// whitespace and lowercased).
+    pub fn build<'a>(texts: impl Iterator<Item = &'a str>) -> Self {
+        let mut words = HashMap::new();
+        words.insert("<unk>".to_string(), UNK);
+        for text in texts {
+            for w in text.split_whitespace() {
+                let w = normalize(w);
+                if w.is_empty() {
+                    continue;
+                }
+                let next = words.len();
+                words.entry(w).or_insert(next);
+            }
+        }
+        let size = words.len();
+        Vocab { words, size }
+    }
+
+    /// Vocabulary size (including `<unk>`).
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Whether only `<unk>` is present.
+    pub fn is_empty(&self) -> bool {
+        self.size <= 1
+    }
+
+    /// Id of a word (`UNK` when out of vocabulary).
+    pub fn id(&self, word: &str) -> usize {
+        self.words.get(&normalize(word)).copied().unwrap_or(UNK)
+    }
+
+    /// Ids of every whitespace-separated word of `text`. Always returns at
+    /// least one id (an `<unk>` for empty text), so downstream LSTMs never
+    /// see an empty sequence.
+    pub fn ids(&self, text: &str) -> Vec<usize> {
+        let ids: Vec<usize> = text.split_whitespace().map(|w| self.id(w)).collect();
+        if ids.is_empty() {
+            vec![UNK]
+        } else {
+            ids
+        }
+    }
+}
+
+fn normalize(w: &str) -> String {
+    w.chars()
+        .filter(|c| c.is_alphanumeric() || *c == '-' || *c == '/' || *c == '_' || *c == '.')
+        .collect::<String>()
+        .to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let texts = ["How many pets", "pets from France"];
+        let v = Vocab::build(texts.iter().copied());
+        assert!(v.len() >= 6);
+        assert_eq!(v.id("Pets"), v.id("pets"));
+        assert_ne!(v.id("pets"), UNK);
+        assert_eq!(v.id("zebra"), UNK);
+    }
+
+    #[test]
+    fn punctuation_stripped() {
+        let v = Vocab::build(["France?"].iter().copied());
+        assert_eq!(v.id("France"), v.id("france?"));
+    }
+
+    #[test]
+    fn ids_never_empty() {
+        let v = Vocab::build(["a"].iter().copied());
+        assert_eq!(v.ids(""), vec![UNK]);
+        assert_eq!(v.ids("a a").len(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = Vocab::build(["hello world"].iter().copied());
+        let json = serde_json::to_string(&v).unwrap();
+        let v2: Vocab = serde_json::from_str(&json).unwrap();
+        assert_eq!(v2.id("world"), v.id("world"));
+        assert_eq!(v2.len(), v.len());
+    }
+}

@@ -1,0 +1,1698 @@
+//! The 14 domain databases.
+//!
+//! Each function builds a schema, seeds its rows, and annotates the
+//! entities / filterable columns / numeric columns / relations the generic
+//! templates draw from. The first ten domains form the training split, the
+//! last four the (unseen) dev split — mirroring Spider's disjoint-database
+//! transfer setting.
+
+use crate::pools::*;
+use crate::spec::*;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use valuenet_schema::{ColumnId, ColumnType, DbSchema, SchemaBuilder, TableId};
+use valuenet_storage::Datum;
+
+/// Builds every domain. The returned vector is ordered: the first
+/// [`NUM_TRAIN_DOMAINS`] are the training databases.
+pub fn all_domains(rng: &mut SmallRng, rows_per_table: usize) -> Vec<DomainSpec> {
+    vec![
+        student_pets(rng, rows_per_table),
+        flights(rng, rows_per_table),
+        employees(rng, rows_per_table),
+        world(rng, rows_per_table),
+        orchestra(rng, rows_per_table),
+        tv_channels(rng, rows_per_table),
+        shop_orders(rng, rows_per_table),
+        sports_league(rng, rows_per_table),
+        music_albums(rng, rows_per_table),
+        university(rng, rows_per_table),
+        // --- dev (unseen) domains ---
+        concerts(rng, rows_per_table),
+        car_dealers(rng, rows_per_table),
+        library(rng, rows_per_table),
+        hospital(rng, rows_per_table),
+    ]
+}
+
+/// Number of domains reserved for the training split.
+pub const NUM_TRAIN_DOMAINS: usize = 10;
+
+fn cid(schema: &DbSchema, table: &str, column: &str) -> (TableId, ColumnId) {
+    let t = schema.table_by_name(table).unwrap_or_else(|| panic!("table {table}"));
+    let c = schema
+        .column_by_name(t, column)
+        .unwrap_or_else(|| panic!("column {table}.{column}"));
+    (t, c)
+}
+
+fn pick<'a, T>(rng: &mut SmallRng, xs: &'a [T]) -> &'a T {
+    &xs[rng.gen_range(0..xs.len())]
+}
+
+fn person_name(rng: &mut SmallRng, i: usize) -> String {
+    format!("{} {}", FIRST_NAMES[i % FIRST_NAMES.len()], pick(rng, LAST_NAMES))
+}
+
+fn title_name(rng: &mut SmallRng) -> String {
+    format!("{} {}", pick(rng, TITLE_WORDS), pick(rng, TITLE_WORDS))
+}
+
+fn rand_date(rng: &mut SmallRng) -> String {
+    iso_date(rng.gen_range(2005..2022), rng.gen_range(1..13), rng.gen_range(1..29))
+}
+
+fn country_surfaces(used: &[&str]) -> Vec<SurfaceForm> {
+    let mut out = Vec::new();
+    for c in used {
+        out.push(SurfaceForm::easy(*c));
+        if let Some(d) = demonym(c) {
+            out.push(SurfaceForm::mapped(*c, d, ValueDifficulty::Hard));
+        }
+    }
+    out
+}
+
+fn easy_surfaces(values: &[&str]) -> Vec<SurfaceForm> {
+    values.iter().map(|v| SurfaceForm::easy(*v)).collect()
+}
+
+fn inflected_surfaces(pairs: &[(&str, &str)]) -> Vec<SurfaceForm> {
+    let mut out = Vec::new();
+    for (v, plural) in pairs {
+        out.push(SurfaceForm::easy(*v));
+        out.push(SurfaceForm::mapped(*v, *plural, ValueDifficulty::Medium));
+    }
+    out
+}
+
+fn gender_surfaces() -> Vec<SurfaceForm> {
+    vec![
+        SurfaceForm::mapped("F", "female", ValueDifficulty::Hard),
+        SurfaceForm::mapped("M", "male", ValueDifficulty::Hard),
+    ]
+}
+
+fn num(table: TableId, column: ColumnId, label: &str) -> NumericCol {
+    NumericCol { table, column, label: label.into(), cmp_phrases: None, superlatives: None }
+}
+
+fn num_full(
+    table: TableId,
+    column: ColumnId,
+    label: &str,
+    cmp: (&str, &str),
+    sup: (&str, &str),
+) -> NumericCol {
+    NumericCol {
+        table,
+        column,
+        label: label.into(),
+        cmp_phrases: Some((cmp.0.into(), cmp.1.into())),
+        superlatives: Some((sup.0.into(), sup.1.into())),
+    }
+}
+
+fn entity(
+    schema: &DbSchema,
+    table: &str,
+    singular: &str,
+    plural: &str,
+    name_col: &str,
+    name_label: &str,
+) -> Entity {
+    let (t, c) = cid(schema, table, name_col);
+    Entity {
+        table: t,
+        singular: singular.into(),
+        plural: plural.into(),
+        name_col: c,
+        name_label: name_label.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// 1. student_pets — the paper's running example (Fig. 1).
+// ---------------------------------------------------------------------
+fn student_pets(rng: &mut SmallRng, n: usize) -> DomainSpec {
+    let schema = SchemaBuilder::new("student_pets")
+        .table(
+            "student",
+            &[
+                ("stu_id", ColumnType::Number),
+                ("name", ColumnType::Text),
+                ("age", ColumnType::Number),
+                ("gender", ColumnType::Text),
+                ("home_country", ColumnType::Text),
+                ("major", ColumnType::Text),
+            ],
+        )
+        .primary_key("student", "stu_id")
+        .table("has_pet", &[("stu_id", ColumnType::Number), ("pet_id", ColumnType::Number)])
+        .table(
+            "pet",
+            &[
+                ("pet_id", ColumnType::Number),
+                ("pet_type", ColumnType::Text),
+                ("weight", ColumnType::Number),
+                ("pet_age", ColumnType::Number),
+            ],
+        )
+        .primary_key("pet", "pet_id")
+        .foreign_key("has_pet", "stu_id", "student", "stu_id")
+        .foreign_key("has_pet", "pet_id", "pet", "pet_id")
+        .build();
+
+    let mut students = Vec::new();
+    let countries: Vec<&str> = COUNTRIES.iter().take(8).map(|&(c, _)| c).collect();
+    for i in 0..n {
+        students.push(vec![
+            Datum::Int(i as i64 + 1),
+            person_name(rng, i).into(),
+            Datum::Int(rng.gen_range(17..30)),
+            (if rng.gen_bool(0.5) { "F" } else { "M" }).into(),
+            (*pick(rng, &countries)).into(),
+            MAJORS[i % MAJORS.len()].into(),
+        ]);
+    }
+    let n_pets = n;
+    let mut pets = Vec::new();
+    for i in 0..n_pets {
+        pets.push(vec![
+            Datum::Int(i as i64 + 1),
+            PET_TYPES[i % PET_TYPES.len()].into(),
+            Datum::Float((rng.gen_range(5..250) as f64) / 10.0),
+            Datum::Int(rng.gen_range(1..15)),
+        ]);
+    }
+    let mut has_pet = Vec::new();
+    for i in 0..n_pets {
+        has_pet.push(vec![
+            Datum::Int(rng.gen_range(1..=(n as i64))),
+            Datum::Int(i as i64 + 1),
+        ]);
+    }
+
+    let (t_student, c_country) = cid(&schema, "student", "home_country");
+    let (_, c_major) = cid(&schema, "student", "major");
+    let (_, c_gender) = cid(&schema, "student", "gender");
+    let (_, c_age) = cid(&schema, "student", "age");
+    let (_, c_sid) = cid(&schema, "student", "stu_id");
+    let (t_pet, c_pet_type) = cid(&schema, "pet", "pet_type");
+    let (_, c_weight) = cid(&schema, "pet", "weight");
+    let (t_has_pet, c_hp_sid) = cid(&schema, "has_pet", "stu_id");
+
+    DomainSpec {
+        entities: vec![
+            entity(&schema, "student", "student", "students", "name", "name"),
+            entity(&schema, "pet", "pet", "pets", "pet_type", "type"),
+        ],
+        filters: vec![
+            FilterCol {
+                table: t_student,
+                column: c_country,
+                label: "home country".into(),
+                phrase: Phrase::From,
+                surfaces: country_surfaces(&countries),
+            },
+            FilterCol {
+                table: t_student,
+                column: c_major,
+                label: "major".into(),
+                phrase: Phrase::Whose("major".into()),
+                surfaces: easy_surfaces(MAJORS),
+            },
+            FilterCol {
+                table: t_student,
+                column: c_gender,
+                label: "gender".into(),
+                phrase: Phrase::Adjective,
+                surfaces: gender_surfaces(),
+            },
+            FilterCol {
+                table: t_pet,
+                column: c_pet_type,
+                label: "type".into(),
+                phrase: Phrase::Adjective,
+                surfaces: easy_surfaces(PET_TYPES),
+            },
+        ],
+        numerics: vec![
+            num_full(t_student, c_age, "age", ("older than", "younger than"), ("oldest", "youngest")),
+            num_full(t_pet, c_weight, "weight", ("heavier than", "lighter than"), ("heaviest", "lightest")),
+        ],
+        relations: vec![Relation {
+            subject: 0,
+            object: 1,
+            verb: "own".into(),
+            subject_key: c_sid,
+            link_col: c_hp_sid,
+            link_table: t_has_pet,
+        }],
+        rows: vec![students, has_pet, pets],
+        schema,
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. flights — the paper's Fig. 4 / Fig. 8 examples (JFK).
+// ---------------------------------------------------------------------
+fn flights(rng: &mut SmallRng, n: usize) -> DomainSpec {
+    let schema = SchemaBuilder::new("flights")
+        .table(
+            "airport",
+            &[
+                ("code", ColumnType::Text),
+                ("airport_name", ColumnType::Text),
+                ("city", ColumnType::Text),
+            ],
+        )
+        .primary_key("airport", "code")
+        .table(
+            "flight",
+            &[
+                ("flight_id", ColumnType::Number),
+                ("airline", ColumnType::Text),
+                ("destination", ColumnType::Text),
+                ("duration", ColumnType::Number),
+                ("price", ColumnType::Number),
+                ("departure_date", ColumnType::Time),
+            ],
+        )
+        .primary_key("flight", "flight_id")
+        .foreign_key("flight", "destination", "airport", "code")
+        .build();
+
+    let airports: Vec<Vec<Datum>> = AIRPORTS
+        .iter()
+        .map(|&(code, name, city)| vec![code.into(), name.into(), city.into()])
+        .collect();
+    let mut flights_rows = Vec::new();
+    for i in 0..n * 2 {
+        let (code, _, _) = *pick(rng, AIRPORTS);
+        flights_rows.push(vec![
+            Datum::Int(i as i64 + 100),
+            (*pick(rng, AIRLINES)).into(),
+            code.into(),
+            Datum::Int(rng.gen_range(1..14)),
+            Datum::Float(rng.gen_range(40..900) as f64),
+            rand_date(rng).into(),
+        ]);
+    }
+
+    let (t_flight, c_dest) = cid(&schema, "flight", "destination");
+    let (_, c_airline) = cid(&schema, "flight", "airline");
+    let (_, c_duration) = cid(&schema, "flight", "duration");
+    let (_, c_price) = cid(&schema, "flight", "price");
+    let (t_airport, c_city) = cid(&schema, "airport", "city");
+
+    let mut dest_surfaces = Vec::new();
+    for &(code, name, city) in AIRPORTS {
+        dest_surfaces.push(SurfaceForm::easy(code));
+        dest_surfaces.push(SurfaceForm::mapped(code, name, ValueDifficulty::Hard));
+        dest_surfaces.push(SurfaceForm::mapped(code, city, ValueDifficulty::Hard));
+    }
+
+    DomainSpec {
+        entities: vec![
+            entity(&schema, "flight", "flight", "flights", "flight_id", "flight number"),
+            entity(&schema, "airport", "airport", "airports", "airport_name", "name"),
+        ],
+        filters: vec![
+            FilterCol {
+                table: t_flight,
+                column: c_dest,
+                label: "destination".into(),
+                phrase: Phrase::With("destination".into()),
+                surfaces: dest_surfaces,
+            },
+            FilterCol {
+                table: t_flight,
+                column: c_airline,
+                label: "airline".into(),
+                phrase: Phrase::With("airline".into()),
+                surfaces: easy_surfaces(AIRLINES),
+            },
+            FilterCol {
+                table: t_airport,
+                column: c_city,
+                label: "city".into(),
+                phrase: Phrase::From,
+                surfaces: easy_surfaces(
+                    &AIRPORTS.iter().map(|&(_, _, c)| c).collect::<Vec<_>>(),
+                ),
+            },
+        ],
+        numerics: vec![
+            num_full(
+                t_flight,
+                c_duration,
+                "duration",
+                ("longer than", "shorter than"),
+                ("longest", "shortest"),
+            ),
+            num_full(
+                t_flight,
+                c_price,
+                "price",
+                ("more expensive than", "cheaper than"),
+                ("most expensive", "cheapest"),
+            ),
+        ],
+        relations: vec![],
+        rows: vec![airports, flights_rows],
+        schema,
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. employees
+// ---------------------------------------------------------------------
+fn employees(rng: &mut SmallRng, n: usize) -> DomainSpec {
+    let schema = SchemaBuilder::new("employees")
+        .table(
+            "department",
+            &[
+                ("dept_id", ColumnType::Number),
+                ("dept_name", ColumnType::Text),
+                ("budget", ColumnType::Number),
+            ],
+        )
+        .primary_key("department", "dept_id")
+        .table(
+            "employee",
+            &[
+                ("emp_id", ColumnType::Number),
+                ("name", ColumnType::Text),
+                ("title", ColumnType::Text),
+                ("salary", ColumnType::Number),
+                ("emp_age", ColumnType::Number),
+                ("gender", ColumnType::Text),
+                ("hire_date", ColumnType::Time),
+                ("dept_id", ColumnType::Number),
+            ],
+        )
+        .primary_key("employee", "emp_id")
+        .foreign_key("employee", "dept_id", "department", "dept_id")
+        .build();
+
+    let departments: Vec<Vec<Datum>> = DEPARTMENTS
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            vec![
+                Datum::Int(i as i64 + 1),
+                (*d).into(),
+                Datum::Float(rng.gen_range(100..900) as f64 * 1000.0),
+            ]
+        })
+        .collect();
+    let mut emps = Vec::new();
+    for i in 0..n {
+        emps.push(vec![
+            Datum::Int(i as i64 + 1),
+            person_name(rng, i).into(),
+            TITLES[i % TITLES.len()].0.into(),
+            Datum::Int(rng.gen_range(30..160) * 1000),
+            Datum::Int(rng.gen_range(21..65)),
+            (if rng.gen_bool(0.5) { "F" } else { "M" }).into(),
+            rand_date(rng).into(),
+            Datum::Int(rng.gen_range(1..=(DEPARTMENTS.len() as i64))),
+        ]);
+    }
+
+    let (t_emp, c_title) = cid(&schema, "employee", "title");
+    let (_, c_gender) = cid(&schema, "employee", "gender");
+    let (_, c_salary) = cid(&schema, "employee", "salary");
+    let (_, c_age) = cid(&schema, "employee", "emp_age");
+    let (t_dept, c_dname) = cid(&schema, "department", "dept_name");
+    let (_, c_budget) = cid(&schema, "department", "budget");
+
+    DomainSpec {
+        entities: vec![
+            entity(&schema, "employee", "employee", "employees", "name", "name"),
+            entity(&schema, "department", "department", "departments", "dept_name", "name"),
+        ],
+        filters: vec![
+            FilterCol {
+                table: t_emp,
+                column: c_title,
+                label: "title".into(),
+                phrase: Phrase::WhoAre,
+                surfaces: inflected_surfaces(TITLES),
+            },
+            FilterCol {
+                table: t_emp,
+                column: c_gender,
+                label: "gender".into(),
+                phrase: Phrase::Adjective,
+                surfaces: gender_surfaces(),
+            },
+            FilterCol {
+                table: t_dept,
+                column: c_dname,
+                label: "department".into(),
+                phrase: Phrase::From,
+                surfaces: easy_surfaces(DEPARTMENTS),
+            },
+        ],
+        numerics: vec![
+            num_full(
+                t_emp,
+                c_salary,
+                "salary",
+                ("earning more than", "earning less than"),
+                ("highest paid", "lowest paid"),
+            ),
+            num_full(t_emp, c_age, "age", ("older than", "younger than"), ("oldest", "youngest")),
+            num(t_dept, c_budget, "budget"),
+        ],
+        relations: vec![],
+        rows: vec![departments, emps],
+        schema,
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. world — countries / cities / languages (the paper's Extra-hard
+//    "official languages" example).
+// ---------------------------------------------------------------------
+fn world(rng: &mut SmallRng, n: usize) -> DomainSpec {
+    let schema = SchemaBuilder::new("world")
+        .table(
+            "country",
+            &[
+                ("country_name", ColumnType::Text),
+                ("continent", ColumnType::Text),
+                ("population", ColumnType::Number),
+                ("surface_area", ColumnType::Number),
+            ],
+        )
+        .primary_key("country", "country_name")
+        .table(
+            "city",
+            &[
+                ("city_id", ColumnType::Number),
+                ("city_name", ColumnType::Text),
+                ("country_name", ColumnType::Text),
+                ("city_population", ColumnType::Number),
+            ],
+        )
+        .primary_key("city", "city_id")
+        .foreign_key("city", "country_name", "country", "country_name")
+        .table(
+            "language",
+            &[
+                ("lang_id", ColumnType::Number),
+                ("country_name", ColumnType::Text),
+                ("language", ColumnType::Text),
+                ("is_official", ColumnType::Boolean),
+                ("percentage", ColumnType::Number),
+            ],
+        )
+        .primary_key("language", "lang_id")
+        .foreign_key("language", "country_name", "country", "country_name")
+        .build();
+
+    let countries: Vec<&str> = COUNTRIES.iter().map(|&(c, _)| c).collect();
+    let country_rows: Vec<Vec<Datum>> = countries
+        .iter()
+        .map(|c| {
+            vec![
+                (*c).into(),
+                (if rng.gen_bool(0.8) { "Europe" } else { "Other" }).into(),
+                Datum::Int(rng.gen_range(1..90) * 1_000_000),
+                Datum::Int(rng.gen_range(40..700) * 1000),
+            ]
+        })
+        .collect();
+    let mut city_rows = Vec::new();
+    for i in 0..n {
+        city_rows.push(vec![
+            Datum::Int(i as i64 + 1),
+            CITIES[i % CITIES.len()].into(),
+            (*pick(rng, &countries)).into(),
+            Datum::Int(rng.gen_range(50..4000) * 1000),
+        ]);
+    }
+    let mut lang_rows = Vec::new();
+    for (i, c) in countries.iter().enumerate() {
+        for (j, l) in LANGUAGES.iter().take(3).enumerate() {
+            lang_rows.push(vec![
+                Datum::Int((i * 3 + j) as i64 + 1),
+                (*c).into(),
+                (*l).into(),
+                Datum::Int(i64::from(j == 0)),
+                Datum::Float(rng.gen_range(5..95) as f64),
+            ]);
+        }
+    }
+
+    let (t_country, c_cont) = cid(&schema, "country", "continent");
+    let (_, c_pop) = cid(&schema, "country", "population");
+    let (_, c_area) = cid(&schema, "country", "surface_area");
+    let (t_city, c_cpop) = cid(&schema, "city", "city_population");
+    let (_, c_city_country) = cid(&schema, "city", "country_name");
+    let (t_lang, c_lname) = cid(&schema, "language", "language");
+    let (_, c_official) = cid(&schema, "language", "is_official");
+
+    DomainSpec {
+        entities: vec![
+            entity(&schema, "country", "country", "countries", "country_name", "name"),
+            entity(&schema, "city", "city", "cities", "city_name", "name"),
+            entity(&schema, "language", "language", "languages", "language", "name"),
+        ],
+        filters: vec![
+            FilterCol {
+                table: t_country,
+                column: c_cont,
+                label: "continent".into(),
+                phrase: Phrase::From,
+                surfaces: easy_surfaces(&["Europe", "Other"]),
+            },
+            FilterCol {
+                table: t_city,
+                column: c_city_country,
+                label: "country".into(),
+                phrase: Phrase::From,
+                surfaces: country_surfaces(&countries),
+            },
+            FilterCol {
+                table: t_lang,
+                column: c_lname,
+                label: "language".into(),
+                phrase: Phrase::Whose("language".into()),
+                surfaces: easy_surfaces(LANGUAGES),
+            },
+            FilterCol {
+                table: t_lang,
+                column: c_official,
+                label: "official".into(),
+                phrase: Phrase::ThatAre,
+                surfaces: vec![SurfaceForm::mapped("1", "official", ValueDifficulty::ExtraHard)],
+            },
+        ],
+        numerics: vec![
+            num_full(
+                t_country,
+                c_pop,
+                "population",
+                ("with a population larger than", "with a population smaller than"),
+                ("most populous", "least populous"),
+            ),
+            num(t_country, c_area, "surface area"),
+            num(t_city, c_cpop, "population"),
+        ],
+        relations: vec![],
+        rows: vec![country_rows, city_rows, lang_rows],
+        schema,
+    }
+}
+
+// ---------------------------------------------------------------------
+// 5. orchestra
+// ---------------------------------------------------------------------
+fn orchestra(rng: &mut SmallRng, n: usize) -> DomainSpec {
+    let schema = SchemaBuilder::new("orchestra")
+        .table(
+            "conductor",
+            &[
+                ("conductor_id", ColumnType::Number),
+                ("name", ColumnType::Text),
+                ("nationality", ColumnType::Text),
+                ("year_started", ColumnType::Number),
+            ],
+        )
+        .primary_key("conductor", "conductor_id")
+        .table(
+            "orchestra",
+            &[
+                ("orchestra_id", ColumnType::Number),
+                ("orchestra_name", ColumnType::Text),
+                ("conductor_id", ColumnType::Number),
+                ("founded_year", ColumnType::Number),
+                ("record_label", ColumnType::Text),
+            ],
+        )
+        .primary_key("orchestra", "orchestra_id")
+        .foreign_key("orchestra", "conductor_id", "conductor", "conductor_id")
+        .build();
+
+    let n_cond = n.min(FIRST_NAMES.len());
+    let mut conductors = Vec::new();
+    for i in 0..n_cond {
+        conductors.push(vec![
+            Datum::Int(i as i64 + 1),
+            person_name(rng, i).into(),
+            (*pick(rng, NATIONALITIES)).into(),
+            Datum::Int(rng.gen_range(1970..2015)),
+        ]);
+    }
+    let mut orchestras = Vec::new();
+    for i in 0..n {
+        orchestras.push(vec![
+            Datum::Int(i as i64 + 1),
+            format!("{} Philharmonic", CITIES[i % CITIES.len()]).into(),
+            Datum::Int(rng.gen_range(1..=(n_cond as i64))),
+            Datum::Int(rng.gen_range(1850..2000)),
+            (*pick(rng, RECORD_LABELS)).into(),
+        ]);
+    }
+
+    let (t_cond, c_nat) = cid(&schema, "conductor", "nationality");
+    let (_, c_started) = cid(&schema, "conductor", "year_started");
+    let (t_orch, c_label) = cid(&schema, "orchestra", "record_label");
+    let (_, c_founded) = cid(&schema, "orchestra", "founded_year");
+
+    DomainSpec {
+        entities: vec![
+            entity(&schema, "conductor", "conductor", "conductors", "name", "name"),
+            entity(&schema, "orchestra", "orchestra", "orchestras", "orchestra_name", "name"),
+        ],
+        filters: vec![
+            FilterCol {
+                table: t_cond,
+                column: c_nat,
+                label: "nationality".into(),
+                phrase: Phrase::Adjective,
+                surfaces: easy_surfaces(NATIONALITIES),
+            },
+            FilterCol {
+                table: t_orch,
+                column: c_label,
+                label: "record label".into(),
+                phrase: Phrase::With("record label".into()),
+                surfaces: easy_surfaces(RECORD_LABELS),
+            },
+        ],
+        numerics: vec![
+            num(t_cond, c_started, "year started"),
+            num_full(
+                t_orch,
+                c_founded,
+                "founding year",
+                ("founded after", "founded before"),
+                ("most recently founded", "oldest"),
+            ),
+        ],
+        relations: vec![],
+        rows: vec![conductors, orchestras],
+        schema,
+    }
+}
+
+// ---------------------------------------------------------------------
+// 6. tv_channels
+// ---------------------------------------------------------------------
+fn tv_channels(rng: &mut SmallRng, n: usize) -> DomainSpec {
+    let schema = SchemaBuilder::new("tv_channels")
+        .table(
+            "channel",
+            &[
+                ("channel_id", ColumnType::Number),
+                ("channel_name", ColumnType::Text),
+                ("owner", ColumnType::Text),
+                ("share_percent", ColumnType::Number),
+            ],
+        )
+        .primary_key("channel", "channel_id")
+        .table(
+            "program",
+            &[
+                ("program_id", ColumnType::Number),
+                ("program_name", ColumnType::Text),
+                ("channel_id", ColumnType::Number),
+                ("origin_country", ColumnType::Text),
+                ("launch_year", ColumnType::Number),
+                ("genre", ColumnType::Text),
+            ],
+        )
+        .primary_key("program", "program_id")
+        .foreign_key("program", "channel_id", "channel", "channel_id")
+        .build();
+
+    let n_chan = 8;
+    let mut channels = Vec::new();
+    for i in 0..n_chan {
+        channels.push(vec![
+            Datum::Int(i as i64 + 1),
+            format!("Channel {}", i + 1).into(),
+            OWNERS[i % OWNERS.len()].into(),
+            Datum::Float(rng.gen_range(10..300) as f64 / 10.0),
+        ]);
+    }
+    let countries: Vec<&str> = COUNTRIES.iter().take(8).map(|&(c, _)| c).collect();
+    let mut programs = Vec::new();
+    for i in 0..n {
+        programs.push(vec![
+            Datum::Int(i as i64 + 1),
+            title_name(rng).into(),
+            Datum::Int(rng.gen_range(1..=(n_chan as i64))),
+            (*pick(rng, &countries)).into(),
+            Datum::Int(rng.gen_range(1990..2021)),
+            (*pick(rng, GENRES)).into(),
+        ]);
+    }
+
+    let (t_chan, c_owner) = cid(&schema, "channel", "owner");
+    let (_, c_share) = cid(&schema, "channel", "share_percent");
+    let (t_prog, c_origin) = cid(&schema, "program", "origin_country");
+    let (_, c_genre) = cid(&schema, "program", "genre");
+    let (_, c_launch) = cid(&schema, "program", "launch_year");
+
+    DomainSpec {
+        entities: vec![
+            entity(&schema, "channel", "channel", "channels", "channel_name", "name"),
+            entity(&schema, "program", "program", "programs", "program_name", "name"),
+        ],
+        filters: vec![
+            FilterCol {
+                table: t_chan,
+                column: c_owner,
+                label: "owner".into(),
+                phrase: Phrase::With("owner".into()),
+                surfaces: easy_surfaces(OWNERS),
+            },
+            FilterCol {
+                table: t_prog,
+                column: c_origin,
+                label: "origin country".into(),
+                phrase: Phrase::From,
+                surfaces: country_surfaces(&countries),
+            },
+            FilterCol {
+                table: t_prog,
+                column: c_genre,
+                label: "genre".into(),
+                phrase: Phrase::With("genre".into()),
+                surfaces: easy_surfaces(GENRES),
+            },
+        ],
+        numerics: vec![
+            num(t_chan, c_share, "market share"),
+            num_full(
+                t_prog,
+                c_launch,
+                "launch year",
+                ("launched after", "launched before"),
+                ("most recently launched", "earliest launched"),
+            ),
+        ],
+        relations: vec![],
+        rows: vec![channels, programs],
+        schema,
+    }
+}
+
+// ---------------------------------------------------------------------
+// 7. shop_orders
+// ---------------------------------------------------------------------
+fn shop_orders(rng: &mut SmallRng, n: usize) -> DomainSpec {
+    let schema = SchemaBuilder::new("shop_orders")
+        .table(
+            "customer",
+            &[
+                ("customer_id", ColumnType::Number),
+                ("name", ColumnType::Text),
+                ("city", ColumnType::Text),
+                ("membership", ColumnType::Text),
+            ],
+        )
+        .primary_key("customer", "customer_id")
+        .table(
+            "orders",
+            &[
+                ("order_id", ColumnType::Number),
+                ("customer_id", ColumnType::Number),
+                ("order_date", ColumnType::Time),
+                ("total_amount", ColumnType::Number),
+                ("status", ColumnType::Text),
+            ],
+        )
+        .primary_key("orders", "order_id")
+        .foreign_key("orders", "customer_id", "customer", "customer_id")
+        .build();
+
+    let mut customers = Vec::new();
+    for i in 0..n {
+        customers.push(vec![
+            Datum::Int(i as i64 + 1),
+            person_name(rng, i).into(),
+            CITIES[i % CITIES.len()].into(),
+            MEMBERSHIP[i % MEMBERSHIP.len()].0.into(),
+        ]);
+    }
+    let mut orders = Vec::new();
+    for i in 0..n * 2 {
+        orders.push(vec![
+            Datum::Int(i as i64 + 1),
+            Datum::Int(rng.gen_range(1..=(n as i64))),
+            rand_date(rng).into(),
+            Datum::Float(rng.gen_range(10..5000) as f64 / 10.0),
+            ORDER_STATUS[i % ORDER_STATUS.len()].0.into(),
+        ]);
+    }
+
+    let (t_cust, c_city) = cid(&schema, "customer", "city");
+    let (_, c_member) = cid(&schema, "customer", "membership");
+    let (_, c_cust_id) = cid(&schema, "customer", "customer_id");
+    let (t_ord, c_status) = cid(&schema, "orders", "status");
+    let (_, c_amount) = cid(&schema, "orders", "total_amount");
+    let (t_ord2, c_ord_cust) = cid(&schema, "orders", "customer_id");
+
+    DomainSpec {
+        entities: vec![
+            entity(&schema, "customer", "customer", "customers", "name", "name"),
+            entity(&schema, "orders", "order", "orders", "order_id", "id"),
+        ],
+        filters: vec![
+            FilterCol {
+                table: t_cust,
+                column: c_city,
+                label: "city".into(),
+                phrase: Phrase::From,
+                surfaces: easy_surfaces(CITIES),
+            },
+            FilterCol {
+                table: t_cust,
+                column: c_member,
+                label: "membership".into(),
+                phrase: Phrase::With("membership level".into()),
+                surfaces: inflected_surfaces(MEMBERSHIP),
+            },
+            FilterCol {
+                table: t_ord,
+                column: c_status,
+                label: "status".into(),
+                phrase: Phrase::ThatAre,
+                surfaces: inflected_surfaces(ORDER_STATUS),
+            },
+        ],
+        numerics: vec![num_full(
+            t_ord,
+            c_amount,
+            "total amount",
+            ("worth more than", "worth less than"),
+            ("largest", "smallest"),
+        )],
+        relations: vec![Relation {
+            subject: 0,
+            object: 1,
+            verb: "place".into(),
+            subject_key: c_cust_id,
+            link_col: c_ord_cust,
+            link_table: t_ord2,
+        }],
+        rows: vec![customers, orders],
+        schema,
+    }
+}
+
+// ---------------------------------------------------------------------
+// 8. sports_league — source of the paper's "left handed players" example.
+// ---------------------------------------------------------------------
+fn sports_league(rng: &mut SmallRng, n: usize) -> DomainSpec {
+    let schema = SchemaBuilder::new("sports_league")
+        .table(
+            "team",
+            &[
+                ("team_id", ColumnType::Number),
+                ("team_name", ColumnType::Text),
+                ("city", ColumnType::Text),
+                ("founded", ColumnType::Number),
+            ],
+        )
+        .primary_key("team", "team_id")
+        .table(
+            "player",
+            &[
+                ("player_id", ColumnType::Number),
+                ("name", ColumnType::Text),
+                ("team_id", ColumnType::Number),
+                ("player_age", ColumnType::Number),
+                ("position", ColumnType::Text),
+                ("goals", ColumnType::Number),
+                ("hand", ColumnType::Text),
+            ],
+        )
+        .primary_key("player", "player_id")
+        .foreign_key("player", "team_id", "team", "team_id")
+        .build();
+
+    let n_teams = TEAM_NAMES.len();
+    let mut teams = Vec::new();
+    for (i, t) in TEAM_NAMES.iter().enumerate() {
+        teams.push(vec![
+            Datum::Int(i as i64 + 1),
+            format!("{} {}", CITIES[i % CITIES.len()], t).into(),
+            CITIES[i % CITIES.len()].into(),
+            Datum::Int(rng.gen_range(1900..2000)),
+        ]);
+    }
+    let mut players = Vec::new();
+    for i in 0..n * 2 {
+        players.push(vec![
+            Datum::Int(i as i64 + 1),
+            person_name(rng, i).into(),
+            Datum::Int(rng.gen_range(1..=(n_teams as i64))),
+            Datum::Int(rng.gen_range(18..40)),
+            PLAYER_POSITIONS[i % PLAYER_POSITIONS.len()].0.into(),
+            Datum::Int(rng.gen_range(0..40)),
+            (if rng.gen_bool(0.3) { "L" } else { "R" }).into(),
+        ]);
+    }
+
+    let (t_team, c_tcity) = cid(&schema, "team", "city");
+    let (_, c_founded) = cid(&schema, "team", "founded");
+    let (t_player, c_pos) = cid(&schema, "player", "position");
+    let (_, c_hand) = cid(&schema, "player", "hand");
+    let (_, c_page) = cid(&schema, "player", "player_age");
+    let (_, c_goals) = cid(&schema, "player", "goals");
+
+    DomainSpec {
+        entities: vec![
+            entity(&schema, "team", "team", "teams", "team_name", "name"),
+            entity(&schema, "player", "player", "players", "name", "name"),
+        ],
+        filters: vec![
+            FilterCol {
+                table: t_team,
+                column: c_tcity,
+                label: "city".into(),
+                phrase: Phrase::From,
+                surfaces: easy_surfaces(CITIES),
+            },
+            FilterCol {
+                table: t_player,
+                column: c_pos,
+                label: "position".into(),
+                phrase: Phrase::WhoAre,
+                surfaces: inflected_surfaces(PLAYER_POSITIONS),
+            },
+            FilterCol {
+                table: t_player,
+                column: c_hand,
+                label: "hand".into(),
+                phrase: Phrase::Adjective,
+                surfaces: vec![
+                    SurfaceForm::mapped("L", "left handed", ValueDifficulty::ExtraHard),
+                    SurfaceForm::mapped("R", "right handed", ValueDifficulty::ExtraHard),
+                ],
+            },
+        ],
+        numerics: vec![
+            num_full(t_player, c_page, "age", ("older than", "younger than"), ("oldest", "youngest")),
+            num_full(
+                t_player,
+                c_goals,
+                "goals",
+                ("with more than", "with fewer than"),
+                ("top scoring", "lowest scoring"),
+            ),
+            num(t_team, c_founded, "founding year"),
+        ],
+        relations: vec![],
+        rows: vec![teams, players],
+        schema,
+    }
+}
+
+// ---------------------------------------------------------------------
+// 9. music_albums
+// ---------------------------------------------------------------------
+fn music_albums(rng: &mut SmallRng, n: usize) -> DomainSpec {
+    let schema = SchemaBuilder::new("music_albums")
+        .table(
+            "artist",
+            &[
+                ("artist_id", ColumnType::Number),
+                ("name", ColumnType::Text),
+                ("country", ColumnType::Text),
+                ("genre", ColumnType::Text),
+            ],
+        )
+        .primary_key("artist", "artist_id")
+        .table(
+            "album",
+            &[
+                ("album_id", ColumnType::Number),
+                ("title", ColumnType::Text),
+                ("artist_id", ColumnType::Number),
+                ("release_year", ColumnType::Number),
+                ("sales", ColumnType::Number),
+            ],
+        )
+        .primary_key("album", "album_id")
+        .foreign_key("album", "artist_id", "artist", "artist_id")
+        .build();
+
+    let countries: Vec<&str> = COUNTRIES.iter().take(8).map(|&(c, _)| c).collect();
+    let n_artists = n.min(FIRST_NAMES.len());
+    let mut artists = Vec::new();
+    for i in 0..n_artists {
+        artists.push(vec![
+            Datum::Int(i as i64 + 1),
+            person_name(rng, i).into(),
+            (*pick(rng, &countries)).into(),
+            (*pick(rng, GENRES)).into(),
+        ]);
+    }
+    let mut albums = Vec::new();
+    for i in 0..n * 2 {
+        albums.push(vec![
+            Datum::Int(i as i64 + 1),
+            title_name(rng).into(),
+            Datum::Int(rng.gen_range(1..=(n_artists as i64))),
+            Datum::Int(rng.gen_range(1970..2022)),
+            Datum::Int(rng.gen_range(10..5000) * 1000),
+        ]);
+    }
+
+    let (t_artist, c_country) = cid(&schema, "artist", "country");
+    let (_, c_genre) = cid(&schema, "artist", "genre");
+    let (_, c_artist_id) = cid(&schema, "artist", "artist_id");
+    let (t_album, c_year) = cid(&schema, "album", "release_year");
+    let (_, c_sales) = cid(&schema, "album", "sales");
+    let (_, c_album_artist) = cid(&schema, "album", "artist_id");
+
+    DomainSpec {
+        entities: vec![
+            entity(&schema, "artist", "artist", "artists", "name", "name"),
+            entity(&schema, "album", "album", "albums", "title", "title"),
+        ],
+        filters: vec![
+            FilterCol {
+                table: t_artist,
+                column: c_country,
+                label: "country".into(),
+                phrase: Phrase::From,
+                surfaces: country_surfaces(&countries),
+            },
+            FilterCol {
+                table: t_artist,
+                column: c_genre,
+                label: "genre".into(),
+                phrase: Phrase::With("genre".into()),
+                surfaces: easy_surfaces(GENRES),
+            },
+        ],
+        numerics: vec![
+            num_full(
+                t_album,
+                c_year,
+                "release year",
+                ("released after", "released before"),
+                ("most recent", "earliest"),
+            ),
+            num_full(
+                t_album,
+                c_sales,
+                "sales",
+                ("selling more than", "selling fewer than"),
+                ("best selling", "worst selling"),
+            ),
+        ],
+        relations: vec![Relation {
+            subject: 0,
+            object: 1,
+            verb: "release".into(),
+            subject_key: c_artist_id,
+            link_col: c_album_artist,
+            link_table: t_album,
+        }],
+        rows: vec![artists, albums],
+        schema,
+    }
+}
+
+// ---------------------------------------------------------------------
+// 10. university
+// ---------------------------------------------------------------------
+fn university(rng: &mut SmallRng, n: usize) -> DomainSpec {
+    let schema = SchemaBuilder::new("university")
+        .table(
+            "faculty",
+            &[
+                ("faculty_id", ColumnType::Number),
+                ("faculty_name", ColumnType::Text),
+                ("school", ColumnType::Text),
+            ],
+        )
+        .primary_key("faculty", "faculty_id")
+        .table(
+            "professor",
+            &[
+                ("prof_id", ColumnType::Number),
+                ("name", ColumnType::Text),
+                ("faculty_id", ColumnType::Number),
+                ("salary", ColumnType::Number),
+                ("prof_age", ColumnType::Number),
+                ("gender", ColumnType::Text),
+                ("rank", ColumnType::Text),
+            ],
+        )
+        .primary_key("professor", "prof_id")
+        .foreign_key("professor", "faculty_id", "faculty", "faculty_id")
+        .build();
+
+    let mut faculties = Vec::new();
+    for (i, d) in DEPARTMENTS.iter().enumerate() {
+        faculties.push(vec![
+            Datum::Int(i as i64 + 1),
+            (*d).into(),
+            (if i % 2 == 0 { "Science" } else { "Humanities" }).into(),
+        ]);
+    }
+    let mut profs = Vec::new();
+    for i in 0..n {
+        profs.push(vec![
+            Datum::Int(i as i64 + 1),
+            person_name(rng, i).into(),
+            Datum::Int(rng.gen_range(1..=(DEPARTMENTS.len() as i64))),
+            Datum::Int(rng.gen_range(60..200) * 1000),
+            Datum::Int(rng.gen_range(28..70)),
+            (if rng.gen_bool(0.5) { "F" } else { "M" }).into(),
+            TITLES[i % 3].0.into(),
+        ]);
+    }
+
+    let (t_fac, c_school) = cid(&schema, "faculty", "school");
+    let (t_prof, c_rank) = cid(&schema, "professor", "rank");
+    let (_, c_gender) = cid(&schema, "professor", "gender");
+    let (_, c_salary) = cid(&schema, "professor", "salary");
+    let (_, c_age) = cid(&schema, "professor", "prof_age");
+
+    DomainSpec {
+        entities: vec![
+            entity(&schema, "professor", "professor", "professors", "name", "name"),
+            entity(&schema, "faculty", "faculty", "faculties", "faculty_name", "name"),
+        ],
+        filters: vec![
+            FilterCol {
+                table: t_fac,
+                column: c_school,
+                label: "school".into(),
+                phrase: Phrase::From,
+                surfaces: easy_surfaces(&["Science", "Humanities"]),
+            },
+            FilterCol {
+                table: t_prof,
+                column: c_rank,
+                label: "rank".into(),
+                phrase: Phrase::WhoAre,
+                surfaces: inflected_surfaces(&TITLES[..3]),
+            },
+            FilterCol {
+                table: t_prof,
+                column: c_gender,
+                label: "gender".into(),
+                phrase: Phrase::Adjective,
+                surfaces: gender_surfaces(),
+            },
+        ],
+        numerics: vec![
+            num_full(
+                t_prof,
+                c_salary,
+                "salary",
+                ("earning more than", "earning less than"),
+                ("highest paid", "lowest paid"),
+            ),
+            num_full(t_prof, c_age, "age", ("older than", "younger than"), ("oldest", "youngest")),
+        ],
+        relations: vec![],
+        rows: vec![faculties, profs],
+        schema,
+    }
+}
+
+// ---------------------------------------------------------------------
+// 11. concerts (dev)
+// ---------------------------------------------------------------------
+fn concerts(rng: &mut SmallRng, n: usize) -> DomainSpec {
+    let schema = SchemaBuilder::new("concerts")
+        .table(
+            "stadium",
+            &[
+                ("stadium_id", ColumnType::Number),
+                ("stadium_name", ColumnType::Text),
+                ("capacity", ColumnType::Number),
+                ("city", ColumnType::Text),
+            ],
+        )
+        .primary_key("stadium", "stadium_id")
+        .table(
+            "singer",
+            &[
+                ("singer_id", ColumnType::Number),
+                ("name", ColumnType::Text),
+                ("country", ColumnType::Text),
+                ("singer_age", ColumnType::Number),
+                ("gender", ColumnType::Text),
+            ],
+        )
+        .primary_key("singer", "singer_id")
+        .table(
+            "concert",
+            &[
+                ("concert_id", ColumnType::Number),
+                ("concert_name", ColumnType::Text),
+                ("stadium_id", ColumnType::Number),
+                ("concert_year", ColumnType::Number),
+            ],
+        )
+        .primary_key("concert", "concert_id")
+        .foreign_key("concert", "stadium_id", "stadium", "stadium_id")
+        .table(
+            "singer_in_concert",
+            &[("concert_id", ColumnType::Number), ("singer_id", ColumnType::Number)],
+        )
+        .foreign_key("singer_in_concert", "concert_id", "concert", "concert_id")
+        .foreign_key("singer_in_concert", "singer_id", "singer", "singer_id")
+        .build();
+
+    let n_stadium = CITIES.len().min(10);
+    let mut stadiums = Vec::new();
+    for (i, city) in CITIES.iter().take(n_stadium).enumerate() {
+        stadiums.push(vec![
+            Datum::Int(i as i64 + 1),
+            format!("{city} Arena").into(),
+            Datum::Int(rng.gen_range(5..80) * 1000),
+            (*city).into(),
+        ]);
+    }
+    let countries: Vec<&str> = COUNTRIES.iter().take(8).map(|&(c, _)| c).collect();
+    let n_singers = n.min(FIRST_NAMES.len());
+    let mut singers = Vec::new();
+    for i in 0..n_singers {
+        singers.push(vec![
+            Datum::Int(i as i64 + 1),
+            person_name(rng, i).into(),
+            (*pick(rng, &countries)).into(),
+            Datum::Int(rng.gen_range(18..60)),
+            (if rng.gen_bool(0.5) { "F" } else { "M" }).into(),
+        ]);
+    }
+    let mut concerts_rows = Vec::new();
+    for i in 0..n {
+        concerts_rows.push(vec![
+            Datum::Int(i as i64 + 1),
+            format!("{} Festival", pick(rng, TITLE_WORDS)).into(),
+            Datum::Int(rng.gen_range(1..=(n_stadium as i64))),
+            Datum::Int(rng.gen_range(2010..2022)),
+        ]);
+    }
+    let mut sic = Vec::new();
+    for i in 0..n {
+        sic.push(vec![
+            Datum::Int((i as i64 % n as i64) + 1),
+            Datum::Int(rng.gen_range(1..=(n_singers as i64))),
+        ]);
+    }
+
+    let (t_stadium, c_scity) = cid(&schema, "stadium", "city");
+    let (_, c_capacity) = cid(&schema, "stadium", "capacity");
+    let (t_singer, c_country) = cid(&schema, "singer", "country");
+    let (_, c_sgender) = cid(&schema, "singer", "gender");
+    let (_, c_sage) = cid(&schema, "singer", "singer_age");
+    let (_, c_singer_id) = cid(&schema, "singer", "singer_id");
+    let (t_concert, c_cyear) = cid(&schema, "concert", "concert_year");
+    let (t_sic, c_sic_singer) = cid(&schema, "singer_in_concert", "singer_id");
+
+    DomainSpec {
+        entities: vec![
+            entity(&schema, "singer", "singer", "singers", "name", "name"),
+            entity(&schema, "concert", "concert", "concerts", "concert_name", "name"),
+            entity(&schema, "stadium", "stadium", "stadiums", "stadium_name", "name"),
+        ],
+        filters: vec![
+            FilterCol {
+                table: t_singer,
+                column: c_country,
+                label: "country".into(),
+                phrase: Phrase::From,
+                surfaces: country_surfaces(&countries),
+            },
+            FilterCol {
+                table: t_singer,
+                column: c_sgender,
+                label: "gender".into(),
+                phrase: Phrase::Adjective,
+                surfaces: gender_surfaces(),
+            },
+            FilterCol {
+                table: t_stadium,
+                column: c_scity,
+                label: "city".into(),
+                phrase: Phrase::From,
+                surfaces: easy_surfaces(&CITIES[..n_stadium]),
+            },
+        ],
+        numerics: vec![
+            num_full(t_singer, c_sage, "age", ("older than", "younger than"), ("oldest", "youngest")),
+            num_full(
+                t_stadium,
+                c_capacity,
+                "capacity",
+                ("with capacity above", "with capacity below"),
+                ("largest", "smallest"),
+            ),
+            num(t_concert, c_cyear, "year"),
+        ],
+        relations: vec![Relation {
+            subject: 0,
+            object: 1,
+            verb: "perform in".into(),
+            subject_key: c_singer_id,
+            link_col: c_sic_singer,
+            link_table: t_sic,
+        }],
+        rows: vec![stadiums, singers, concerts_rows, sic],
+        schema,
+    }
+}
+
+// ---------------------------------------------------------------------
+// 12. car_dealers (dev)
+// ---------------------------------------------------------------------
+fn car_dealers(rng: &mut SmallRng, n: usize) -> DomainSpec {
+    let schema = SchemaBuilder::new("car_dealers")
+        .table(
+            "maker",
+            &[
+                ("maker_id", ColumnType::Number),
+                ("maker_name", ColumnType::Text),
+                ("country", ColumnType::Text),
+            ],
+        )
+        .primary_key("maker", "maker_id")
+        .table(
+            "model",
+            &[
+                ("model_id", ColumnType::Number),
+                ("model_name", ColumnType::Text),
+                ("maker_id", ColumnType::Number),
+                ("model_year", ColumnType::Number),
+                ("horsepower", ColumnType::Number),
+                ("price", ColumnType::Number),
+            ],
+        )
+        .primary_key("model", "model_id")
+        .foreign_key("model", "maker_id", "maker", "maker_id")
+        .build();
+
+    let countries: Vec<&str> = COUNTRIES.iter().take(8).map(|&(c, _)| c).collect();
+    let mut makers = Vec::new();
+    for (i, m) in CAR_MAKERS.iter().enumerate() {
+        makers.push(vec![
+            Datum::Int(i as i64 + 1),
+            (*m).into(),
+            (*pick(rng, &countries)).into(),
+        ]);
+    }
+    let mut models = Vec::new();
+    for i in 0..n * 2 {
+        models.push(vec![
+            Datum::Int(i as i64 + 1),
+            CAR_MODELS[i % CAR_MODELS.len()].into(),
+            Datum::Int(rng.gen_range(1..=(CAR_MAKERS.len() as i64))),
+            Datum::Int(rng.gen_range(1995..2022)),
+            Datum::Int(rng.gen_range(60..500)),
+            Datum::Int(rng.gen_range(8..120) * 1000),
+        ]);
+    }
+
+    let (t_maker, c_country) = cid(&schema, "maker", "country");
+    let (_, c_maker_name) = cid(&schema, "maker", "maker_name");
+    let (t_model, c_hp) = cid(&schema, "model", "horsepower");
+    let (_, c_price) = cid(&schema, "model", "price");
+    let (_, c_myear) = cid(&schema, "model", "model_year");
+
+    DomainSpec {
+        entities: vec![
+            entity(&schema, "maker", "maker", "makers", "maker_name", "name"),
+            entity(&schema, "model", "model", "models", "model_name", "name"),
+        ],
+        filters: vec![
+            FilterCol {
+                table: t_maker,
+                column: c_country,
+                label: "country".into(),
+                phrase: Phrase::From,
+                surfaces: country_surfaces(&countries),
+            },
+            FilterCol {
+                table: t_maker,
+                column: c_maker_name,
+                label: "maker".into(),
+                phrase: Phrase::With("maker".into()),
+                surfaces: easy_surfaces(CAR_MAKERS),
+            },
+        ],
+        numerics: vec![
+            num_full(
+                t_model,
+                c_hp,
+                "horsepower",
+                ("with more than", "with less than"),
+                ("most powerful", "least powerful"),
+            ),
+            num_full(
+                t_model,
+                c_price,
+                "price",
+                ("more expensive than", "cheaper than"),
+                ("most expensive", "cheapest"),
+            ),
+            num(t_model, c_myear, "year"),
+        ],
+        relations: vec![],
+        rows: vec![makers, models],
+        schema,
+    }
+}
+
+// ---------------------------------------------------------------------
+// 13. library (dev)
+// ---------------------------------------------------------------------
+fn library(rng: &mut SmallRng, n: usize) -> DomainSpec {
+    let schema = SchemaBuilder::new("library")
+        .table(
+            "author",
+            &[
+                ("author_id", ColumnType::Number),
+                ("name", ColumnType::Text),
+                ("country", ColumnType::Text),
+            ],
+        )
+        .primary_key("author", "author_id")
+        .table(
+            "book",
+            &[
+                ("book_id", ColumnType::Number),
+                ("title", ColumnType::Text),
+                ("author_id", ColumnType::Number),
+                ("publish_year", ColumnType::Number),
+                ("pages", ColumnType::Number),
+                ("genre", ColumnType::Text),
+            ],
+        )
+        .primary_key("book", "book_id")
+        .foreign_key("book", "author_id", "author", "author_id")
+        .build();
+
+    let countries: Vec<&str> = COUNTRIES.iter().take(8).map(|&(c, _)| c).collect();
+    let n_authors = n.min(FIRST_NAMES.len());
+    let mut authors = Vec::new();
+    for i in 0..n_authors {
+        authors.push(vec![
+            Datum::Int(i as i64 + 1),
+            person_name(rng, i).into(),
+            (*pick(rng, &countries)).into(),
+        ]);
+    }
+    let mut books = Vec::new();
+    for i in 0..n * 2 {
+        books.push(vec![
+            Datum::Int(i as i64 + 1),
+            title_name(rng).into(),
+            Datum::Int(rng.gen_range(1..=(n_authors as i64))),
+            Datum::Int(rng.gen_range(1950..2022)),
+            Datum::Int(rng.gen_range(90..900)),
+            (*pick(rng, GENRES)).into(),
+        ]);
+    }
+
+    let (t_author, c_country) = cid(&schema, "author", "country");
+    let (_, c_author_id) = cid(&schema, "author", "author_id");
+    let (t_book, c_genre) = cid(&schema, "book", "genre");
+    let (_, c_pages) = cid(&schema, "book", "pages");
+    let (_, c_pyear) = cid(&schema, "book", "publish_year");
+    let (_, c_book_author) = cid(&schema, "book", "author_id");
+
+    DomainSpec {
+        entities: vec![
+            entity(&schema, "author", "author", "authors", "name", "name"),
+            entity(&schema, "book", "book", "books", "title", "title"),
+        ],
+        filters: vec![
+            FilterCol {
+                table: t_author,
+                column: c_country,
+                label: "country".into(),
+                phrase: Phrase::From,
+                surfaces: country_surfaces(&countries),
+            },
+            FilterCol {
+                table: t_book,
+                column: c_genre,
+                label: "genre".into(),
+                phrase: Phrase::With("genre".into()),
+                surfaces: easy_surfaces(GENRES),
+            },
+        ],
+        numerics: vec![
+            num_full(
+                t_book,
+                c_pages,
+                "pages",
+                ("with more than", "with fewer than"),
+                ("longest", "shortest"),
+            ),
+            num_full(
+                t_book,
+                c_pyear,
+                "publication year",
+                ("published after", "published before"),
+                ("most recent", "earliest"),
+            ),
+        ],
+        relations: vec![Relation {
+            subject: 0,
+            object: 1,
+            verb: "write".into(),
+            subject_key: c_author_id,
+            link_col: c_book_author,
+            link_table: t_book,
+        }],
+        rows: vec![authors, books],
+        schema,
+    }
+}
+
+// ---------------------------------------------------------------------
+// 14. hospital (dev)
+// ---------------------------------------------------------------------
+fn hospital(rng: &mut SmallRng, n: usize) -> DomainSpec {
+    let schema = SchemaBuilder::new("hospital")
+        .table(
+            "physician",
+            &[
+                ("physician_id", ColumnType::Number),
+                ("name", ColumnType::Text),
+                ("position", ColumnType::Text),
+                ("salary", ColumnType::Number),
+            ],
+        )
+        .primary_key("physician", "physician_id")
+        .table(
+            "patient",
+            &[
+                ("patient_id", ColumnType::Number),
+                ("name", ColumnType::Text),
+                ("patient_age", ColumnType::Number),
+                ("gender", ColumnType::Text),
+                ("diagnosis", ColumnType::Text),
+                ("physician_id", ColumnType::Number),
+            ],
+        )
+        .primary_key("patient", "patient_id")
+        .foreign_key("patient", "physician_id", "physician", "physician_id")
+        .build();
+
+    let n_phys = n.min(FIRST_NAMES.len());
+    let mut physicians = Vec::new();
+    for i in 0..n_phys {
+        physicians.push(vec![
+            Datum::Int(i as i64 + 1),
+            person_name(rng, i).into(),
+            POSITIONS[i % POSITIONS.len()].0.into(),
+            Datum::Int(rng.gen_range(90..350) * 1000),
+        ]);
+    }
+    let mut patients = Vec::new();
+    for i in 0..n * 2 {
+        patients.push(vec![
+            Datum::Int(i as i64 + 1),
+            person_name(rng, i + 7).into(),
+            Datum::Int(rng.gen_range(1..95)),
+            (if rng.gen_bool(0.5) { "F" } else { "M" }).into(),
+            DIAGNOSES[i % DIAGNOSES.len()].into(),
+            Datum::Int(rng.gen_range(1..=(n_phys as i64))),
+        ]);
+    }
+
+    let (t_phys, c_pos) = cid(&schema, "physician", "position");
+    let (_, c_salary) = cid(&schema, "physician", "salary");
+    let (_, c_phys_id) = cid(&schema, "physician", "physician_id");
+    let (t_patient, c_diag) = cid(&schema, "patient", "diagnosis");
+    let (_, c_pgender) = cid(&schema, "patient", "gender");
+    let (_, c_page) = cid(&schema, "patient", "patient_age");
+    let (_, c_pat_phys) = cid(&schema, "patient", "physician_id");
+
+    DomainSpec {
+        entities: vec![
+            entity(&schema, "physician", "physician", "physicians", "name", "name"),
+            entity(&schema, "patient", "patient", "patients", "name", "name"),
+        ],
+        filters: vec![
+            FilterCol {
+                table: t_phys,
+                column: c_pos,
+                label: "position".into(),
+                phrase: Phrase::WhoAre,
+                surfaces: inflected_surfaces(POSITIONS),
+            },
+            FilterCol {
+                table: t_patient,
+                column: c_diag,
+                label: "diagnosis".into(),
+                phrase: Phrase::With("diagnosis".into()),
+                surfaces: easy_surfaces(DIAGNOSES),
+            },
+            FilterCol {
+                table: t_patient,
+                column: c_pgender,
+                label: "gender".into(),
+                phrase: Phrase::Adjective,
+                surfaces: gender_surfaces(),
+            },
+        ],
+        numerics: vec![
+            num_full(
+                t_phys,
+                c_salary,
+                "salary",
+                ("earning more than", "earning less than"),
+                ("highest paid", "lowest paid"),
+            ),
+            num_full(
+                t_patient,
+                c_page,
+                "age",
+                ("older than", "younger than"),
+                ("oldest", "youngest"),
+            ),
+        ],
+        relations: vec![Relation {
+            subject: 0,
+            object: 1,
+            verb: "treat".into(),
+            subject_key: c_phys_id,
+            link_col: c_pat_phys,
+            link_table: t_patient,
+        }],
+        rows: vec![physicians, patients],
+        schema,
+    }
+}

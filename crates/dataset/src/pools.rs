@@ -1,0 +1,193 @@
+//! Shared vocabulary pools for the domain data generators.
+//!
+//! Countries carry their demonyms (the *Hard* surface class: "French" →
+//! `'France'`) and airports their full names (the paper's Fig. 4 example:
+//! "John F Kennedy International Airport" → `'JFK'`).
+
+/// (country, demonym)
+pub const COUNTRIES: &[(&str, &str)] = &[
+    ("France", "French"),
+    ("Germany", "German"),
+    ("Spain", "Spanish"),
+    ("Italy", "Italian"),
+    ("Portugal", "Portuguese"),
+    ("Netherlands", "Dutch"),
+    ("Sweden", "Swedish"),
+    ("Norway", "Norwegian"),
+    ("Poland", "Polish"),
+    ("Austria", "Austrian"),
+    ("Switzerland", "Swiss"),
+    ("Brazil", "Brazilian"),
+    ("Japan", "Japanese"),
+    ("Canada", "Canadian"),
+    ("Australia", "Australian"),
+];
+
+/// First names (capitalised — the NER's capitalisation heuristic sees them).
+pub const FIRST_NAMES: &[&str] = &[
+    "Alice", "Bob", "Carol", "Dave", "Eve", "Frank", "Grace", "Henry", "Iris", "Jack",
+    "Karen", "Liam", "Mona", "Nils", "Olga", "Paul", "Rita", "Sam", "Tina", "Ulf",
+    "Vera", "Walt", "Xena", "Yann", "Zoe", "Anna", "Boris", "Clara", "Dario", "Elsa",
+];
+
+/// Last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Miller", "Smith", "Garcia", "Weber", "Rossi", "Dubois", "Novak", "Larsen",
+    "Keller", "Brandt", "Moreau", "Silva", "Tanaka", "Olsen", "Fischer", "Baker",
+];
+
+/// (airport code, full name, city)
+pub const AIRPORTS: &[(&str, &str, &str)] = &[
+    ("JFK", "John F Kennedy International Airport", "New York"),
+    ("LAX", "Los Angeles International Airport", "Los Angeles"),
+    ("CDG", "Charles de Gaulle Airport", "Paris"),
+    ("FRA", "Frankfurt Airport", "Frankfurt"),
+    ("ZRH", "Zurich Airport", "Zurich"),
+    ("AMS", "Amsterdam Schiphol Airport", "Amsterdam"),
+    ("MAD", "Madrid Barajas Airport", "Madrid"),
+    ("LIS", "Lisbon Humberto Delgado Airport", "Lisbon"),
+    ("VIE", "Vienna International Airport", "Vienna"),
+    ("OSL", "Oslo Gardermoen Airport", "Oslo"),
+];
+
+/// Airline names.
+pub const AIRLINES: &[&str] = &[
+    "JetBlue Airways", "United Airlines", "Lufthansa", "Air France", "Swiss",
+    "KLM", "Iberia", "TAP Portugal", "Austrian Airlines", "Norwegian Air",
+];
+
+/// Pet types.
+pub const PET_TYPES: &[&str] = &["dog", "cat", "bird", "hamster", "rabbit", "turtle"];
+
+/// Academic majors.
+pub const MAJORS: &[&str] =
+    &["Biology", "Physics", "History", "Economics", "Informatics", "Linguistics"];
+
+/// Cities.
+pub const CITIES: &[&str] = &[
+    "Paris", "Berlin", "Madrid", "Rome", "Lisbon", "Amsterdam", "Stockholm", "Oslo",
+    "Warsaw", "Vienna", "Zurich", "Geneva", "Porto", "Munich", "Lyon", "Milan",
+];
+
+/// Corporate-ish department names.
+pub const DEPARTMENTS: &[&str] =
+    &["Engineering", "Marketing", "Finance", "Research", "Sales", "Support", "Legal"];
+
+/// Job titles with a natural plural for Medium surfaces.
+pub const TITLES: &[(&str, &str)] = &[
+    ("Professor", "professors"),
+    ("Lecturer", "lecturers"),
+    ("Assistant", "assistants"),
+    ("Engineer", "engineers"),
+    ("Analyst", "analysts"),
+    ("Manager", "managers"),
+];
+
+/// Music/TV genres.
+pub const GENRES: &[&str] = &["Rock", "Jazz", "Pop", "Classical", "Folk", "Electronic"];
+
+/// Car maker names.
+pub const CAR_MAKERS: &[&str] =
+    &["Volvo", "Fiat", "Renault", "Peugeot", "Porsche", "Skoda", "Seat", "Opel"];
+
+/// Car model names.
+pub const CAR_MODELS: &[&str] = &[
+    "Falcon", "Comet", "Aurora", "Pioneer", "Vertex", "Nimbus", "Orion", "Pulsar",
+    "Meteor", "Zephyr", "Titan", "Vega",
+];
+
+/// Record labels.
+pub const RECORD_LABELS: &[&str] = &["Decca", "Philips", "Harmonia", "Naxos", "Erato"];
+
+/// Hospital diagnoses.
+pub const DIAGNOSES: &[&str] =
+    &["Fracture", "Migraine", "Asthma", "Diabetes", "Allergy", "Influenza"];
+
+/// Physician positions.
+pub const POSITIONS: &[(&str, &str)] = &[
+    ("Attending", "attendings"),
+    ("Resident", "residents"),
+    ("Surgeon", "surgeons"),
+    ("Radiologist", "radiologists"),
+];
+
+/// Book/album title fragments.
+pub const TITLE_WORDS: &[&str] = &[
+    "Silent", "Golden", "Winter", "Crimson", "Hidden", "Broken", "Distant", "Burning",
+    "River", "Garden", "Mirror", "Harbor", "Mountain", "Letter", "Shadow", "Crown",
+];
+
+/// Player positions.
+pub const PLAYER_POSITIONS: &[(&str, &str)] = &[
+    ("Goalkeeper", "goalkeepers"),
+    ("Defender", "defenders"),
+    ("Midfielder", "midfielders"),
+    ("Forward", "forwards"),
+];
+
+/// Sports team nicknames.
+pub const TEAM_NAMES: &[&str] = &[
+    "Eagles", "Lions", "Sharks", "Wolves", "Falcons", "Bears", "Hawks", "Tigers",
+];
+
+/// TV channel owners.
+pub const OWNERS: &[&str] = &["MediaOne", "StarGroup", "CanalPlus", "NordicTV", "Telewave"];
+
+/// Order statuses with inflected surfaces.
+pub const ORDER_STATUS: &[(&str, &str)] = &[
+    ("Shipped", "shipped"),
+    ("Pending", "pending"),
+    ("Cancelled", "cancelled"),
+    ("Delivered", "delivered"),
+];
+
+/// Membership levels.
+pub const MEMBERSHIP: &[(&str, &str)] = &[
+    ("Gold", "gold"),
+    ("Silver", "silver"),
+    ("Bronze", "bronze"),
+];
+
+/// Languages.
+pub const LANGUAGES: &[&str] =
+    &["English", "French", "German", "Spanish", "Italian", "Dutch", "Swedish", "Polish"];
+
+/// Instruments / orchestra sections for flavour columns.
+pub const NATIONALITIES: &[&str] = &[
+    "French", "German", "Spanish", "Italian", "Dutch", "Swedish", "Austrian", "Swiss",
+];
+
+/// A simple ISO date string for the given components.
+pub fn iso_date(year: i32, month: u32, day: u32) -> String {
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+/// Looks up the demonym of a country, if we know it.
+pub fn demonym(country: &str) -> Option<&'static str> {
+    COUNTRIES.iter().find(|(c, _)| *c == country).map(|&(_, d)| d)
+}
+
+/// Looks up a country by its demonym.
+pub fn country_for_demonym(demonym: &str) -> Option<&'static str> {
+    COUNTRIES.iter().find(|(_, d)| *d == demonym).map(|&(c, _)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demonym_round_trip() {
+        for (country, dem) in COUNTRIES {
+            assert_eq!(demonym(country), Some(*dem));
+            assert_eq!(country_for_demonym(dem), Some(*country));
+        }
+        assert_eq!(demonym("Atlantis"), None);
+        assert_eq!(country_for_demonym("Martian"), None);
+    }
+
+    #[test]
+    fn iso_date_formats() {
+        assert_eq!(iso_date(2010, 8, 9), "2010-08-09");
+    }
+}

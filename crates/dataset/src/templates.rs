@@ -1,0 +1,990 @@
+//! Generic question templates.
+//!
+//! Each template builds a question, the gold SemQL tree, and the gold value
+//! list (in canonical `ValueRef` order — superlative limits before filter
+//! values, left to right), from the metadata in a [`DomainSpec`]. The
+//! templates cover Spider's query distribution: counting, filtered
+//! selection, multi-condition AND/OR, BETWEEN, LIKE, grouping + HAVING,
+//! ORDER BY, superlatives with LIMIT, nested subqueries and set operations.
+
+use crate::spec::*;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use valuenet_schema::TableId;
+use valuenet_semql::{Agg, CmpOp, Filter, Order, QueryR, Select, SemQl, Superlative, ValueRef};
+use valuenet_sql::AggFunc;
+use valuenet_storage::{Database, Datum};
+
+/// A generated sample before lowering/validation.
+#[derive(Debug, Clone)]
+pub struct Draft {
+    /// The natural-language question.
+    pub question: String,
+    /// Gold SemQL tree.
+    pub semql: SemQl,
+    /// Gold resolved value texts, indexed by `ValueRef`.
+    pub values: Vec<String>,
+    /// Provenance per value (parallel to `values`).
+    pub value_infos: Vec<ValueInfo>,
+}
+
+/// Allocates values in canonical order while a tree is being built.
+#[derive(Default)]
+struct Values {
+    texts: Vec<String>,
+    infos: Vec<ValueInfo>,
+}
+
+impl Values {
+    fn push_surface(&mut self, s: &SurfaceForm) -> ValueRef {
+        self.texts.push(s.db_value.clone());
+        self.infos.push(ValueInfo {
+            db_value: s.db_value.clone(),
+            question_text: s.question_text.clone(),
+            difficulty: s.difficulty,
+            implicit: false,
+        });
+        ValueRef(self.texts.len() - 1)
+    }
+
+    fn push_literal(&mut self, text: &str) -> ValueRef {
+        self.texts.push(text.to_string());
+        self.infos.push(ValueInfo {
+            db_value: text.to_string(),
+            question_text: text.to_string(),
+            difficulty: ValueDifficulty::Easy,
+            implicit: false,
+        });
+        ValueRef(self.texts.len() - 1)
+    }
+
+    fn push_implicit(&mut self, text: &str) -> ValueRef {
+        self.texts.push(text.to_string());
+        self.infos.push(ValueInfo {
+            db_value: text.to_string(),
+            question_text: String::new(),
+            difficulty: ValueDifficulty::Easy,
+            implicit: true,
+        });
+        ValueRef(self.texts.len() - 1)
+    }
+}
+
+/// A rendered filter phrase: adjectives go before the noun, suffixes after.
+struct FilterPhrase {
+    adjective: Option<String>,
+    suffix: Option<String>,
+}
+
+fn render_phrase(f: &FilterCol, surface: &SurfaceForm) -> FilterPhrase {
+    let q = &surface.question_text;
+    match &f.phrase {
+        Phrase::From => FilterPhrase { adjective: None, suffix: Some(format!("from {q}")) },
+        Phrase::Adjective => FilterPhrase { adjective: Some(q.clone()), suffix: None },
+        Phrase::Whose(l) => {
+            FilterPhrase { adjective: None, suffix: Some(format!("whose {l} is {q}")) }
+        }
+        Phrase::WhoAre => FilterPhrase { adjective: None, suffix: Some(format!("who are {q}")) },
+        Phrase::With(l) => {
+            FilterPhrase { adjective: None, suffix: Some(format!("with {l} {q}")) }
+        }
+        Phrase::ThatAre => {
+            FilterPhrase { adjective: None, suffix: Some(format!("that are {q}")) }
+        }
+    }
+}
+
+/// Builds a noun phrase from a plural noun plus filter phrases.
+fn noun_phrase(plural: &str, phrases: &[FilterPhrase], connective: &str) -> String {
+    let adjectives: Vec<&str> =
+        phrases.iter().filter_map(|p| p.adjective.as_deref()).collect();
+    let suffixes: Vec<&str> = phrases.iter().filter_map(|p| p.suffix.as_deref()).collect();
+    let mut np = String::new();
+    for a in &adjectives {
+        np.push_str(a);
+        np.push(' ');
+    }
+    np.push_str(plural);
+    match suffixes.len() {
+        0 => {}
+        1 => {
+            np.push(' ');
+            np.push_str(suffixes[0]);
+        }
+        _ => {
+            np.push(' ');
+            np.push_str(&suffixes.join(&format!(" {connective} ")));
+        }
+    }
+    np
+}
+
+/// Template execution context.
+pub struct TemplateCtx<'a> {
+    /// The domain metadata.
+    pub spec: &'a DomainSpec,
+    /// The populated database (numeric values are sampled from content).
+    pub db: &'a Database,
+    /// Sampling weights per surface-difficulty class (Easy/Medium/Hard/Extra).
+    pub surface_weights: [u32; 4],
+}
+
+impl<'a> TemplateCtx<'a> {
+    fn pick_entity(&self, rng: &mut SmallRng) -> &'a Entity {
+        &self.spec.entities[rng.gen_range(0..self.spec.entities.len())]
+    }
+
+    fn pick_filter_on(&self, rng: &mut SmallRng, table: TableId) -> Option<&'a FilterCol> {
+        let fs = self.spec.filters_for_table(table);
+        if fs.is_empty() {
+            None
+        } else {
+            Some(fs[rng.gen_range(0..fs.len())])
+        }
+    }
+
+    fn pick_numeric_on(&self, rng: &mut SmallRng, table: TableId) -> Option<&'a NumericCol> {
+        let ns = self.spec.numerics_for_table(table);
+        if ns.is_empty() {
+            None
+        } else {
+            Some(ns[rng.gen_range(0..ns.len())])
+        }
+    }
+
+    /// Samples a surface form using the corpus's difficulty weights (the
+    /// default is biased towards the easier classes, like Spider).
+    fn pick_surface(&self, rng: &mut SmallRng, f: &'a FilterCol) -> &'a SurfaceForm {
+        let weight = |d: ValueDifficulty| match d {
+            ValueDifficulty::Easy => self.surface_weights[0],
+            ValueDifficulty::Medium => self.surface_weights[1],
+            ValueDifficulty::Hard => self.surface_weights[2],
+            ValueDifficulty::ExtraHard => self.surface_weights[3],
+        };
+        let total: u32 = f.surfaces.iter().map(|s| weight(s.difficulty)).sum();
+        let mut roll = rng.gen_range(0..total.max(1));
+        for s in &f.surfaces {
+            let w = weight(s.difficulty);
+            if roll < w {
+                return s;
+            }
+            roll -= w;
+        }
+        &f.surfaces[0]
+    }
+
+    /// Samples an actual value of a numeric column from the base data.
+    fn sample_numeric(&self, rng: &mut SmallRng, n: &NumericCol) -> Option<String> {
+        let vals: Vec<&Datum> = self.db.column_values(n.column).collect();
+        if vals.is_empty() {
+            return None;
+        }
+        let v = vals[rng.gen_range(0..vals.len())];
+        Some(match v {
+            Datum::Int(i) => i.to_string(),
+            Datum::Float(f) if f.fract() == 0.0 => format!("{}", *f as i64),
+            Datum::Float(f) => format!("{f}"),
+            other => other.to_string(),
+        })
+    }
+
+    fn cmp_phrase(&self, n: &NumericCol, more: bool, v: &str) -> String {
+        match &n.cmp_phrases {
+            Some((m, l)) => format!("{} {v}", if more { m } else { l }),
+            None => format!(
+                "with {} {} than {v}",
+                n.label,
+                if more { "greater" } else { "less" }
+            ),
+        }
+    }
+}
+
+fn select_name(e: &Entity) -> Select {
+    Select::new(vec![Agg::plain(e.name_col, e.table)])
+}
+
+fn filter_eq(f: &FilterCol, v: ValueRef) -> Filter {
+    Filter::Cmp { op: CmpOp::Eq, agg: Agg::plain(f.column, f.table), value: v }
+}
+
+fn single(q: QueryR) -> SemQl {
+    SemQl::Single(Box::new(q))
+}
+
+fn list_head(rng: &mut SmallRng, what: &str, np: &str) -> String {
+    match rng.gen_range(0..5) {
+        0 => format!("List the {what} of {np}."),
+        1 => format!("Show the {what} of {np}."),
+        2 => format!("What are the {what} of {np}?"),
+        3 => format!("Give me the {what} of {np}."),
+        _ => format!("Find the {what} of {np}."),
+    }
+}
+
+fn count_head(rng: &mut SmallRng, np: &str) -> String {
+    match rng.gen_range(0..3) {
+        0 => format!("How many {np} are there?"),
+        1 => format!("Count the number of {np}."),
+        _ => format!("What is the total number of {np}?"),
+    }
+}
+
+/// The draft produced by a template, or `None` when the domain lacks the
+/// needed metadata (the caller retries with another template).
+pub type TemplateFn = fn(&TemplateCtx<'_>, &mut SmallRng) -> Option<Draft>;
+
+// -------------------------- 0-value templates --------------------------
+
+fn t_count_all(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let e = ctx.pick_entity(rng);
+    let q = QueryR::select_only(Select::new(vec![Agg::count_star(e.table)]));
+    Some(Draft {
+        question: count_head(rng, &e.plural),
+        semql: single(q),
+        values: vec![],
+        value_infos: vec![],
+    })
+}
+
+fn t_list_all(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let e = ctx.pick_entity(rng);
+    let q = QueryR::select_only(select_name(e));
+    Some(Draft {
+        question: list_head(rng, &format!("{}s", e.name_label), &format!("all {}", e.plural)),
+        semql: single(q),
+        values: vec![],
+        value_infos: vec![],
+    })
+}
+
+fn t_distinct(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let e = ctx.pick_entity(rng);
+    let f = ctx.pick_filter_on(rng, e.table)?;
+    let mut select = Select::new(vec![Agg::plain(f.column, f.table)]);
+    select.distinct = true;
+    let q = QueryR::select_only(select);
+    Some(Draft {
+        question: format!("What are the distinct {}s of the {}?", f.label, e.plural),
+        semql: single(q),
+        values: vec![],
+        value_infos: vec![],
+    })
+}
+
+fn t_agg_stat(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let e = ctx.pick_entity(rng);
+    let n = ctx.pick_numeric_on(rng, e.table)?;
+    let (func, word) = match rng.gen_range(0..4) {
+        0 => (AggFunc::Avg, "average"),
+        1 => (AggFunc::Sum, "total"),
+        2 => (AggFunc::Max, "maximum"),
+        _ => (AggFunc::Min, "minimum"),
+    };
+    let q = QueryR::select_only(Select::new(vec![Agg::with(func, n.column, n.table)]));
+    Some(Draft {
+        question: format!("What is the {word} {} of all {}?", n.label, e.plural),
+        semql: single(q),
+        values: vec![],
+        value_infos: vec![],
+    })
+}
+
+fn t_order_by(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let e = ctx.pick_entity(rng);
+    let n = ctx.pick_numeric_on(rng, e.table)?;
+    let desc = rng.gen_bool(0.5);
+    let q = QueryR {
+        select: select_name(e),
+        order: Some(Order { desc, agg: Agg::plain(n.column, n.table) }),
+        superlative: None,
+        filter: None,
+    };
+    Some(Draft {
+        question: format!(
+            "List the {}s of all {} sorted by {} in {} order.",
+            e.name_label,
+            e.plural,
+            n.label,
+            if desc { "descending" } else { "ascending" }
+        ),
+        semql: single(q),
+        values: vec![],
+        value_infos: vec![],
+    })
+}
+
+fn t_group_count(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let e = ctx.pick_entity(rng);
+    let f = ctx.pick_filter_on(rng, e.table)?;
+    let q = QueryR::select_only(Select::new(vec![
+        Agg::plain(f.column, f.table),
+        Agg::count_star(e.table),
+    ]));
+    Some(Draft {
+        question: format!("For each {}, how many {} are there?", f.label, e.plural),
+        semql: single(q),
+        values: vec![],
+        value_infos: vec![],
+    })
+}
+
+fn t_nested_avg(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let e = ctx.pick_entity(rng);
+    let n = ctx.pick_numeric_on(rng, e.table)?;
+    let inner = QueryR::select_only(Select::new(vec![Agg::with(
+        AggFunc::Avg,
+        n.column,
+        n.table,
+    )]));
+    let q = QueryR {
+        select: select_name(e),
+        order: None,
+        superlative: None,
+        filter: Some(Filter::CmpNested {
+            op: CmpOp::Gt,
+            agg: Agg::plain(n.column, n.table),
+            query: Box::new(inner),
+        }),
+    };
+    Some(Draft {
+        question: format!(
+            "Which {} have a {} above the average?",
+            e.plural, n.label
+        ),
+        semql: single(q),
+        values: vec![],
+        value_infos: vec![],
+    })
+}
+
+fn t_not_in(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    if ctx.spec.relations.is_empty() {
+        return None;
+    }
+    let r = &ctx.spec.relations[rng.gen_range(0..ctx.spec.relations.len())];
+    let subj = &ctx.spec.entities[r.subject];
+    let obj = &ctx.spec.entities[r.object];
+    let inner =
+        QueryR::select_only(Select::new(vec![Agg::plain(r.link_col, r.link_table)]));
+    let q = QueryR {
+        select: select_name(subj),
+        order: None,
+        superlative: None,
+        filter: Some(Filter::In {
+            agg: Agg::plain(r.subject_key, subj.table),
+            query: Box::new(inner),
+            negated: true,
+        }),
+    };
+    Some(Draft {
+        question: format!(
+            "List the {}s of {} that do not {} any {}.",
+            subj.name_label, subj.plural, r.verb, obj.singular
+        ),
+        semql: single(q),
+        values: vec![],
+        value_infos: vec![],
+    })
+}
+
+fn t_superlative(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let e = ctx.pick_entity(rng);
+    let n = ctx.pick_numeric_on(rng, e.table)?;
+    let most = rng.gen_bool(0.5);
+    let mut vals = Values::default();
+    let limit = vals.push_implicit("1");
+    let q = QueryR {
+        select: select_name(e),
+        order: None,
+        superlative: Some(Superlative { most, limit, agg: Agg::plain(n.column, n.table) }),
+        filter: None,
+    };
+    let phrase = match &n.superlatives {
+        Some((m, l)) => (if most { m } else { l }).clone(),
+        None => format!("{} {}", if most { "highest" } else { "lowest" }, n.label),
+    };
+    Some(Draft {
+        question: format!(
+            "What is the {} of the {} with the {}?",
+            e.name_label, e.singular, phrase
+        ),
+        semql: single(q),
+        values: vals.texts,
+        value_infos: vals.infos,
+    })
+}
+
+// -------------------------- 1-value templates --------------------------
+
+fn filtered_entity<'a>(
+    ctx: &TemplateCtx<'a>,
+    rng: &mut SmallRng,
+) -> Option<(&'a Entity, &'a FilterCol, &'a SurfaceForm)> {
+    // Prefer an entity that actually has filters.
+    for _ in 0..6 {
+        let e = ctx.pick_entity(rng);
+        if let Some(f) = ctx.pick_filter_on(rng, e.table) {
+            let s = ctx.pick_surface(rng, f);
+            return Some((e, f, s));
+        }
+    }
+    None
+}
+
+fn t_count_filtered(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let (e, f, s) = filtered_entity(ctx, rng)?;
+    let mut vals = Values::default();
+    let v = vals.push_surface(s);
+    let q = QueryR {
+        select: Select::new(vec![Agg::count_star(e.table)]),
+        order: None,
+        superlative: None,
+        filter: Some(filter_eq(f, v)),
+    };
+    let np = noun_phrase(&e.plural, &[render_phrase(f, s)], "and");
+    Some(Draft {
+        question: count_head(rng, &np),
+        semql: single(q),
+        values: vals.texts,
+        value_infos: vals.infos,
+    })
+}
+
+fn t_list_filtered(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let (e, f, s) = filtered_entity(ctx, rng)?;
+    if f.column == e.name_col {
+        return None; // "names of students whose name is X" is degenerate
+    }
+    let mut vals = Values::default();
+    let v = vals.push_surface(s);
+    let q = QueryR {
+        select: select_name(e),
+        order: None,
+        superlative: None,
+        filter: Some(filter_eq(f, v)),
+    };
+    let np = noun_phrase(&e.plural, &[render_phrase(f, s)], "and");
+    Some(Draft {
+        question: list_head(rng, &format!("{}s", e.name_label), &np),
+        semql: single(q),
+        values: vals.texts,
+        value_infos: vals.infos,
+    })
+}
+
+fn t_numeric_cmp(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let e = ctx.pick_entity(rng);
+    let n = ctx.pick_numeric_on(rng, e.table)?;
+    let v = ctx.sample_numeric(rng, n)?;
+    let more = rng.gen_bool(0.5);
+    let mut vals = Values::default();
+    let vr = vals.push_literal(&v);
+    let q = QueryR {
+        select: select_name(e),
+        order: None,
+        superlative: None,
+        filter: Some(Filter::Cmp {
+            op: if more { CmpOp::Gt } else { CmpOp::Lt },
+            agg: Agg::plain(n.column, n.table),
+            value: vr,
+        }),
+    };
+    let np = format!("{} {}", e.plural, ctx.cmp_phrase(n, more, &v));
+    Some(Draft {
+        question: list_head(rng, &format!("{}s", e.name_label), &np),
+        semql: single(q),
+        values: vals.texts,
+        value_infos: vals.infos,
+    })
+}
+
+fn t_topk(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let e = ctx.pick_entity(rng);
+    let n = ctx.pick_numeric_on(rng, e.table)?;
+    let k = rng.gen_range(2..=5);
+    let mut vals = Values::default();
+    let limit = vals.push_literal(&k.to_string());
+    let q = QueryR {
+        select: select_name(e),
+        order: None,
+        superlative: Some(Superlative {
+            most: true,
+            limit,
+            agg: Agg::plain(n.column, n.table),
+        }),
+        filter: None,
+    };
+    Some(Draft {
+        question: format!(
+            "List the {}s of the top {k} {} by {}.",
+            e.name_label, e.plural, n.label
+        ),
+        semql: single(q),
+        values: vals.texts,
+        value_infos: vals.infos,
+    })
+}
+
+fn t_having(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    if ctx.spec.relations.is_empty() {
+        return None;
+    }
+    let r = &ctx.spec.relations[rng.gen_range(0..ctx.spec.relations.len())];
+    let subj = &ctx.spec.entities[r.subject];
+    let obj = &ctx.spec.entities[r.object];
+    let nthr = rng.gen_range(1..=2);
+    let mut vals = Values::default();
+    let v = vals.push_literal(&nthr.to_string());
+    let q = QueryR {
+        select: select_name(subj),
+        order: None,
+        superlative: None,
+        filter: Some(Filter::Cmp {
+            op: CmpOp::Gt,
+            agg: Agg::count_star(r.link_table),
+            value: v,
+        }),
+    };
+    Some(Draft {
+        question: format!(
+            "Which {} {} more than {nthr} {}?",
+            subj.plural, r.verb, obj.plural
+        ),
+        semql: single(q),
+        values: vals.texts,
+        value_infos: vals.infos,
+    })
+}
+
+fn t_like(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let e = ctx.pick_entity(rng);
+    // Take a fragment of an actual name so the query is non-trivial.
+    let names: Vec<&Datum> = ctx.db.column_values(e.name_col).collect();
+    if names.is_empty() {
+        return None;
+    }
+    let name = names[rng.gen_range(0..names.len())].to_string();
+    let word = name.split_whitespace().next()?.to_string();
+    if word.chars().count() < 4 {
+        return None;
+    }
+    let take = rng.gen_range(2..=3);
+    let frag: String = word.chars().take(take).collect();
+    let mut vals = Values::default();
+    let v = vals.push_literal(&frag);
+    let q = QueryR {
+        select: select_name(e),
+        order: None,
+        superlative: None,
+        filter: Some(Filter::Like {
+            agg: Agg::plain(e.name_col, e.table),
+            value: v,
+            negated: rng.gen_bool(0.15),
+        }),
+    };
+    let negated = matches!(q.filter, Some(Filter::Like { negated: true, .. }));
+    Some(Draft {
+        question: format!(
+            "Which {} have a {} that {} contain the substring '{frag}'?",
+            e.plural,
+            e.name_label,
+            if negated { "does not" } else { "does" }
+        ),
+        semql: single(q),
+        values: vals.texts,
+        value_infos: vals.infos,
+    })
+}
+
+fn t_join_filtered(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    // Select entity A, filter on a *different* table's column — the join
+    // tree (possibly with a bridge table) is resolved at lowering.
+    let e = ctx.pick_entity(rng);
+    let other: Vec<&FilterCol> =
+        ctx.spec.filters.iter().filter(|f| f.table != e.table).collect();
+    if other.is_empty() {
+        return None;
+    }
+    let f = other[rng.gen_range(0..other.len())];
+    let s = ctx.pick_surface(rng, f);
+    let other_entity = ctx.spec.entity_for_table(f.table)?;
+    let mut vals = Values::default();
+    let v = vals.push_surface(s);
+    let q = QueryR {
+        select: select_name(e),
+        order: None,
+        superlative: None,
+        filter: Some(filter_eq(f, v)),
+    };
+    let obj_np = noun_phrase(&other_entity.plural, &[render_phrase(f, s)], "and");
+    Some(Draft {
+        question: format!(
+            "What are the {}s of {} associated with {}?",
+            e.name_label, e.plural, obj_np
+        ),
+        semql: single(q),
+        values: vals.texts,
+        value_infos: vals.infos,
+    })
+}
+
+fn t_filter_superlative(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let (e, f, s) = filtered_entity(ctx, rng)?;
+    let n = ctx.pick_numeric_on(rng, e.table)?;
+    let most = rng.gen_bool(0.5);
+    let mut vals = Values::default();
+    let limit = vals.push_implicit("1");
+    let v = vals.push_surface(s);
+    let q = QueryR {
+        select: select_name(e),
+        order: None,
+        superlative: Some(Superlative { most, limit, agg: Agg::plain(n.column, n.table) }),
+        filter: Some(filter_eq(f, v)),
+    };
+    let phrase = match &n.superlatives {
+        Some((m, l)) => (if most { m } else { l }).clone(),
+        None => format!("{} {}", if most { "highest" } else { "lowest" }, n.label),
+    };
+    let np = noun_phrase(&e.plural, &[render_phrase(f, s)], "and");
+    Some(Draft {
+        question: format!("Among {np}, which {} has the {}?", e.singular, phrase),
+        semql: single(q),
+        values: vals.texts,
+        value_infos: vals.infos,
+    })
+}
+
+fn conjugate(verb: &str) -> String {
+    // "own" -> "owns", "perform in" -> "performs in".
+    let mut parts = verb.splitn(2, ' ');
+    let head = parts.next().unwrap_or(verb);
+    match parts.next() {
+        Some(rest) => format!("{head}s {rest}"),
+        None => format!("{head}s"),
+    }
+}
+
+/// "Which author writes the most books?" — a grouped superlative over a
+/// relation. Lowers to GROUP BY + ORDER BY count(*) DESC LIMIT 1 over a
+/// join, which Spider's heuristic classifies as Extra-hard.
+fn t_most_related(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    if ctx.spec.relations.is_empty() {
+        return None;
+    }
+    let r = &ctx.spec.relations[rng.gen_range(0..ctx.spec.relations.len())];
+    let subj = &ctx.spec.entities[r.subject];
+    let obj = &ctx.spec.entities[r.object];
+    let most = rng.gen_bool(0.7);
+    let mut vals = Values::default();
+    let limit = vals.push_implicit("1");
+    let q = QueryR {
+        select: select_name(subj),
+        order: None,
+        superlative: Some(Superlative {
+            most,
+            limit,
+            agg: Agg::count_star(r.link_table),
+        }),
+        filter: None,
+    };
+    Some(Draft {
+        question: format!(
+            "Which {} {} the {} {}?",
+            subj.singular,
+            conjugate(&r.verb),
+            if most { "most" } else { "fewest" },
+            obj.plural
+        ),
+        semql: single(q),
+        values: vals.texts,
+        value_infos: vals.infos,
+    })
+}
+
+/// "List the names of French authors that have not written any book." —
+/// an equality filter combined with a NOT IN subquery (Extra-hard).
+fn t_not_in_filtered(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    if ctx.spec.relations.is_empty() {
+        return None;
+    }
+    let r = &ctx.spec.relations[rng.gen_range(0..ctx.spec.relations.len())];
+    let subj = &ctx.spec.entities[r.subject];
+    let obj = &ctx.spec.entities[r.object];
+    let f = ctx.pick_filter_on(rng, subj.table)?;
+    let s = ctx.pick_surface(rng, f);
+    let mut vals = Values::default();
+    let v = vals.push_surface(s);
+    let inner =
+        QueryR::select_only(Select::new(vec![Agg::plain(r.link_col, r.link_table)]));
+    let filter = Filter::And(
+        Box::new(filter_eq(f, v)),
+        Box::new(Filter::In {
+            agg: Agg::plain(r.subject_key, subj.table),
+            query: Box::new(inner),
+            negated: true,
+        }),
+    );
+    let q = QueryR { select: select_name(subj), order: None, superlative: None, filter: Some(filter) };
+    let np = noun_phrase(&subj.plural, &[render_phrase(f, s)], "and");
+    Some(Draft {
+        question: format!(
+            "List the {}s of {np} that do not {} any {}.",
+            subj.name_label, r.verb, obj.singular
+        ),
+        semql: single(q),
+        values: vals.texts,
+        value_infos: vals.infos,
+    })
+}
+
+// -------------------------- 2-value templates --------------------------
+
+fn two_filters<'a>(
+    ctx: &TemplateCtx<'a>,
+    rng: &mut SmallRng,
+) -> Option<(&'a Entity, [(&'a FilterCol, &'a SurfaceForm); 2])> {
+    for _ in 0..8 {
+        let e = ctx.pick_entity(rng);
+        let fs = ctx.spec.filters_for_table(e.table);
+        if fs.len() >= 2 {
+            let i = rng.gen_range(0..fs.len());
+            let mut j = rng.gen_range(0..fs.len());
+            while j == i {
+                j = rng.gen_range(0..fs.len());
+            }
+            let s1 = ctx.pick_surface(rng, fs[i]);
+            let s2 = ctx.pick_surface(rng, fs[j]);
+            return Some((e, [(fs[i], s1), (fs[j], s2)]));
+        }
+    }
+    None
+}
+
+fn t_two_filters(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let (e, [(f1, s1), (f2, s2)]) = two_filters(ctx, rng)?;
+    let or = rng.gen_bool(0.3);
+    let mut vals = Values::default();
+    let v1 = vals.push_surface(s1);
+    let v2 = vals.push_surface(s2);
+    let (a, b) = (filter_eq(f1, v1), filter_eq(f2, v2));
+    let filter = if or {
+        Filter::Or(Box::new(a), Box::new(b))
+    } else {
+        Filter::And(Box::new(a), Box::new(b))
+    };
+    let q = QueryR { select: select_name(e), order: None, superlative: None, filter: Some(filter) };
+    let connective = if or { "or" } else { "and" };
+    let np = noun_phrase(
+        &e.plural,
+        &[render_phrase(f1, s1), render_phrase(f2, s2)],
+        connective,
+    );
+    Some(Draft {
+        question: list_head(rng, &format!("{}s", e.name_label), &np),
+        semql: single(q),
+        values: vals.texts,
+        value_infos: vals.infos,
+    })
+}
+
+fn t_filter_and_numcmp(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let (e, f, s) = filtered_entity(ctx, rng)?;
+    let n = ctx.pick_numeric_on(rng, e.table)?;
+    let nv = ctx.sample_numeric(rng, n)?;
+    let more = rng.gen_bool(0.5);
+    let mut vals = Values::default();
+    let v1 = vals.push_surface(s);
+    let v2 = vals.push_literal(&nv);
+    let filter = Filter::And(
+        Box::new(filter_eq(f, v1)),
+        Box::new(Filter::Cmp {
+            op: if more { CmpOp::Gt } else { CmpOp::Lt },
+            agg: Agg::plain(n.column, n.table),
+            value: v2,
+        }),
+    );
+    let q = QueryR { select: select_name(e), order: None, superlative: None, filter: Some(filter) };
+    let np = format!(
+        "{} {}",
+        noun_phrase(&e.plural, &[render_phrase(f, s)], "and"),
+        ctx.cmp_phrase(n, more, &nv)
+    );
+    let question = match rng.gen_range(0..2) {
+        0 => count_head(rng, &np),
+        _ => list_head(rng, &format!("{}s", e.name_label), &np),
+    };
+    // A count question needs a count(*) projection instead of the name.
+    let semql = if question.starts_with("How many")
+        || question.starts_with("Count")
+        || question.starts_with("What is the total number")
+    {
+        let mut q2 = q.clone();
+        q2.select = Select::new(vec![Agg::count_star(e.table)]);
+        single(q2)
+    } else {
+        single(q)
+    };
+    Some(Draft { question, semql, values: vals.texts, value_infos: vals.infos })
+}
+
+fn t_between(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let e = ctx.pick_entity(rng);
+    let n = ctx.pick_numeric_on(rng, e.table)?;
+    let a = ctx.sample_numeric(rng, n)?;
+    let b = ctx.sample_numeric(rng, n)?;
+    let (lo, hi) = if a.parse::<f64>().ok()? <= b.parse::<f64>().ok()? { (a, b) } else { (b, a) };
+    let mut vals = Values::default();
+    let v1 = vals.push_literal(&lo);
+    let v2 = vals.push_literal(&hi);
+    let q = QueryR {
+        select: select_name(e),
+        order: None,
+        superlative: None,
+        filter: Some(Filter::Between {
+            agg: Agg::plain(n.column, n.table),
+            low: v1,
+            high: v2,
+        }),
+    };
+    Some(Draft {
+        question: format!(
+            "List the {}s of {} with {} between {lo} and {hi}.",
+            e.name_label, e.plural, n.label
+        ),
+        semql: single(q),
+        values: vals.texts,
+        value_infos: vals.infos,
+    })
+}
+
+fn t_set_op(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let (e, [(f1, s1), (f2, s2)]) = two_filters(ctx, rng)?;
+    let mut vals = Values::default();
+    let v1 = vals.push_surface(s1);
+    let left = QueryR {
+        select: select_name(e),
+        order: None,
+        superlative: None,
+        filter: Some(filter_eq(f1, v1)),
+    };
+    let v2 = vals.push_surface(s2);
+    let right = QueryR {
+        select: select_name(e),
+        order: None,
+        superlative: None,
+        filter: Some(filter_eq(f2, v2)),
+    };
+    let np1 = noun_phrase(&e.plural, &[render_phrase(f1, s1)], "and");
+    let np2 = noun_phrase(&e.plural, &[render_phrase(f2, s2)], "and");
+    let (semql, question) = match rng.gen_range(0..3) {
+        0 => (
+            SemQl::Intersect(Box::new(left), Box::new(right)),
+            format!("Find the {}s that appear both among {np1} and among {np2}.", e.name_label),
+        ),
+        1 => (
+            SemQl::Except(Box::new(left), Box::new(right)),
+            format!("List the {}s of {np1} that are not among {np2}.", e.name_label),
+        ),
+        _ => (
+            SemQl::Union(Box::new(left), Box::new(right)),
+            format!("List the {}s of {np1} together with those of {np2}.", e.name_label),
+        ),
+    };
+    Some(Draft { question, semql, values: vals.texts, value_infos: vals.infos })
+}
+
+// -------------------------- 3- and 4-value templates --------------------------
+
+fn t_three_values(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let (e, [(f1, s1), (f2, s2)]) = two_filters(ctx, rng)?;
+    let n = ctx.pick_numeric_on(rng, e.table)?;
+    let nv = ctx.sample_numeric(rng, n)?;
+    let more = rng.gen_bool(0.5);
+    let mut vals = Values::default();
+    let v1 = vals.push_surface(s1);
+    let v2 = vals.push_surface(s2);
+    let v3 = vals.push_literal(&nv);
+    let filter = Filter::And(
+        Box::new(Filter::And(Box::new(filter_eq(f1, v1)), Box::new(filter_eq(f2, v2)))),
+        Box::new(Filter::Cmp {
+            op: if more { CmpOp::Gt } else { CmpOp::Lt },
+            agg: Agg::plain(n.column, n.table),
+            value: v3,
+        }),
+    );
+    let q = QueryR { select: select_name(e), order: None, superlative: None, filter: Some(filter) };
+    let np = format!(
+        "{} {}",
+        noun_phrase(&e.plural, &[render_phrase(f1, s1), render_phrase(f2, s2)], "and"),
+        ctx.cmp_phrase(n, more, &nv)
+    );
+    Some(Draft {
+        question: list_head(rng, &format!("{}s", e.name_label), &np),
+        semql: single(q),
+        values: vals.texts,
+        value_infos: vals.infos,
+    })
+}
+
+fn t_four_values(ctx: &TemplateCtx<'_>, rng: &mut SmallRng) -> Option<Draft> {
+    let (e, [(f1, s1), (f2, s2)]) = two_filters(ctx, rng)?;
+    let n = ctx.pick_numeric_on(rng, e.table)?;
+    let a = ctx.sample_numeric(rng, n)?;
+    let b = ctx.sample_numeric(rng, n)?;
+    let (lo, hi) = if a.parse::<f64>().ok()? <= b.parse::<f64>().ok()? { (a, b) } else { (b, a) };
+    let mut vals = Values::default();
+    let v1 = vals.push_surface(s1);
+    let v2 = vals.push_surface(s2);
+    let v3 = vals.push_literal(&lo);
+    let v4 = vals.push_literal(&hi);
+    let filter = Filter::And(
+        Box::new(Filter::And(Box::new(filter_eq(f1, v1)), Box::new(filter_eq(f2, v2)))),
+        Box::new(Filter::Between { agg: Agg::plain(n.column, n.table), low: v3, high: v4 }),
+    );
+    let q = QueryR { select: select_name(e), order: None, superlative: None, filter: Some(filter) };
+    let np = format!(
+        "{} with {} between {lo} and {hi}",
+        noun_phrase(&e.plural, &[render_phrase(f1, s1), render_phrase(f2, s2)], "and"),
+        n.label
+    );
+    Some(Draft {
+        question: list_head(rng, &format!("{}s", e.name_label), &np),
+        semql: single(q),
+        values: vals.texts,
+        value_infos: vals.infos,
+    })
+}
+
+/// Templates grouped by the number of *countable* (non-implicit) values
+/// their questions carry, indexed `0..=4`.
+pub fn templates_by_value_count() -> [Vec<TemplateFn>; 5] {
+    [
+        vec![
+            t_count_all,
+            t_list_all,
+            t_distinct,
+            t_agg_stat,
+            t_order_by,
+            t_group_count,
+            t_nested_avg,
+            t_not_in,
+            t_superlative,
+            t_most_related,
+        ],
+        vec![
+            t_count_filtered,
+            t_list_filtered,
+            t_numeric_cmp,
+            t_topk,
+            t_having,
+            t_like,
+            t_join_filtered,
+            t_filter_superlative,
+            t_not_in_filtered,
+        ],
+        vec![t_two_filters, t_filter_and_numcmp, t_between, t_set_op],
+        vec![t_three_values],
+        vec![t_four_values],
+    ]
+}

@@ -1,0 +1,36 @@
+//! Evaluation: the two Spider metrics, the difficulty classifier, and the
+//! paper's error analysis (Section V).
+//!
+//! - [`execution_accuracy`] — the metric ValueNet is evaluated on: run both
+//!   the predicted and the gold query against the database and compare the
+//!   result sets. This is the only metric that exercises *values*.
+//! - [`exact_match`] — Spider's "Exact Set Match without Values": component
+//!   sets are compared after stripping literals, tolerant to ordering
+//!   (`SELECT A, B` ≡ `SELECT B, A`).
+//! - [`spider_difficulty`] — the official four-level hardness heuristic
+//!   (Easy / Medium / Hard / Extra-hard), reimplemented over our SQL AST.
+//! - [`error_analysis`] — classifies failed predictions into the paper's
+//!   Section V-G causes (column, table, sketch, value selection) by
+//!   comparing predicted and gold SemQL action sequences.
+
+//! ```
+//! use valuenet_eval::{exact_match, spider_difficulty, Difficulty};
+//! use valuenet_sql::parse_select;
+//!
+//! let gold = parse_select("SELECT name FROM student WHERE age > 20").unwrap();
+//! let pred = parse_select("SELECT name FROM student WHERE age > 99").unwrap();
+//! // Exact Match ignores values — exactly why the paper insists on
+//! // Execution Accuracy.
+//! assert!(exact_match(&pred, &gold));
+//! assert_eq!(spider_difficulty(&gold), Difficulty::Easy);
+//! ```
+
+mod analysis;
+mod difficulty;
+mod metrics;
+mod report;
+
+pub use analysis::{error_analysis, ErrorCause, ErrorReport};
+pub use difficulty::{spider_difficulty, Difficulty};
+pub use metrics::{exact_match, execution_accuracy, ExecOutcome};
+pub use report::TextTable;

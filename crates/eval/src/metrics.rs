@@ -1,0 +1,225 @@
+//! The two Spider accuracy metrics.
+
+use std::collections::BTreeSet;
+use valuenet_exec::execute;
+use valuenet_sql::{Expr, SelectStmt};
+use valuenet_storage::Database;
+
+/// Outcome of an Execution Accuracy check on one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// Predicted and gold results match.
+    Correct,
+    /// Both executed; the results differ.
+    WrongResult,
+    /// The predicted query failed to execute.
+    PredictionFailed,
+    /// The gold query failed to execute (a dataset bug; skipped in scoring).
+    GoldFailed,
+}
+
+impl ExecOutcome {
+    /// Whether the sample counts as correct.
+    pub fn is_correct(self) -> bool {
+        self == ExecOutcome::Correct
+    }
+}
+
+/// Spider *Execution Accuracy*: execute predicted and gold queries and
+/// compare the result sets (ordered only when both carry an ORDER BY).
+pub fn execution_accuracy(
+    db: &Database,
+    predicted: &SelectStmt,
+    gold: &SelectStmt,
+) -> ExecOutcome {
+    let gold_rs = match execute(db, gold) {
+        Ok(rs) => rs,
+        Err(_) => return ExecOutcome::GoldFailed,
+    };
+    let pred_rs = match execute(db, predicted) {
+        Ok(rs) => rs,
+        Err(_) => return ExecOutcome::PredictionFailed,
+    };
+    if pred_rs.result_eq(&gold_rs) {
+        ExecOutcome::Correct
+    } else {
+        ExecOutcome::WrongResult
+    }
+}
+
+/// A literal-free fingerprint of an expression, for component matching.
+fn strip_values(e: &Expr) -> String {
+    match e {
+        Expr::Lit(_) => "?".into(),
+        Expr::Column(c) => c.column.to_lowercase(),
+        Expr::Agg { func, distinct, arg } => {
+            format!("{}({}{})", func.keyword(), if *distinct { "distinct " } else { "" }, strip_values(arg))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            format!("({} {} {})", strip_values(lhs), op.symbol(), strip_values(rhs))
+        }
+        Expr::Not(inner) => format!("not {}", strip_values(inner)),
+        Expr::Between { expr, negated, .. } => {
+            format!("({} {}between ? ?)", strip_values(expr), if *negated { "not " } else { "" })
+        }
+        Expr::InList { expr, negated, .. } => {
+            format!("({} {}in ?)", strip_values(expr), if *negated { "not " } else { "" })
+        }
+        Expr::InSubquery { expr, subquery, negated } => format!(
+            "({} {}in <{}>)",
+            strip_values(expr),
+            if *negated { "not " } else { "" },
+            fingerprint(subquery)
+        ),
+        Expr::Like { expr, negated, .. } => {
+            format!("({} {}like ?)", strip_values(expr), if *negated { "not " } else { "" })
+        }
+        Expr::Subquery(s) => format!("<{}>", fingerprint(s)),
+    }
+}
+
+/// Decomposes a WHERE/HAVING tree into its comparison components.
+fn predicate_components(e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Binary { op, lhs, rhs } if !op.is_comparison() => {
+            predicate_components(lhs, out);
+            predicate_components(rhs, out);
+        }
+        other => {
+            out.insert(strip_values(other));
+        }
+    }
+}
+
+/// Order-insensitive, value-insensitive fingerprint of one query.
+fn fingerprint(stmt: &SelectStmt) -> String {
+    let core = &stmt.core;
+    let select: BTreeSet<String> =
+        core.items.iter().map(|it| strip_values(&it.expr)).collect();
+    let mut tables: BTreeSet<String> = BTreeSet::new();
+    if let Some(f) = &core.from {
+        tables.insert(f.name.to_lowercase());
+    }
+    for j in &core.joins {
+        tables.insert(j.table.name.to_lowercase());
+    }
+    let mut preds: BTreeSet<String> = BTreeSet::new();
+    if let Some(w) = &core.where_clause {
+        predicate_components(w, &mut preds);
+    }
+    let mut having: BTreeSet<String> = BTreeSet::new();
+    if let Some(h) = &core.having {
+        predicate_components(h, &mut having);
+    }
+    let group: BTreeSet<String> = core.group_by.iter().map(strip_values).collect();
+    let order: Vec<String> = stmt
+        .order_by
+        .iter()
+        .map(|o| format!("{} {}", strip_values(&o.expr), if o.desc { "desc" } else { "asc" }))
+        .collect();
+    let compound = match &stmt.compound {
+        Some((op, rhs)) => format!("{} {}", op.keyword(), fingerprint(rhs)),
+        None => String::new(),
+    };
+    format!(
+        "sel[{}{:?}] tab{:?} where{:?} group{:?} having{:?} order{:?} limit[{}] {compound}",
+        if core.distinct { "distinct " } else { "" },
+        select,
+        tables,
+        preds,
+        group,
+        having,
+        order,
+        stmt.limit.map(|l| l.to_string()).unwrap_or_default(),
+    )
+}
+
+/// Spider *Exact Matching Accuracy* ("Exact Set Match without Values"):
+/// component-wise comparison of predicted and gold queries with literals
+/// replaced by placeholders, tolerant to projection/condition ordering.
+pub fn exact_match(predicted: &SelectStmt, gold: &SelectStmt) -> bool {
+    fingerprint(predicted) == fingerprint(gold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valuenet_schema::{ColumnType, SchemaBuilder};
+    use valuenet_sql::parse_select;
+
+    fn db() -> Database {
+        let schema = SchemaBuilder::new("t")
+            .table("student", &[("id", ColumnType::Number), ("name", ColumnType::Text), ("age", ColumnType::Number)])
+            .build();
+        let mut db = Database::new(schema);
+        let s = db.schema().table_by_name("student").unwrap();
+        db.insert(s, vec![1.into(), "Alice".into(), 21.into()]);
+        db.insert(s, vec![2.into(), "Bob".into(), 19.into()]);
+        db.rebuild_index();
+        db
+    }
+
+    fn q(sql: &str) -> SelectStmt {
+        parse_select(sql).unwrap()
+    }
+
+    #[test]
+    fn execution_accuracy_outcomes() {
+        let db = db();
+        let gold = q("SELECT name FROM student WHERE age > 20");
+        assert!(execution_accuracy(&db, &q("SELECT name FROM student WHERE age >= 21"), &gold)
+            .is_correct());
+        assert_eq!(
+            execution_accuracy(&db, &q("SELECT name FROM student WHERE age > 18"), &gold),
+            ExecOutcome::WrongResult
+        );
+        assert_eq!(
+            execution_accuracy(&db, &q("SELECT nosuch FROM student"), &gold),
+            ExecOutcome::PredictionFailed
+        );
+        assert_eq!(
+            execution_accuracy(&db, &gold, &q("SELECT x FROM nosuch")),
+            ExecOutcome::GoldFailed
+        );
+    }
+
+    #[test]
+    fn execution_accuracy_cares_about_values() {
+        // Same sketch, different value → different result → wrong. This is
+        // exactly what Exact Match cannot see.
+        let db = db();
+        let gold = q("SELECT name FROM student WHERE age > 20");
+        let pred = q("SELECT name FROM student WHERE age > 1");
+        assert!(!execution_accuracy(&db, &pred, &gold).is_correct());
+        assert!(exact_match(&pred, &gold), "exact match ignores values");
+    }
+
+    #[test]
+    fn exact_match_tolerates_ordering() {
+        assert!(exact_match(
+            &q("SELECT a, b FROM t WHERE x = 1 AND y = 2"),
+            &q("SELECT b, a FROM t WHERE y = 9 AND x = 3"),
+        ));
+    }
+
+    #[test]
+    fn exact_match_detects_component_differences() {
+        assert!(!exact_match(&q("SELECT a FROM t"), &q("SELECT a FROM t WHERE x = 1")));
+        assert!(!exact_match(&q("SELECT a FROM t ORDER BY a ASC"), &q("SELECT a FROM t ORDER BY a DESC")));
+        assert!(!exact_match(&q("SELECT a FROM t LIMIT 1"), &q("SELECT a FROM t LIMIT 2")));
+        assert!(!exact_match(&q("SELECT count(a) FROM t"), &q("SELECT sum(a) FROM t")));
+        assert!(!exact_match(&q("SELECT DISTINCT a FROM t"), &q("SELECT a FROM t")));
+    }
+
+    #[test]
+    fn exact_match_sees_nesting() {
+        assert!(exact_match(
+            &q("SELECT a FROM t WHERE x > (SELECT avg(x) FROM t)"),
+            &q("SELECT a FROM t WHERE x > (SELECT avg(x) FROM t)"),
+        ));
+        assert!(!exact_match(
+            &q("SELECT a FROM t WHERE x > (SELECT avg(x) FROM t)"),
+            &q("SELECT a FROM t WHERE x > (SELECT max(x) FROM t)"),
+        ));
+    }
+}

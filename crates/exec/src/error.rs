@@ -1,0 +1,44 @@
+//! Executor errors.
+
+use std::fmt;
+
+/// A query could not be executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A `FROM`/`JOIN` names a table the schema does not contain.
+    UnknownTable(String),
+    /// A column reference does not resolve against the query's tables.
+    UnknownColumn(String),
+    /// The query has no `FROM` clause but references columns.
+    NoFrom,
+    /// A compound query combines results of different arity.
+    ArityMismatch {
+        /// Arity of the left operand.
+        left: usize,
+        /// Arity of the right operand.
+        right: usize,
+    },
+    /// A subquery used as a scalar or IN source projects more than one column.
+    SubqueryArity(usize),
+    /// Any other malformed query.
+    Invalid(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            ExecError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            ExecError::NoFrom => write!(f, "column reference without FROM clause"),
+            ExecError::ArityMismatch { left, right } => {
+                write!(f, "compound operands have different arity ({left} vs {right})")
+            }
+            ExecError::SubqueryArity(n) => {
+                write!(f, "subquery must project exactly one column, got {n}")
+            }
+            ExecError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}

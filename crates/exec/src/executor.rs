@@ -1,0 +1,648 @@
+//! Query evaluation.
+
+use crate::result::row_key;
+use crate::{ExecError, ResultSet};
+use std::collections::{HashMap, HashSet};
+use valuenet_sql::{
+    AggFunc, BinOp, ColumnRef, CompoundOp, Expr, SelectCore, SelectStmt,
+};
+use valuenet_storage::{like_match, Database, Datum};
+use valuenet_schema::TableId;
+
+/// Executes a query against a database.
+pub fn execute(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, ExecError> {
+    let mut left = execute_plain(db, stmt)?;
+    if let Some((op, rhs)) = &stmt.compound {
+        let right = execute(db, rhs)?;
+        if !left.rows.is_empty() && !right.rows.is_empty() {
+            let (la, ra) = (left.rows[0].len(), right.rows[0].len());
+            if la != ra {
+                return Err(ExecError::ArityMismatch { left: la, right: ra });
+            }
+        }
+        left = apply_compound(*op, left, right);
+    }
+    Ok(left)
+}
+
+fn apply_compound(op: CompoundOp, left: ResultSet, right: ResultSet) -> ResultSet {
+    let headers = left.headers.clone();
+    let rows = match op {
+        CompoundOp::UnionAll => {
+            let mut rows = left.rows;
+            rows.extend(right.rows);
+            rows
+        }
+        CompoundOp::Union => {
+            let mut seen = HashSet::new();
+            let mut rows = Vec::new();
+            for r in left.rows.into_iter().chain(right.rows) {
+                if seen.insert(row_key(&r)) {
+                    rows.push(r);
+                }
+            }
+            rows
+        }
+        CompoundOp::Intersect => {
+            let right_keys: HashSet<String> = right.rows.iter().map(|r| row_key(r)).collect();
+            let mut seen = HashSet::new();
+            left.rows
+                .into_iter()
+                .filter(|r| {
+                    let k = row_key(r);
+                    right_keys.contains(&k) && seen.insert(k)
+                })
+                .collect()
+        }
+        CompoundOp::Except => {
+            let right_keys: HashSet<String> = right.rows.iter().map(|r| row_key(r)).collect();
+            let mut seen = HashSet::new();
+            left.rows
+                .into_iter()
+                .filter(|r| {
+                    let k = row_key(r);
+                    !right_keys.contains(&k) && seen.insert(k)
+                })
+                .collect()
+        }
+    };
+    // A compound result has no meaningful final order in this dialect.
+    ResultSet { headers, rows, ordered: false }
+}
+
+/// Executes `core + ORDER BY + LIMIT`, ignoring any compound tail.
+fn execute_plain(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, ExecError> {
+    let env = Env::build(db, &stmt.core)?;
+    let source_rows = env.joined_rows(&stmt.core)?;
+    let ev = Evaluator::new(db, &env);
+
+    // Filter with WHERE.
+    let mut kept: Vec<Vec<Datum>> = Vec::with_capacity(source_rows.len());
+    for row in source_rows {
+        let keep = match &stmt.core.where_clause {
+            Some(pred) => truthy(&ev.eval(pred, &Ctx::Row(&row))?),
+            None => true,
+        };
+        if keep {
+            kept.push(row);
+        }
+    }
+
+    let has_agg = stmt.core.items.iter().any(|it| it.expr.contains_aggregate())
+        || stmt.core.having.as_ref().is_some_and(Expr::contains_aggregate)
+        || stmt.order_by.iter().any(|o| o.expr.contains_aggregate());
+    let grouped = !stmt.core.group_by.is_empty() || has_agg;
+
+    let mut headers = Vec::new();
+    for it in &stmt.core.items {
+        match &it.expr {
+            Expr::Column(c) if c.is_star() => {
+                headers.extend(ev.star_headers(c)?);
+            }
+            e => headers.push(it.alias.clone().unwrap_or_else(|| e.to_string())),
+        }
+    }
+
+    // Produce (projected row, sort key) pairs.
+    let mut produced: Vec<(Vec<Datum>, Vec<Datum>)> = Vec::new();
+    if grouped {
+        // Group rows by the GROUP BY key (single implicit group if empty).
+        let mut groups: Vec<Vec<Vec<Datum>>> = Vec::new();
+        if stmt.core.group_by.is_empty() {
+            groups.push(kept);
+        } else {
+            let mut keys: Vec<String> = Vec::new();
+            for row in kept {
+                let mut kv = Vec::with_capacity(stmt.core.group_by.len());
+                for gexpr in &stmt.core.group_by {
+                    kv.push(ev.eval(gexpr, &Ctx::Row(&row))?);
+                }
+                let k = row_key(&kv);
+                match keys.iter().position(|x| *x == k) {
+                    Some(i) => groups[i].push(row),
+                    None => {
+                        keys.push(k);
+                        groups.push(vec![row]);
+                    }
+                }
+            }
+        }
+        for rows in &groups {
+            let ctx = Ctx::Group(rows);
+            if let Some(h) = &stmt.core.having {
+                if !truthy(&ev.eval(h, &ctx)?) {
+                    continue;
+                }
+            }
+            let out = ev.project(&stmt.core, &ctx)?;
+            let key = ev.order_keys(&stmt.order_by, &ctx)?;
+            produced.push((out, key));
+        }
+    } else {
+        for row in &kept {
+            let ctx = Ctx::Row(row);
+            let out = ev.project(&stmt.core, &ctx)?;
+            let key = ev.order_keys(&stmt.order_by, &ctx)?;
+            produced.push((out, key));
+        }
+    }
+
+    if !stmt.order_by.is_empty() {
+        produced.sort_by(|(_, ka), (_, kb)| {
+            for (i, o) in stmt.order_by.iter().enumerate() {
+                let ord = ka[i].total_cmp(&kb[i]);
+                let ord = if o.desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    let mut rows: Vec<Vec<Datum>> = produced.into_iter().map(|(r, _)| r).collect();
+
+    if stmt.core.distinct {
+        let mut seen = HashSet::new();
+        rows.retain(|r| seen.insert(row_key(r)));
+    }
+
+    if let Some(limit) = stmt.limit {
+        rows.truncate(limit as usize);
+    }
+
+    Ok(ResultSet { headers, rows, ordered: stmt.is_ordered() })
+}
+
+fn truthy(d: &Datum) -> bool {
+    match d {
+        Datum::Null => false,
+        Datum::Int(i) => *i != 0,
+        Datum::Float(f) => *f != 0.0,
+        Datum::Text(_) => false,
+    }
+}
+
+fn bool_datum(b: bool) -> Datum {
+    Datum::Int(i64::from(b))
+}
+
+/// One table bound in the FROM/JOIN list.
+struct EnvEntry {
+    /// Effective name (alias or table name).
+    name: String,
+    table: TableId,
+    /// Flat offset of this table's first column in a combined row.
+    offset: usize,
+    width: usize,
+}
+
+struct Env<'a> {
+    db: &'a Database,
+    entries: Vec<EnvEntry>,
+}
+
+impl<'a> Env<'a> {
+    fn build(db: &'a Database, core: &SelectCore) -> Result<Self, ExecError> {
+        let mut entries = Vec::new();
+        let mut offset = 0;
+        let mut push = |name: String, table_name: &str| -> Result<(), ExecError> {
+            let table = db
+                .schema()
+                .table_by_name(table_name)
+                .ok_or_else(|| ExecError::UnknownTable(table_name.to_string()))?;
+            let width = db.schema().table(table).columns.len();
+            entries.push(EnvEntry { name, table, offset, width });
+            offset += width;
+            Ok(())
+        };
+        if let Some(from) = &core.from {
+            push(from.effective_name().to_string(), &from.name)?;
+            for j in &core.joins {
+                push(j.table.effective_name().to_string(), &j.table.name)?;
+            }
+        }
+        Ok(Env { db, entries })
+    }
+
+    /// Computes the joined row set, applying each join's ON predicate as the
+    /// table is attached (a join without ON degenerates to a cross join).
+    fn joined_rows(&self, core: &SelectCore) -> Result<Vec<Vec<Datum>>, ExecError> {
+        if self.entries.is_empty() {
+            // No FROM: a single empty row lets `SELECT 1` work.
+            return Ok(vec![Vec::new()]);
+        }
+        let ev = Evaluator::new(self.db, self);
+        let first = &self.entries[0];
+        let mut rows: Vec<Vec<Datum>> = self.db.rows(first.table).to_vec();
+        for (ji, join) in core.joins.iter().enumerate() {
+            let entry = &self.entries[ji + 1];
+            let right_rows = self.db.rows(entry.table);
+            // Fast path: a single equi-join condition between an
+            // already-joined column and a column of the new table becomes a
+            // hash join; anything else falls back to the nested loop.
+            if let Some((left_idx, right_local)) = self.equi_join_key(join, entry)? {
+                let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+                for (ri, right) in right_rows.iter().enumerate() {
+                    let key = &right[right_local];
+                    if key.is_null() {
+                        continue; // NULL never joins
+                    }
+                    table
+                        .entry(row_key(std::slice::from_ref(key)))
+                        .or_default()
+                        .push(ri);
+                }
+                let mut next = Vec::new();
+                for left in &rows {
+                    let key = &left[left_idx];
+                    if key.is_null() {
+                        continue;
+                    }
+                    if let Some(matches) = table.get(&row_key(std::slice::from_ref(key))) {
+                        for &ri in matches {
+                            let right = &right_rows[ri];
+                            let mut combined =
+                                Vec::with_capacity(left.len() + right.len());
+                            combined.extend_from_slice(left);
+                            combined.extend_from_slice(right);
+                            next.push(combined);
+                        }
+                    }
+                }
+                rows = next;
+                continue;
+            }
+            let mut next = Vec::new();
+            for left in &rows {
+                for right in right_rows {
+                    let mut combined = Vec::with_capacity(left.len() + right.len());
+                    combined.extend_from_slice(left);
+                    combined.extend_from_slice(right);
+                    let keep = match &join.on {
+                        Some(on) => truthy(&ev.eval(on, &Ctx::Row(&combined))?),
+                        None => true,
+                    };
+                    if keep {
+                        next.push(combined);
+                    }
+                }
+            }
+            rows = next;
+        }
+        Ok(rows)
+    }
+
+    /// Detects `ON a = b` where one side lives in the already-joined prefix
+    /// and the other in the newly attached table. Returns the flat index on
+    /// the left and the local offset within the right table.
+    fn equi_join_key(
+        &self,
+        join: &valuenet_sql::Join,
+        entry: &EnvEntry,
+    ) -> Result<Option<(usize, usize)>, ExecError> {
+        let Some(Expr::Binary { op: BinOp::Eq, lhs, rhs }) = &join.on else {
+            return Ok(None);
+        };
+        let (Expr::Column(a), Expr::Column(b)) = (lhs.as_ref(), rhs.as_ref()) else {
+            return Ok(None);
+        };
+        let ia = self.resolve(a)?;
+        let ib = self.resolve(b)?;
+        let right_range = entry.offset..entry.offset + entry.width;
+        if ia < entry.offset && right_range.contains(&ib) {
+            Ok(Some((ia, ib - entry.offset)))
+        } else if ib < entry.offset && right_range.contains(&ia) {
+            Ok(Some((ib, ia - entry.offset)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Resolves a (non-star) column reference to its flat index.
+    fn resolve(&self, c: &ColumnRef) -> Result<usize, ExecError> {
+        if self.entries.is_empty() {
+            return Err(ExecError::NoFrom);
+        }
+        let schema = self.db.schema();
+        match &c.table {
+            Some(q) => {
+                let entry = self
+                    .entries
+                    .iter()
+                    .find(|e| {
+                        e.name.eq_ignore_ascii_case(q)
+                            || schema.table(e.table).name.eq_ignore_ascii_case(q)
+                    })
+                    .ok_or_else(|| ExecError::UnknownTable(q.clone()))?;
+                let col = schema
+                    .column_by_name(entry.table, &c.column)
+                    .ok_or_else(|| ExecError::UnknownColumn(format!("{q}.{}", c.column)))?;
+                let pos = schema
+                    .table(entry.table)
+                    .columns
+                    .iter()
+                    .position(|&cc| cc == col)
+                    .expect("column belongs to table");
+                Ok(entry.offset + pos)
+            }
+            None => {
+                // Unqualified: first table that has the column (lenient, like
+                // the official evaluation harness).
+                for entry in &self.entries {
+                    if let Some(col) = schema.column_by_name(entry.table, &c.column) {
+                        let pos = schema
+                            .table(entry.table)
+                            .columns
+                            .iter()
+                            .position(|&cc| cc == col)
+                            .expect("column belongs to table");
+                        return Ok(entry.offset + pos);
+                    }
+                }
+                Err(ExecError::UnknownColumn(c.column.clone()))
+            }
+        }
+    }
+
+    /// Flat indices covered by a star reference.
+    fn star_indices(&self, c: &ColumnRef) -> Result<Vec<usize>, ExecError> {
+        match &c.table {
+            None => Ok((0..self.entries.iter().map(|e| e.width).sum()).collect()),
+            Some(q) => {
+                let entry = self
+                    .entries
+                    .iter()
+                    .find(|e| e.name.eq_ignore_ascii_case(q))
+                    .ok_or_else(|| ExecError::UnknownTable(q.clone()))?;
+                Ok((entry.offset..entry.offset + entry.width).collect())
+            }
+        }
+    }
+}
+
+/// Evaluation context: a single row, or a group of rows (aggregates allowed).
+enum Ctx<'a> {
+    Row(&'a [Datum]),
+    Group(&'a [Vec<Datum>]),
+}
+
+struct Evaluator<'a> {
+    db: &'a Database,
+    env: &'a Env<'a>,
+    /// Results of uncorrelated subqueries, evaluated once and reused across
+    /// rows (keyed by the subquery's address within the borrowed statement).
+    subquery_cache: std::cell::RefCell<HashMap<usize, Vec<Datum>>>,
+}
+
+impl<'a> Evaluator<'a> {
+    fn new(db: &'a Database, env: &'a Env<'a>) -> Self {
+        Evaluator { db, env, subquery_cache: std::cell::RefCell::new(HashMap::new()) }
+    }
+
+    fn project(&self, core: &SelectCore, ctx: &Ctx<'_>) -> Result<Vec<Datum>, ExecError> {
+        let mut out = Vec::with_capacity(core.items.len());
+        for it in &core.items {
+            match &it.expr {
+                Expr::Column(c) if c.is_star() => {
+                    let idxs = self.env.star_indices(c)?;
+                    let repr: &[Datum] = match ctx {
+                        Ctx::Row(r) => r,
+                        Ctx::Group(rows) => rows.first().map(|r| r.as_slice()).unwrap_or(&[]),
+                    };
+                    for i in idxs {
+                        out.push(repr.get(i).cloned().unwrap_or(Datum::Null));
+                    }
+                }
+                e => out.push(self.eval(e, ctx)?),
+            }
+        }
+        Ok(out)
+    }
+
+    fn star_headers(&self, c: &ColumnRef) -> Result<Vec<String>, ExecError> {
+        let idxs = self.env.star_indices(c)?;
+        let schema = self.db.schema();
+        let mut names = Vec::with_capacity(idxs.len());
+        for entry in &self.env.entries {
+            for (pos, &col) in schema.table(entry.table).columns.iter().enumerate() {
+                if idxs.contains(&(entry.offset + pos)) {
+                    names.push(format!("{}.{}", entry.name, schema.column(col).name));
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn order_keys(
+        &self,
+        order_by: &[valuenet_sql::OrderItem],
+        ctx: &Ctx<'_>,
+    ) -> Result<Vec<Datum>, ExecError> {
+        order_by.iter().map(|o| self.eval(&o.expr, ctx)).collect()
+    }
+
+    fn eval(&self, e: &Expr, ctx: &Ctx<'_>) -> Result<Datum, ExecError> {
+        match e {
+            Expr::Lit(l) => Ok(match l {
+                valuenet_sql::Literal::Null => Datum::Null,
+                valuenet_sql::Literal::Int(i) => Datum::Int(*i),
+                valuenet_sql::Literal::Float(f) => Datum::Float(*f),
+                valuenet_sql::Literal::Text(s) => Datum::Text(s.clone()),
+            }),
+            Expr::Column(c) => {
+                if c.is_star() {
+                    return Err(ExecError::Invalid("bare * outside count(*)".into()));
+                }
+                let idx = self.env.resolve(c)?;
+                let repr: Option<&Vec<Datum>> = match ctx {
+                    Ctx::Row(r) => return Ok(r.get(idx).cloned().unwrap_or(Datum::Null)),
+                    Ctx::Group(rows) => rows.first(),
+                };
+                Ok(repr.and_then(|r| r.get(idx).cloned()).unwrap_or(Datum::Null))
+            }
+            Expr::Agg { func, distinct, arg } => {
+                let Ctx::Group(rows) = ctx else {
+                    return Err(ExecError::Invalid("aggregate outside grouped context".into()));
+                };
+                self.eval_aggregate(*func, *distinct, arg, rows)
+            }
+            Expr::Binary { op, lhs, rhs } => match op {
+                BinOp::And => {
+                    let l = truthy(&self.eval(lhs, ctx)?);
+                    if !l {
+                        return Ok(bool_datum(false));
+                    }
+                    Ok(bool_datum(truthy(&self.eval(rhs, ctx)?)))
+                }
+                BinOp::Or => {
+                    let l = truthy(&self.eval(lhs, ctx)?);
+                    if l {
+                        return Ok(bool_datum(true));
+                    }
+                    Ok(bool_datum(truthy(&self.eval(rhs, ctx)?)))
+                }
+                _ => {
+                    let l = self.eval_operand(lhs, ctx)?;
+                    let r = self.eval_operand(rhs, ctx)?;
+                    Ok(match op {
+                        BinOp::Eq => bool_datum(l.sql_eq(&r)),
+                        BinOp::Ne => {
+                            if l.is_null() || r.is_null() {
+                                bool_datum(false)
+                            } else {
+                                bool_datum(!l.sql_eq(&r))
+                            }
+                        }
+                        BinOp::Lt => cmp_datum(&l, &r, |o| o == std::cmp::Ordering::Less),
+                        BinOp::Le => cmp_datum(&l, &r, |o| o != std::cmp::Ordering::Greater),
+                        BinOp::Gt => cmp_datum(&l, &r, |o| o == std::cmp::Ordering::Greater),
+                        BinOp::Ge => cmp_datum(&l, &r, |o| o != std::cmp::Ordering::Less),
+                        BinOp::And | BinOp::Or => unreachable!("handled above"),
+                    })
+                }
+            },
+            Expr::Not(inner) => Ok(bool_datum(!truthy(&self.eval(inner, ctx)?))),
+            Expr::Between { expr, low, high, negated } => {
+                let v = self.eval_operand(expr, ctx)?;
+                let lo = self.eval_operand(low, ctx)?;
+                let hi = self.eval_operand(high, ctx)?;
+                let in_range = matches!(
+                    v.sql_cmp(&lo),
+                    Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                ) && matches!(
+                    v.sql_cmp(&hi),
+                    Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                );
+                Ok(bool_datum(in_range != *negated))
+            }
+            Expr::InList { expr, list, negated } => {
+                let v = self.eval_operand(expr, ctx)?;
+                let mut found = false;
+                for item in list {
+                    if v.sql_eq(&self.eval_operand(item, ctx)?) {
+                        found = true;
+                        break;
+                    }
+                }
+                Ok(bool_datum(found != *negated))
+            }
+            Expr::InSubquery { expr, subquery, negated } => {
+                let v = self.eval_operand(expr, ctx)?;
+                let vals = self.subquery_column(subquery)?;
+                let found = vals.iter().any(|x| v.sql_eq(x));
+                Ok(bool_datum(found != *negated))
+            }
+            Expr::Like { expr, pattern, negated } => {
+                let v = self.eval_operand(expr, ctx)?;
+                let p = self.eval_operand(pattern, ctx)?;
+                // SQLite semantics: case-insensitive for ASCII; NULL → false.
+                let matched = match (v.as_text(), p.as_text()) {
+                    (Some(t), Some(pat)) => {
+                        like_match(&pat.to_lowercase(), &t.to_lowercase())
+                    }
+                    // LIKE against numbers compares their text form.
+                    (None, Some(pat)) if !v.is_null() => {
+                        like_match(&pat.to_lowercase(), &v.to_string().to_lowercase())
+                    }
+                    _ => false,
+                };
+                Ok(bool_datum(matched != *negated))
+            }
+            Expr::Subquery(sub) => self.scalar_subquery(sub),
+        }
+    }
+
+    /// Evaluates a comparison operand; a scalar subquery yields its single
+    /// value, everything else is a normal expression.
+    fn eval_operand(&self, e: &Expr, ctx: &Ctx<'_>) -> Result<Datum, ExecError> {
+        self.eval(e, ctx)
+    }
+
+    fn scalar_subquery(&self, sub: &SelectStmt) -> Result<Datum, ExecError> {
+        let col = self.subquery_column(sub)?;
+        Ok(col.into_iter().next().unwrap_or(Datum::Null))
+    }
+
+    /// Executes an (uncorrelated) subquery once and caches its single-column
+    /// result, so WHERE predicates do not re-run it per candidate row.
+    fn subquery_column(&self, sub: &SelectStmt) -> Result<Vec<Datum>, ExecError> {
+        let key = sub as *const SelectStmt as usize;
+        if let Some(cached) = self.subquery_cache.borrow().get(&key) {
+            return Ok(cached.clone());
+        }
+        let rs = execute(self.db, sub)?;
+        if !rs.rows.is_empty() && rs.rows[0].len() != 1 {
+            return Err(ExecError::SubqueryArity(rs.rows[0].len()));
+        }
+        let col: Vec<Datum> = rs.rows.into_iter().filter_map(|mut r| r.pop()).collect();
+        self.subquery_cache.borrow_mut().insert(key, col.clone());
+        Ok(col)
+    }
+
+    fn eval_aggregate(
+        &self,
+        func: AggFunc,
+        distinct: bool,
+        arg: &Expr,
+        rows: &[Vec<Datum>],
+    ) -> Result<Datum, ExecError> {
+        // count(*) counts rows regardless of values.
+        let is_star = matches!(arg, Expr::Column(c) if c.is_star());
+        if func == AggFunc::Count && is_star {
+            return Ok(Datum::Int(rows.len() as i64));
+        }
+        if is_star {
+            return Err(ExecError::Invalid(format!("{}(*) is not valid", func.keyword())));
+        }
+        let mut values = Vec::with_capacity(rows.len());
+        for row in rows {
+            let v = self.eval(arg, &Ctx::Row(row))?;
+            if !v.is_null() {
+                values.push(v);
+            }
+        }
+        if distinct {
+            let mut seen = HashSet::new();
+            values.retain(|v| seen.insert(row_key(std::slice::from_ref(v))));
+        }
+        Ok(match func {
+            AggFunc::Count => Datum::Int(values.len() as i64),
+            AggFunc::Sum => {
+                if values.is_empty() {
+                    Datum::Null
+                } else {
+                    let all_int = values.iter().all(|v| matches!(v, Datum::Int(_)));
+                    if all_int {
+                        Datum::Int(values.iter().map(|v| v.as_number().unwrap() as i64).sum())
+                    } else {
+                        Datum::Float(values.iter().filter_map(Datum::as_number).sum())
+                    }
+                }
+            }
+            AggFunc::Avg => {
+                let nums: Vec<f64> = values.iter().filter_map(Datum::as_number).collect();
+                if nums.is_empty() {
+                    Datum::Null
+                } else {
+                    Datum::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+                }
+            }
+            AggFunc::Min => values
+                .into_iter()
+                .min_by(|a, b| a.total_cmp(b))
+                .unwrap_or(Datum::Null),
+            AggFunc::Max => values
+                .into_iter()
+                .max_by(|a, b| a.total_cmp(b))
+                .unwrap_or(Datum::Null),
+        })
+    }
+}
+
+fn cmp_datum(l: &Datum, r: &Datum, f: impl Fn(std::cmp::Ordering) -> bool) -> Datum {
+    match l.sql_cmp(r) {
+        Some(o) => bool_datum(f(o)),
+        None => bool_datum(false),
+    }
+}

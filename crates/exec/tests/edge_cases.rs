@@ -1,0 +1,208 @@
+//! Executor edge cases beyond the main semantics suite.
+
+use valuenet_exec::{execute, ResultSet};
+use valuenet_schema::{ColumnType, SchemaBuilder};
+use valuenet_sql::parse_select;
+use valuenet_storage::{Database, Datum};
+
+fn db() -> Database {
+    let schema = SchemaBuilder::new("edge")
+        .table(
+            "t",
+            &[
+                ("id", ColumnType::Number),
+                ("grp", ColumnType::Text),
+                ("sub", ColumnType::Text),
+                ("v", ColumnType::Number),
+            ],
+        )
+        .primary_key("t", "id")
+        .table("u", &[("id", ColumnType::Number), ("w", ColumnType::Number)])
+        .build();
+    let mut db = Database::new(schema);
+    let t = db.schema().table_by_name("t").unwrap();
+    let u = db.schema().table_by_name("u").unwrap();
+    for (id, grp, sub, v) in [
+        (1, "a", "x", 10),
+        (2, "a", "y", 20),
+        (3, "a", "y", 30),
+        (4, "b", "x", 40),
+        (5, "b", "x", 50),
+    ] {
+        db.insert(t, vec![id.into(), grp.into(), sub.into(), v.into()]);
+    }
+    db.insert(u, vec![1.into(), 100.into()]);
+    db.insert(u, vec![9.into(), 900.into()]);
+    db.rebuild_index();
+    db
+}
+
+fn run(db: &Database, sql: &str) -> ResultSet {
+    execute(db, &parse_select(sql).unwrap()).unwrap()
+}
+
+#[test]
+fn group_by_multiple_keys() {
+    let d = db();
+    let rs = run(&d, "SELECT grp, sub, count(*) FROM t GROUP BY grp, sub ORDER BY grp ASC, sub ASC");
+    let rows: Vec<(String, String, f64)> = rs
+        .rows
+        .iter()
+        .map(|r| (r[0].to_string(), r[1].to_string(), r[2].as_number().unwrap()))
+        .collect();
+    assert_eq!(
+        rows,
+        vec![
+            ("a".into(), "x".into(), 1.0),
+            ("a".into(), "y".into(), 2.0),
+            ("b".into(), "x".into(), 2.0),
+        ]
+    );
+}
+
+#[test]
+fn chained_compounds() {
+    let d = db();
+    // a ∪ b then ∩ {a}: with the right-associative dialect this is
+    // a ∪ (b ∩ a) = {a}... so build left part yielding both groups.
+    let rs = run(
+        &d,
+        "SELECT grp FROM t WHERE v < 25 UNION SELECT grp FROM t WHERE v > 35 \
+         INTERSECT SELECT grp FROM t WHERE v > 45",
+    );
+    // Right-assoc: (v>35) ∩ (v>45) = {b}; ∪ (v<25 → {a}) = {a, b}.
+    let mut got: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+    got.sort();
+    assert_eq!(got, vec!["a", "b"]);
+}
+
+#[test]
+fn distinct_after_order() {
+    let d = db();
+    let rs = run(&d, "SELECT DISTINCT grp FROM t ORDER BY grp DESC");
+    let got: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(got, vec!["b", "a"]);
+    assert!(rs.ordered);
+}
+
+#[test]
+fn hash_join_matches_nested_loop_semantics() {
+    let d = db();
+    // Equi-join goes through the hash path...
+    let hash = run(&d, "SELECT count(*) FROM t JOIN u ON t.id = u.id");
+    assert_eq!(hash.rows[0][0].as_number(), Some(1.0));
+    // ...a non-equi ON falls back to the nested loop; results must be
+    // consistent with manual reasoning: pairs where t.id < u.id.
+    let nested = run(&d, "SELECT count(*) FROM t JOIN u ON t.id < u.id");
+    // u.id=1: none (t.id >= 1); u.id=9: all five.
+    assert_eq!(nested.rows[0][0].as_number(), Some(5.0));
+}
+
+#[test]
+fn join_on_reversed_operands_uses_hash_path() {
+    let d = db();
+    let a = run(&d, "SELECT count(*) FROM t JOIN u ON t.id = u.id");
+    let b = run(&d, "SELECT count(*) FROM t JOIN u ON u.id = t.id");
+    assert!(a.result_eq(&b));
+}
+
+#[test]
+fn null_keys_never_hash_join() {
+    let schema = SchemaBuilder::new("n")
+        .table("a", &[("k", ColumnType::Number)])
+        .table("b", &[("k", ColumnType::Number)])
+        .build();
+    let mut d = Database::new(schema);
+    let a = d.schema().table_by_name("a").unwrap();
+    let b = d.schema().table_by_name("b").unwrap();
+    d.insert(a, vec![Datum::Null]);
+    d.insert(a, vec![1.into()]);
+    d.insert(b, vec![Datum::Null]);
+    d.insert(b, vec![1.into()]);
+    d.rebuild_index();
+    let rs = run(&d, "SELECT count(*) FROM a JOIN b ON a.k = b.k");
+    assert_eq!(rs.rows[0][0].as_number(), Some(1.0), "NULL = NULL must not join");
+}
+
+#[test]
+fn cross_type_numeric_join_keys() {
+    let schema = SchemaBuilder::new("x")
+        .table("a", &[("k", ColumnType::Number)])
+        .table("b", &[("k", ColumnType::Number)])
+        .build();
+    let mut d = Database::new(schema);
+    let a = d.schema().table_by_name("a").unwrap();
+    let b = d.schema().table_by_name("b").unwrap();
+    d.insert(a, vec![Datum::Int(2)]);
+    d.insert(b, vec![Datum::Float(2.0)]);
+    d.rebuild_index();
+    let rs = run(&d, "SELECT count(*) FROM a JOIN b ON a.k = b.k");
+    assert_eq!(rs.rows[0][0].as_number(), Some(1.0), "Int(2) must hash-join Float(2.0)");
+}
+
+#[test]
+fn having_without_group_by() {
+    let d = db();
+    // Single implicit group; HAVING filters the whole result.
+    let rs = run(&d, "SELECT count(*) FROM t HAVING count(*) > 3");
+    assert_eq!(rs.rows.len(), 1);
+    let rs = run(&d, "SELECT count(*) FROM t HAVING count(*) > 99");
+    assert!(rs.rows.is_empty());
+}
+
+#[test]
+fn order_by_two_directions() {
+    let d = db();
+    let rs = run(&d, "SELECT grp, v FROM t ORDER BY grp ASC, v DESC");
+    let got: Vec<(String, f64)> =
+        rs.rows.iter().map(|r| (r[0].to_string(), r[1].as_number().unwrap())).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("a".into(), 30.0),
+            ("a".into(), 20.0),
+            ("a".into(), 10.0),
+            ("b".into(), 50.0),
+            ("b".into(), 40.0),
+        ]
+    );
+}
+
+#[test]
+fn subquery_on_empty_result_is_null() {
+    let d = db();
+    // Scalar subquery with no rows → NULL → comparison false everywhere.
+    let rs = run(&d, "SELECT id FROM t WHERE v > (SELECT v FROM t WHERE v > 999)");
+    assert!(rs.rows.is_empty());
+}
+
+#[test]
+fn in_subquery_against_empty_set() {
+    let d = db();
+    let rs = run(&d, "SELECT count(*) FROM t WHERE id IN (SELECT id FROM u WHERE w > 9999)");
+    assert_eq!(rs.rows[0][0].as_number(), Some(0.0));
+    let rs = run(&d, "SELECT count(*) FROM t WHERE id NOT IN (SELECT id FROM u WHERE w > 9999)");
+    assert_eq!(rs.rows[0][0].as_number(), Some(5.0));
+}
+
+#[test]
+fn like_on_numbers_matches_text_form() {
+    let d = db();
+    let rs = run(&d, "SELECT count(*) FROM t WHERE v LIKE '%0'");
+    assert_eq!(rs.rows[0][0].as_number(), Some(5.0)); // all end in 0
+    let rs = run(&d, "SELECT count(*) FROM t WHERE v LIKE '1%'");
+    assert_eq!(rs.rows[0][0].as_number(), Some(1.0)); // only 10
+}
+
+#[test]
+fn empty_table_behaviour() {
+    let schema = SchemaBuilder::new("e")
+        .table("empty", &[("x", ColumnType::Number)])
+        .build();
+    let mut d = Database::new(schema);
+    d.rebuild_index();
+    assert_eq!(run(&d, "SELECT count(*) FROM empty").rows[0][0].as_number(), Some(0.0));
+    assert!(run(&d, "SELECT x FROM empty").rows.is_empty());
+    assert!(run(&d, "SELECT x FROM empty ORDER BY x DESC LIMIT 3").rows.is_empty());
+    assert!(run(&d, "SELECT x, count(*) FROM empty GROUP BY x").rows.is_empty());
+}

@@ -1,0 +1,428 @@
+//! Executor semantics tests against a hand-built pets database (the paper's
+//! running example schema) with hand-computed expected results.
+
+use valuenet_exec::{execute, ExecError, ResultSet};
+use valuenet_schema::{ColumnType, SchemaBuilder};
+use valuenet_sql::parse_select;
+use valuenet_storage::{Database, Datum};
+
+/// The paper's Fig. 1 schema: student / has_pet / pet.
+fn pets_db() -> Database {
+    let schema = SchemaBuilder::new("pets")
+        .table(
+            "student",
+            &[
+                ("stu_id", ColumnType::Number),
+                ("name", ColumnType::Text),
+                ("age", ColumnType::Number),
+                ("home_country", ColumnType::Text),
+            ],
+        )
+        .primary_key("student", "stu_id")
+        .table("has_pet", &[("stu_id", ColumnType::Number), ("pet_id", ColumnType::Number)])
+        .table(
+            "pet",
+            &[
+                ("pet_id", ColumnType::Number),
+                ("pet_type", ColumnType::Text),
+                ("weight", ColumnType::Number),
+            ],
+        )
+        .primary_key("pet", "pet_id")
+        .foreign_key("has_pet", "stu_id", "student", "stu_id")
+        .foreign_key("has_pet", "pet_id", "pet", "pet_id")
+        .build();
+    let mut db = Database::new(schema);
+    let student = db.schema().table_by_name("student").unwrap();
+    let has_pet = db.schema().table_by_name("has_pet").unwrap();
+    let pet = db.schema().table_by_name("pet").unwrap();
+    // Students: Alice(21, France), Bob(19, France), Carol(25, Germany),
+    //           Dave(30, France), Eve(22, Spain)
+    db.insert(student, vec![1.into(), "Alice".into(), 21.into(), "France".into()]);
+    db.insert(student, vec![2.into(), "Bob".into(), 19.into(), "France".into()]);
+    db.insert(student, vec![3.into(), "Carol".into(), 25.into(), "Germany".into()]);
+    db.insert(student, vec![4.into(), "Dave".into(), 30.into(), "France".into()]);
+    db.insert(student, vec![5.into(), "Eve".into(), 22.into(), "Spain".into()]);
+    // Pets: p1 dog 12.0, p2 cat 4.5, p3 dog 9.0, p4 bird 0.5
+    db.insert(pet, vec![1.into(), "dog".into(), 12.0.into()]);
+    db.insert(pet, vec![2.into(), "cat".into(), 4.5.into()]);
+    db.insert(pet, vec![3.into(), "dog".into(), 9.0.into()]);
+    db.insert(pet, vec![4.into(), "bird".into(), 0.5.into()]);
+    // Ownership: Alice->p1,p2  Dave->p3  Carol->p4
+    db.insert(has_pet, vec![1.into(), 1.into()]);
+    db.insert(has_pet, vec![1.into(), 2.into()]);
+    db.insert(has_pet, vec![4.into(), 3.into()]);
+    db.insert(has_pet, vec![3.into(), 4.into()]);
+    db.rebuild_index();
+    db
+}
+
+fn run(db: &Database, sql: &str) -> ResultSet {
+    let stmt = parse_select(sql).unwrap_or_else(|e| panic!("parse {sql}: {e}"));
+    execute(db, &stmt).unwrap_or_else(|e| panic!("exec {sql}: {e}"))
+}
+
+fn single_number(db: &Database, sql: &str) -> f64 {
+    let rs = run(db, sql);
+    assert_eq!(rs.rows.len(), 1, "expected one row from {sql}, got {rs}");
+    rs.rows[0][0].as_number().unwrap_or_else(|| panic!("not a number: {rs}"))
+}
+
+fn text_column(db: &Database, sql: &str) -> Vec<String> {
+    run(db, sql).rows.iter().map(|r| r[0].to_string()).collect()
+}
+
+#[test]
+fn paper_running_example() {
+    // "How many pets are owned by French students that are older than 20?"
+    // Alice (France, 21) owns 2 pets; Dave (France, 30) owns 1. Bob is 19.
+    let db = pets_db();
+    let n = single_number(
+        &db,
+        "SELECT count(*) FROM student AS T1 JOIN has_pet AS T2 ON T1.stu_id = T2.stu_id \
+         WHERE T1.home_country = 'France' AND T1.age > 20",
+    );
+    assert_eq!(n, 3.0);
+}
+
+#[test]
+fn join_without_on_is_cartesian() {
+    // The failure mode the paper attributes to schema-only systems.
+    let db = pets_db();
+    let n = single_number(&db, "SELECT count(*) FROM student JOIN pet");
+    assert_eq!(n, 20.0); // 5 students × 4 pets
+}
+
+#[test]
+fn three_way_join() {
+    let db = pets_db();
+    let names = text_column(
+        &db,
+        "SELECT DISTINCT T1.name FROM student AS T1 \
+         JOIN has_pet AS T2 ON T1.stu_id = T2.stu_id \
+         JOIN pet AS T3 ON T2.pet_id = T3.pet_id WHERE T3.pet_type = 'dog' \
+         ORDER BY T1.name ASC",
+    );
+    assert_eq!(names, vec!["Alice", "Dave"]);
+}
+
+#[test]
+fn where_and_or_not() {
+    let db = pets_db();
+    assert_eq!(
+        single_number(
+            &db,
+            "SELECT count(*) FROM student WHERE home_country = 'Spain' OR home_country = 'Germany'"
+        ),
+        2.0
+    );
+    assert_eq!(
+        single_number(&db, "SELECT count(*) FROM student WHERE NOT home_country = 'France'"),
+        2.0
+    );
+    assert_eq!(
+        single_number(
+            &db,
+            "SELECT count(*) FROM student WHERE age > 20 AND (home_country = 'France' OR home_country = 'Spain')"
+        ),
+        3.0
+    );
+}
+
+#[test]
+fn comparison_operators() {
+    let db = pets_db();
+    assert_eq!(single_number(&db, "SELECT count(*) FROM student WHERE age >= 22"), 3.0);
+    assert_eq!(single_number(&db, "SELECT count(*) FROM student WHERE age < 22"), 2.0);
+    assert_eq!(single_number(&db, "SELECT count(*) FROM student WHERE age != 21"), 4.0);
+    assert_eq!(single_number(&db, "SELECT count(*) FROM pet WHERE weight <= 4.5"), 2.0);
+}
+
+#[test]
+fn between_and_like() {
+    let db = pets_db();
+    assert_eq!(
+        single_number(&db, "SELECT count(*) FROM student WHERE age BETWEEN 20 AND 25"),
+        3.0
+    );
+    assert_eq!(
+        single_number(&db, "SELECT count(*) FROM student WHERE age NOT BETWEEN 20 AND 25"),
+        2.0
+    );
+    // LIKE is case-insensitive, as in SQLite.
+    assert_eq!(single_number(&db, "SELECT count(*) FROM student WHERE name LIKE '%a%'"), 3.0);
+    assert_eq!(single_number(&db, "SELECT count(*) FROM student WHERE name LIKE 'a%'"), 1.0);
+    assert_eq!(
+        single_number(&db, "SELECT count(*) FROM student WHERE name NOT LIKE '%e%'"),
+        2.0 // Bob, Carol
+    );
+}
+
+#[test]
+fn in_list_and_in_subquery() {
+    let db = pets_db();
+    assert_eq!(
+        single_number(&db, "SELECT count(*) FROM student WHERE home_country IN ('Spain', 'Germany')"),
+        2.0
+    );
+    // Students without pets: Bob, Eve.
+    let names = text_column(
+        &db,
+        "SELECT name FROM student WHERE stu_id NOT IN (SELECT stu_id FROM has_pet) ORDER BY name",
+    );
+    assert_eq!(names, vec!["Bob", "Eve"]);
+}
+
+#[test]
+fn scalar_subquery_comparison() {
+    let db = pets_db();
+    // Average age = (21+19+25+30+22)/5 = 23.4 → older: Carol, Dave.
+    let names = text_column(
+        &db,
+        "SELECT name FROM student WHERE age > (SELECT avg(age) FROM student) ORDER BY name",
+    );
+    assert_eq!(names, vec!["Carol", "Dave"]);
+}
+
+#[test]
+fn aggregates() {
+    let db = pets_db();
+    assert_eq!(single_number(&db, "SELECT count(*) FROM pet"), 4.0);
+    assert_eq!(single_number(&db, "SELECT sum(weight) FROM pet"), 26.0);
+    assert_eq!(single_number(&db, "SELECT avg(weight) FROM pet"), 6.5);
+    assert_eq!(single_number(&db, "SELECT min(weight) FROM pet"), 0.5);
+    assert_eq!(single_number(&db, "SELECT max(weight) FROM pet"), 12.0);
+    assert_eq!(single_number(&db, "SELECT count(DISTINCT pet_type) FROM pet"), 3.0);
+    assert_eq!(single_number(&db, "SELECT count(DISTINCT home_country) FROM student"), 3.0);
+}
+
+#[test]
+fn min_max_on_text() {
+    let db = pets_db();
+    let rs = run(&db, "SELECT min(name), max(name) FROM student");
+    assert_eq!(rs.rows[0][0].to_string(), "Alice");
+    assert_eq!(rs.rows[0][1].to_string(), "Eve");
+}
+
+#[test]
+fn aggregates_on_empty_input() {
+    let db = pets_db();
+    assert_eq!(single_number(&db, "SELECT count(*) FROM student WHERE age > 99"), 0.0);
+    let rs = run(&db, "SELECT sum(age), avg(age), min(age), max(age) FROM student WHERE age > 99");
+    assert!(rs.rows[0].iter().all(Datum::is_null));
+}
+
+#[test]
+fn group_by_and_having() {
+    let db = pets_db();
+    let rs = run(
+        &db,
+        "SELECT home_country, count(*) FROM student GROUP BY home_country ORDER BY count(*) DESC, home_country ASC",
+    );
+    let got: Vec<(String, f64)> = rs
+        .rows
+        .iter()
+        .map(|r| (r[0].to_string(), r[1].as_number().unwrap()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("France".to_string(), 3.0),
+            ("Germany".to_string(), 1.0),
+            ("Spain".to_string(), 1.0)
+        ]
+    );
+    let rs = run(
+        &db,
+        "SELECT home_country FROM student GROUP BY home_country HAVING count(*) > 1",
+    );
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0].to_string(), "France");
+}
+
+#[test]
+fn group_by_with_aggregate_of_join() {
+    // Pets per owning student.
+    let db = pets_db();
+    let rs = run(
+        &db,
+        "SELECT T1.name, count(*) FROM student AS T1 JOIN has_pet AS T2 ON T1.stu_id = T2.stu_id \
+         GROUP BY T1.name ORDER BY count(*) DESC, T1.name ASC",
+    );
+    let got: Vec<(String, f64)> =
+        rs.rows.iter().map(|r| (r[0].to_string(), r[1].as_number().unwrap())).collect();
+    assert_eq!(
+        got,
+        vec![("Alice".to_string(), 2.0), ("Carol".to_string(), 1.0), ("Dave".to_string(), 1.0)]
+    );
+}
+
+#[test]
+fn order_by_and_limit() {
+    let db = pets_db();
+    let names = text_column(&db, "SELECT name FROM student ORDER BY age DESC LIMIT 2");
+    assert_eq!(names, vec!["Dave", "Carol"]);
+    let names = text_column(&db, "SELECT name FROM student ORDER BY age ASC LIMIT 1");
+    assert_eq!(names, vec!["Bob"]);
+    // ORDER BY a column not in the projection.
+    let names = text_column(&db, "SELECT name FROM student ORDER BY home_country ASC, age ASC");
+    assert_eq!(names, vec!["Bob", "Alice", "Dave", "Carol", "Eve"]);
+}
+
+#[test]
+fn distinct_projection() {
+    let db = pets_db();
+    let mut countries = text_column(&db, "SELECT DISTINCT home_country FROM student");
+    countries.sort();
+    assert_eq!(countries, vec!["France", "Germany", "Spain"]);
+}
+
+#[test]
+fn star_projections() {
+    let db = pets_db();
+    let rs = run(&db, "SELECT * FROM pet");
+    assert_eq!(rs.rows.len(), 4);
+    assert_eq!(rs.rows[0].len(), 3);
+    assert_eq!(rs.headers, vec!["pet.pet_id", "pet.pet_type", "pet.weight"]);
+    let rs = run(
+        &db,
+        "SELECT T2.* FROM student AS T1 JOIN has_pet AS T2 ON T1.stu_id = T2.stu_id",
+    );
+    assert_eq!(rs.rows.len(), 4);
+    assert_eq!(rs.rows[0].len(), 2);
+}
+
+#[test]
+fn union_intersect_except() {
+    let db = pets_db();
+    // Countries of pet owners: France (Alice, Dave), Germany (Carol).
+    let mut u = text_column(
+        &db,
+        "SELECT home_country FROM student WHERE age > 24 \
+         UNION SELECT home_country FROM student WHERE age < 20",
+    );
+    u.sort();
+    assert_eq!(u, vec!["France", "Germany"]); // Dave+Carol ∪ Bob, deduped
+
+    let i = text_column(
+        &db,
+        "SELECT home_country FROM student WHERE age > 20 \
+         INTERSECT SELECT home_country FROM student WHERE age < 22",
+    );
+    assert_eq!(i, vec!["France"]);
+
+    let e = text_column(
+        &db,
+        "SELECT home_country FROM student \
+         EXCEPT SELECT home_country FROM student WHERE age < 25",
+    );
+    assert_eq!(e, vec!["Germany"]);
+}
+
+#[test]
+fn union_all_keeps_duplicates() {
+    let db = pets_db();
+    let rows = text_column(
+        &db,
+        "SELECT home_country FROM student WHERE name = 'Alice' \
+         UNION ALL SELECT home_country FROM student WHERE name = 'Bob'",
+    );
+    assert_eq!(rows, vec!["France", "France"]);
+}
+
+#[test]
+fn nested_superlative_pattern() {
+    // "the heaviest pet" via ORDER BY ... LIMIT 1 and via scalar subquery.
+    let db = pets_db();
+    let a = text_column(&db, "SELECT pet_type FROM pet ORDER BY weight DESC LIMIT 1");
+    assert_eq!(a, vec!["dog"]);
+    let b = text_column(&db, "SELECT pet_type FROM pet WHERE weight = (SELECT max(weight) FROM pet)");
+    assert_eq!(b, vec!["dog"]);
+}
+
+#[test]
+fn execution_accuracy_comparison_semantics() {
+    let db = pets_db();
+    // Equivalent queries with different syntax must compare equal.
+    let q1 = run(&db, "SELECT name FROM student WHERE age > 20 ORDER BY name ASC");
+    let q2 = run(
+        &db,
+        "SELECT T1.name FROM student AS T1 WHERE T1.age >= 21 ORDER BY T1.name ASC",
+    );
+    assert!(q1.result_eq(&q2));
+    // Different results must not.
+    let q3 = run(&db, "SELECT name FROM student WHERE age > 23 ORDER BY name ASC");
+    assert!(!q1.result_eq(&q3));
+}
+
+#[test]
+fn unknown_identifiers_error() {
+    let db = pets_db();
+    let q = parse_select("SELECT x FROM nosuch").unwrap();
+    assert!(matches!(execute(&db, &q), Err(ExecError::UnknownTable(_))));
+    let q = parse_select("SELECT nosuch FROM student").unwrap();
+    assert!(matches!(execute(&db, &q), Err(ExecError::UnknownColumn(_))));
+    let q = parse_select("SELECT T9.name FROM student AS T1").unwrap();
+    assert!(matches!(execute(&db, &q), Err(ExecError::UnknownTable(_))));
+}
+
+#[test]
+fn compound_arity_mismatch_errors() {
+    let db = pets_db();
+    let q = parse_select("SELECT name, age FROM student UNION SELECT name FROM student").unwrap();
+    assert!(matches!(execute(&db, &q), Err(ExecError::ArityMismatch { .. })));
+}
+
+#[test]
+fn select_without_from() {
+    let db = pets_db();
+    let rs = run(&db, "SELECT 1");
+    assert_eq!(rs.rows, vec![vec![Datum::Int(1)]]);
+}
+
+#[test]
+fn null_semantics() {
+    let schema = SchemaBuilder::new("nulls")
+        .table("t", &[("a", ColumnType::Number), ("b", ColumnType::Text)])
+        .build();
+    let mut db = Database::new(schema);
+    let t = db.schema().table_by_name("t").unwrap();
+    db.insert(t, vec![1.into(), "x".into()]);
+    db.insert(t, vec![Datum::Null, "y".into()]);
+    db.insert(t, vec![3.into(), Datum::Null]);
+    db.rebuild_index();
+    // NULL never satisfies comparisons.
+    assert_eq!(single_number(&db, "SELECT count(*) FROM t WHERE a > 0"), 2.0);
+    assert_eq!(single_number(&db, "SELECT count(*) FROM t WHERE a = 1 OR a = 3"), 2.0);
+    // count(col) skips NULLs, count(*) does not.
+    assert_eq!(single_number(&db, "SELECT count(a) FROM t"), 2.0);
+    assert_eq!(single_number(&db, "SELECT count(*) FROM t"), 3.0);
+    // Aggregates skip NULLs.
+    assert_eq!(single_number(&db, "SELECT sum(a) FROM t"), 4.0);
+    assert_eq!(single_number(&db, "SELECT avg(a) FROM t"), 2.0);
+}
+
+#[test]
+fn int_float_comparison_coercion() {
+    let db = pets_db();
+    // weight is float; compare against int literal.
+    assert_eq!(single_number(&db, "SELECT count(*) FROM pet WHERE weight > 4"), 3.0);
+    assert_eq!(single_number(&db, "SELECT count(*) FROM pet WHERE weight = 9"), 1.0);
+}
+
+#[test]
+fn limit_zero_and_large() {
+    let db = pets_db();
+    assert_eq!(run(&db, "SELECT name FROM student LIMIT 0").rows.len(), 0);
+    assert_eq!(run(&db, "SELECT name FROM student LIMIT 100").rows.len(), 5);
+}
+
+#[test]
+fn order_by_aggregate_in_group() {
+    let db = pets_db();
+    let rows = text_column(
+        &db,
+        "SELECT home_country FROM student GROUP BY home_country ORDER BY count(*) DESC LIMIT 1",
+    );
+    assert_eq!(rows, vec!["France"]);
+}

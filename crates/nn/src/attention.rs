@@ -1,0 +1,312 @@
+//! Multi-head self-attention and transformer blocks.
+//!
+//! These are the from-scratch substitute for the pretrained BERT encoder the
+//! paper fine-tunes (see `DESIGN.md`): the joint question ⊕ schema ⊕ value
+//! sequence is encoded by a stack of [`TransformerBlock`]s so attention can
+//! form between question tokens and the value candidates extracted from the
+//! database content (paper Fig. 8).
+
+use crate::{Linear, ParamId, ParamStore};
+use rand::Rng;
+use valuenet_tensor::{Graph, Tensor, Var};
+
+/// Scaled dot-product multi-head self-attention.
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention layer over `dim`-sized vectors with `heads`
+    /// heads. `dim` must be divisible by `heads`.
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        group: usize,
+        dim: usize,
+        heads: usize,
+    ) -> Self {
+        assert!(heads > 0 && dim.is_multiple_of(heads), "dim {dim} not divisible by heads {heads}");
+        MultiHeadAttention {
+            wq: Linear::with_bias(ps, rng, &format!("{name}.wq"), group, dim, dim, false),
+            wk: Linear::with_bias(ps, rng, &format!("{name}.wk"), group, dim, dim, false),
+            wv: Linear::with_bias(ps, rng, &format!("{name}.wv"), group, dim, dim, false),
+            wo: Linear::with_bias(ps, rng, &format!("{name}.wo"), group, dim, dim, false),
+            heads,
+            dim,
+        }
+    }
+
+    /// Self-attention over `x` of shape `[n, dim]`. `mask`, if given, is an
+    /// additive `[n, n]` tensor (use large negative values to forbid
+    /// attention edges).
+    pub fn forward(&self, g: &mut Graph, ps: &ParamStore, x: Var, mask: Option<Var>) -> Var {
+        let dk = self.dim / self.heads;
+        let q = self.wq.forward(g, ps, x);
+        let k = self.wk.forward(g, ps, x);
+        let v = self.wv.forward(g, ps, x);
+        let scale = 1.0 / (dk as f32).sqrt();
+        let mut head_outs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let (c0, c1) = (h * dk, (h + 1) * dk);
+            let qh = g.slice_cols(q, c0, c1);
+            let kh = g.slice_cols(k, c0, c1);
+            let vh = g.slice_cols(v, c0, c1);
+            let kt = g.transpose(kh);
+            let raw = g.matmul(qh, kt);
+            let mut scores = g.scale(raw, scale);
+            if let Some(m) = mask {
+                scores = g.add(scores, m);
+            }
+            let attn = g.softmax_rows(scores);
+            head_outs.push(g.matmul(attn, vh));
+        }
+        let cat = g.concat_cols(&head_outs);
+        self.wo.forward(g, ps, cat)
+    }
+}
+
+/// Layer normalisation with learnable gain and bias.
+pub struct LayerNorm {
+    gain: ParamId,
+    bias: ParamId,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over `dim`-sized rows.
+    pub fn new(ps: &mut ParamStore, name: &str, group: usize, dim: usize) -> Self {
+        LayerNorm {
+            gain: ps.add(format!("{name}.gain"), group, Tensor::full(1, dim, 1.0)),
+            bias: ps.add(format!("{name}.bias"), group, Tensor::zeros(1, dim)),
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalises each row of `x` and applies the affine transform.
+    pub fn forward(&self, g: &mut Graph, ps: &ParamStore, x: Var) -> Var {
+        let n = g.layer_norm_rows(x, self.eps);
+        let gain = ps.var(g, self.gain);
+        let bias = ps.var(g, self.bias);
+        let scaled = g.mul_broadcast_row(n, gain);
+        g.add_broadcast_row(scaled, bias)
+    }
+}
+
+/// Position-wise feed-forward network (`Linear → ReLU → Linear`).
+pub struct FeedForward {
+    up: Linear,
+    down: Linear,
+}
+
+impl FeedForward {
+    /// Creates the two projections (`dim → inner → dim`).
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        group: usize,
+        dim: usize,
+        inner: usize,
+    ) -> Self {
+        FeedForward {
+            up: Linear::new(ps, rng, &format!("{name}.up"), group, dim, inner),
+            down: Linear::new(ps, rng, &format!("{name}.down"), group, inner, dim),
+        }
+    }
+
+    /// Applies the network row-wise.
+    pub fn forward(&self, g: &mut Graph, ps: &ParamStore, x: Var) -> Var {
+        let u = self.up.forward(g, ps, x);
+        let r = g.relu(u);
+        self.down.forward(g, ps, r)
+    }
+}
+
+/// A post-norm transformer encoder block:
+/// `x = LN(x + MHA(x)); x = LN(x + FFN(x))`.
+pub struct TransformerBlock {
+    attn: MultiHeadAttention,
+    ln1: LayerNorm,
+    ffn: FeedForward,
+    ln2: LayerNorm,
+}
+
+impl TransformerBlock {
+    /// Creates a block over `dim`-sized vectors.
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        group: usize,
+        dim: usize,
+        heads: usize,
+        ffn_inner: usize,
+    ) -> Self {
+        TransformerBlock {
+            attn: MultiHeadAttention::new(ps, rng, &format!("{name}.attn"), group, dim, heads),
+            ln1: LayerNorm::new(ps, &format!("{name}.ln1"), group, dim),
+            ffn: FeedForward::new(ps, rng, &format!("{name}.ffn"), group, dim, ffn_inner),
+            ln2: LayerNorm::new(ps, &format!("{name}.ln2"), group, dim),
+        }
+    }
+
+    /// Applies the block; see the type-level docs for the layout.
+    pub fn forward(&self, g: &mut Graph, ps: &ParamStore, x: Var, mask: Option<Var>) -> Var {
+        let a = self.attn.forward(g, ps, x, mask);
+        let r1 = g.add(x, a);
+        let n1 = self.ln1.forward(g, ps, r1);
+        let f = self.ffn.forward(g, ps, n1);
+        let r2 = g.add(n1, f);
+        self.ln2.forward(g, ps, r2)
+    }
+}
+
+/// Builds an additive attention mask that forbids attending to positions
+/// `>= valid_len` (useful when padding). Allowed edges are `0.0`, forbidden
+/// ones `-1e9`.
+pub fn padding_mask(n: usize, valid_len: usize) -> Tensor {
+    let mut m = Tensor::zeros(n, n);
+    for r in 0..n {
+        for c in valid_len..n {
+            m.set(r, c, -1e9);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adam, AdamConfig, Embedding, Initializer};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn attention_shapes() {
+        let mut ps = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mha = MultiHeadAttention::new(&mut ps, &mut rng, "a", 0, 8, 2);
+        let mut g = Graph::new();
+        let x = g.input(Initializer::Uniform(1.0).sample(&mut rng, 5, 8));
+        let y = mha.forward(&mut g, &ps, x, None);
+        assert_eq!(g.value(y).shape(), (5, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn bad_head_count_panics() {
+        let mut ps = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        MultiHeadAttention::new(&mut ps, &mut rng, "a", 0, 8, 3);
+    }
+
+    #[test]
+    fn mask_blocks_information_flow() {
+        let mut ps = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mha = MultiHeadAttention::new(&mut ps, &mut rng, "a", 0, 4, 1);
+        // With positions >= 2 masked, changing row 2 must not change rows 0-1.
+        let run = |third_row: f32| {
+            let mut g = Graph::new();
+            let x = g.input(Tensor::from_rows(&[
+                &[1.0, 0.0, 0.0, 0.0],
+                &[0.0, 1.0, 0.0, 0.0],
+                &[third_row, third_row, third_row, third_row],
+            ]));
+            let m = g.input(padding_mask(3, 2));
+            let y = mha.forward(&mut g, &ps, x, Some(m));
+            (g.value(y).row(0).to_vec(), g.value(y).row(1).to_vec())
+        };
+        assert_eq!(run(0.0), run(9.0));
+    }
+
+    #[test]
+    fn layer_norm_normalises() {
+        let mut ps = ParamStore::new();
+        let ln = LayerNorm::new(&mut ps, "ln", 0, 4);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_rows(&[&[10.0, 20.0, 30.0, 40.0]]));
+        let y = ln.forward(&mut g, &ps, x);
+        let row = g.value(y).row(0).to_vec();
+        let mean: f32 = row.iter().sum::<f32>() / 4.0;
+        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn transformer_block_shapes_and_grads() {
+        let mut ps = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let block = TransformerBlock::new(&mut ps, &mut rng, "t", 0, 8, 2, 16);
+        let mut g = Graph::new();
+        let x = g.input(Initializer::Uniform(1.0).sample(&mut rng, 4, 8));
+        let y = block.forward(&mut g, &ps, x, None);
+        assert_eq!(g.value(y).shape(), (4, 8));
+        let loss = g.mean_all(y);
+        let grads = g.backward(loss);
+        // Every parameter of the block must receive some gradient.
+        let got = ps.collect_grads(&grads);
+        assert_eq!(got.len(), ps.len());
+    }
+
+    /// A one-block transformer must solve a task a bag-of-words model cannot:
+    /// classify whether token A appears *before* token B in the sequence.
+    /// With position embeddings and attention this is learnable.
+    #[test]
+    fn transformer_learns_order_task() {
+        let mut ps = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let dim = 16;
+        let tok = Embedding::new(&mut ps, &mut rng, "tok", 0, 4, dim);
+        let pos = Embedding::new(&mut ps, &mut rng, "pos", 0, 6, dim);
+        let block = TransformerBlock::new(&mut ps, &mut rng, "t", 0, dim, 2, 32);
+        let head = Linear::new(&mut ps, &mut rng, "h", 0, dim, 2);
+        let mut opt = Adam::new(&ps, AdamConfig { group_lrs: vec![0.005], ..Default::default() });
+
+        // Token 1 = A, token 2 = B, token 0 = filler. Label: A before B?
+        let data: Vec<(Vec<usize>, usize)> = vec![
+            (vec![1, 0, 2, 0], 1),
+            (vec![2, 0, 1, 0], 0),
+            (vec![0, 1, 0, 2], 1),
+            (vec![0, 2, 0, 1], 0),
+            (vec![1, 2, 0, 0], 1),
+            (vec![2, 1, 0, 0], 0),
+            (vec![0, 0, 1, 2], 1),
+            (vec![0, 0, 2, 1], 0),
+        ];
+        let forward = |g: &mut Graph, ps: &ParamStore, seq: &[usize]| {
+            let te = tok.forward(g, ps, seq);
+            let pe = pos.forward(g, ps, &(0..seq.len()).collect::<Vec<_>>());
+            let x = g.add(te, pe);
+            let enc = block.forward(g, ps, x, None);
+            let first = g.slice_rows(enc, 0, 1);
+            head.forward(g, ps, first)
+        };
+        for _ in 0..200 {
+            for (seq, label) in &data {
+                let mut g = Graph::new();
+                let logits = forward(&mut g, &ps, seq);
+                let lp = g.log_softmax_rows(logits);
+                let loss = g.nll_loss(lp, &[*label]);
+                let grads = g.backward(loss);
+                opt.step(&mut ps, &grads);
+            }
+        }
+        let mut correct = 0;
+        for (seq, label) in &data {
+            let mut g = Graph::new();
+            let logits = forward(&mut g, &ps, seq);
+            if g.value(logits).argmax() == *label {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 7, "transformer solved only {correct}/8 order tasks");
+    }
+}

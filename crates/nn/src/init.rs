@@ -1,0 +1,65 @@
+//! Weight initialisation.
+
+use rand::Rng;
+use valuenet_tensor::Tensor;
+
+/// Weight-initialisation schemes.
+#[derive(Debug, Clone, Copy)]
+pub enum Initializer {
+    /// All zeros (biases).
+    Zeros,
+    /// All set to the given constant (e.g. LSTM forget-gate bias of 1.0).
+    Constant(f32),
+    /// Uniform in `[-a, a]` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Uniform in `[-a, a]`.
+    Uniform(f32),
+}
+
+impl Initializer {
+    /// Samples a `rows × cols` tensor.
+    pub fn sample(self, rng: &mut impl Rng, rows: usize, cols: usize) -> Tensor {
+        match self {
+            Initializer::Zeros => Tensor::zeros(rows, cols),
+            Initializer::Constant(c) => Tensor::full(rows, cols, c),
+            Initializer::XavierUniform => {
+                let a = (6.0 / (rows + cols) as f32).sqrt();
+                uniform(rng, rows, cols, a)
+            }
+            Initializer::Uniform(a) => uniform(rng, rows, cols, a),
+        }
+    }
+}
+
+fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, a: f32) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen_range(-a..=a)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let t = Initializer::XavierUniform.sample(&mut rng, 10, 20);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= a));
+        // Not degenerate: at least two distinct values.
+        assert!(t.as_slice().windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn constant_and_zeros() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(Initializer::Zeros.sample(&mut rng, 2, 2).as_slice().iter().all(|&x| x == 0.0));
+        assert!(Initializer::Constant(1.0)
+            .sample(&mut rng, 2, 2)
+            .as_slice()
+            .iter()
+            .all(|&x| x == 1.0));
+    }
+}

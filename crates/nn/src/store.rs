@@ -1,0 +1,182 @@
+//! Named parameter storage shared by all layers.
+
+use serde::{Deserialize, Serialize};
+use valuenet_tensor::{Gradients, Graph, Tensor, Var};
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The raw index, used as the autodiff parameter id.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct ParamEntry {
+    name: String,
+    group: usize,
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+/// Holds every trainable tensor of a model, each tagged with a name and an
+/// optimiser *group* (the paper trains encoder / decoder / connection
+/// parameters with different learning rates).
+#[derive(Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<ParamEntry>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tensor under `name` in optimiser group `group`.
+    pub fn add(&mut self, name: impl Into<String>, group: usize, t: Tensor) -> ParamId {
+        let (rows, cols) = t.shape();
+        self.params.push(ParamEntry {
+            name: name.into(),
+            group,
+            rows,
+            cols,
+            data: t.as_slice().to_vec(),
+        });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.params.iter().map(|p| p.data.len()).sum()
+    }
+
+    /// The current value of a parameter.
+    pub fn get(&self, id: ParamId) -> Tensor {
+        let p = &self.params[id.0];
+        Tensor::from_vec(p.rows, p.cols, p.data.clone())
+    }
+
+    /// The optimiser group of a parameter.
+    pub fn group(&self, id: ParamId) -> usize {
+        self.params[id.0].group
+    }
+
+    /// The name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Shape of a parameter without copying its data.
+    pub fn shape(&self, id: ParamId) -> (usize, usize) {
+        let p = &self.params[id.0];
+        (p.rows, p.cols)
+    }
+
+    /// Overwrites a parameter value (used by the optimiser).
+    pub fn set(&mut self, id: ParamId, t: &Tensor) {
+        let p = &mut self.params[id.0];
+        assert_eq!((p.rows, p.cols), t.shape(), "ParamStore::set: shape mismatch for {}", p.name);
+        p.data.copy_from_slice(t.as_slice());
+    }
+
+    /// Applies `f` to the raw weight buffer of a parameter.
+    pub fn update_in_place(&mut self, id: ParamId, f: impl FnOnce(&mut [f32])) {
+        f(&mut self.params[id.0].data);
+    }
+
+    /// Registers the parameter as a node of the autodiff graph so gradients
+    /// flow back to it. The value is copied into the tape.
+    pub fn var(&self, g: &mut Graph, id: ParamId) -> Var {
+        g.param(self.get(id), id.0)
+    }
+
+    /// Collects, for each parameter that received a gradient, the summed
+    /// gradient tensor. Returned in parameter order.
+    pub fn collect_grads(&self, grads: &Gradients) -> Vec<(ParamId, Tensor)> {
+        let mut acc: Vec<Option<Tensor>> = vec![None; self.params.len()];
+        for (pid, g) in grads.param_grads() {
+            match &mut acc[pid] {
+                Some(t) => t.add_assign(g),
+                slot @ None => *slot = Some(g.clone()),
+            }
+        }
+        acc.into_iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.map(|g| (ParamId(i), g)))
+            .collect()
+    }
+
+    /// Serialises all weights to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ParamStore serialisation cannot fail")
+    }
+
+    /// Restores a store previously produced by [`ParamStore::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Iterator over all parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.params.len()).map(ParamId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_set_round_trip() {
+        let mut ps = ParamStore::new();
+        let id = ps.add("w", 0, Tensor::from_rows(&[&[1.0, 2.0]]));
+        assert_eq!(ps.get(id).as_slice(), &[1.0, 2.0]);
+        ps.set(id, &Tensor::from_rows(&[&[3.0, 4.0]]));
+        assert_eq!(ps.get(id).as_slice(), &[3.0, 4.0]);
+        assert_eq!(ps.name(id), "w");
+        assert_eq!(ps.group(id), 0);
+        assert_eq!(ps.num_weights(), 2);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut ps = ParamStore::new();
+        ps.add("a", 0, Tensor::scalar(1.5));
+        ps.add("b", 2, Tensor::from_rows(&[&[1.0], &[2.0]]));
+        let json = ps.to_json();
+        let ps2 = ParamStore::from_json(&json).unwrap();
+        assert_eq!(ps2.len(), 2);
+        assert_eq!(ps2.get(ParamId(0)).scalar_value(), 1.5);
+        assert_eq!(ps2.group(ParamId(1)), 2);
+        assert_eq!(ps2.get(ParamId(1)).shape(), (2, 1));
+    }
+
+    #[test]
+    fn grads_flow_through_store() {
+        let mut ps = ParamStore::new();
+        let id = ps.add("w", 0, Tensor::scalar(2.0));
+        let mut g = Graph::new();
+        let w = ps.var(&mut g, id);
+        let y = g.mul(w, w);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        let collected = ps.collect_grads(&grads);
+        assert_eq!(collected.len(), 1);
+        assert_eq!(collected[0].1.scalar_value(), 4.0); // d(w^2)/dw = 2w
+    }
+}

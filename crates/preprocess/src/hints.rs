@@ -1,0 +1,254 @@
+//! Question and schema hints (paper Figs. 6 and 7).
+
+use crate::candidates::ValueCandidate;
+use crate::stem::porter_stem;
+use crate::tokenizer::Token;
+use std::collections::HashSet;
+use valuenet_storage::Database;
+
+/// Classification of one question token (Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuestionHint {
+    /// No match.
+    None,
+    /// Matches a table name.
+    Table,
+    /// Matches a column name.
+    Column,
+    /// Found in the database content.
+    Value,
+    /// An aggregation keyword ("average", "how many", ...).
+    Agg,
+    /// A superlative keyword ("most", "oldest", ...).
+    Superlative,
+}
+
+/// Classification of one schema item (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemaHint {
+    /// Not mentioned.
+    None,
+    /// Some of its words appear in the question.
+    Partial,
+    /// All of its words appear in the question.
+    Exact,
+    /// A validated value candidate was found in this column.
+    ValueCandidate,
+}
+
+/// Hints for every table and column of a schema.
+#[derive(Debug, Clone)]
+pub struct SchemaHints {
+    /// One hint per table (indexed by `TableId.0`).
+    pub tables: Vec<SchemaHint>,
+    /// One hint per column (indexed by `ColumnId.0`).
+    pub columns: Vec<SchemaHint>,
+}
+
+const AGG_KEYWORDS: &[&str] = &[
+    "average", "avg", "sum", "total", "count", "number", "many", "much", "amount",
+];
+
+const SUPERLATIVE_KEYWORDS: &[&str] = &[
+    "most", "least", "oldest", "youngest", "largest", "smallest", "highest", "lowest",
+    "biggest", "heaviest", "lightest", "longest", "shortest", "best", "worst", "latest",
+    "earliest", "top", "maximum", "minimum", "max", "min", "fastest", "slowest", "cheapest",
+];
+
+/// Classifies each question token (Fig. 6): superlative/aggregation keywords,
+/// stemmed matches against table and column names, then database content.
+pub fn question_hints(tokens: &[Token], db: &Database) -> Vec<QuestionHint> {
+    let schema = db.schema();
+    let table_stems: HashSet<String> = schema
+        .tables
+        .iter()
+        .flat_map(|t| t.display.split_whitespace().map(porter_stem))
+        .collect();
+    let column_stems: HashSet<String> = schema
+        .columns
+        .iter()
+        .skip(1)
+        .flat_map(|c| c.display.split_whitespace().map(porter_stem))
+        .collect();
+
+    tokens
+        .iter()
+        .map(|t| {
+            let stem = porter_stem(&t.lower);
+            if SUPERLATIVE_KEYWORDS.contains(&t.lower.as_str()) {
+                QuestionHint::Superlative
+            } else if AGG_KEYWORDS.contains(&t.lower.as_str()) {
+                QuestionHint::Agg
+            } else if table_stems.contains(&stem) {
+                QuestionHint::Table
+            } else if column_stems.contains(&stem) {
+                QuestionHint::Column
+            } else if !db.index().find_token(&t.lower).is_empty() {
+                QuestionHint::Value
+            } else {
+                QuestionHint::None
+            }
+        })
+        .collect()
+}
+
+/// Classifies each schema item (Fig. 7): exact when all of its display words
+/// occur in the (stemmed) question, partial when some do, and
+/// value-candidate when a validated candidate was located in the column.
+pub fn schema_hints(
+    tokens: &[Token],
+    db: &Database,
+    candidates: &[ValueCandidate],
+) -> SchemaHints {
+    let schema = db.schema();
+    let question_stems: HashSet<String> =
+        tokens.iter().map(|t| porter_stem(&t.lower)).collect();
+
+    let match_words = |display: &str| -> SchemaHint {
+        let words: Vec<String> = display.split_whitespace().map(porter_stem).collect();
+        if words.is_empty() {
+            return SchemaHint::None;
+        }
+        let hits = words.iter().filter(|w| question_stems.contains(*w)).count();
+        if hits == words.len() {
+            SchemaHint::Exact
+        } else if hits > 0 {
+            SchemaHint::Partial
+        } else {
+            SchemaHint::None
+        }
+    };
+
+    let tables = schema.tables.iter().map(|t| match_words(&t.display)).collect();
+
+    let mut columns: Vec<SchemaHint> = schema
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| if i == 0 { SchemaHint::None } else { match_words(&c.display) })
+        .collect();
+    // Value-candidate locations upgrade anything below Exact.
+    for cand in candidates {
+        for loc in &cand.locations {
+            if columns[loc.0] != SchemaHint::Exact {
+                columns[loc.0] = SchemaHint::ValueCandidate;
+            }
+        }
+    }
+    SchemaHints { tables, columns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{generate_candidates, CandidateConfig};
+    use crate::ner::{HeuristicNer, Ner};
+    use crate::tokenizer::tokenize_question;
+    use valuenet_schema::{ColumnType, SchemaBuilder};
+
+    fn pets_db() -> Database {
+        let schema = SchemaBuilder::new("pets")
+            .table(
+                "student",
+                &[
+                    ("stu_id", ColumnType::Number),
+                    ("name", ColumnType::Text),
+                    ("age", ColumnType::Number),
+                    ("home_country", ColumnType::Text),
+                ],
+            )
+            .table("has_pet", &[("stu_id", ColumnType::Number), ("pet_id", ColumnType::Number)])
+            .table("pet", &[("pet_id", ColumnType::Number), ("weight", ColumnType::Number)])
+            .build();
+        let mut db = Database::new(schema);
+        let student = db.schema().table_by_name("student").unwrap();
+        db.insert(student, vec![1.into(), "Alice".into(), 21.into(), "France".into()]);
+        db.insert(student, vec![2.into(), "Bob".into(), 19.into(), "Germany".into()]);
+        db.insert(student, vec![3.into(), "Carol".into(), 20.into(), "Spain".into()]);
+        db.rebuild_index();
+        db
+    }
+
+    #[test]
+    fn question_hint_classes() {
+        let db = pets_db();
+        // The paper's Fig. 6 example (France appears in the DB, not "French";
+        // the encoder learns that correlation — the hint only fires on
+        // literal DB content, so use "France" here).
+        let q = "How many pets are owned by students from France older than 20?";
+        let tokens = tokenize_question(q);
+        let hints = question_hints(&tokens, &db);
+        let hint_of = |w: &str| {
+            hints[tokens.iter().position(|t| t.lower == w).unwrap_or_else(|| panic!("{w}"))]
+        };
+        assert_eq!(hint_of("many"), QuestionHint::Agg);
+        assert_eq!(hint_of("pets"), QuestionHint::Table);
+        assert_eq!(hint_of("students"), QuestionHint::Table);
+        assert_eq!(hint_of("france"), QuestionHint::Value);
+        assert_eq!(hint_of("owned"), QuestionHint::None);
+        // Numbers found in the data get the Value hint.
+        let q2 = "students aged 21";
+        let tokens2 = tokenize_question(q2);
+        let hints2 = question_hints(&tokens2, &db);
+        assert_eq!(hints2[2], QuestionHint::Value);
+    }
+
+    #[test]
+    fn column_hint_beats_value() {
+        let db = pets_db();
+        let q = "What is the age of each student?";
+        let tokens = tokenize_question(q);
+        let hints = question_hints(&tokens, &db);
+        let idx = tokens.iter().position(|t| t.lower == "age").unwrap();
+        assert_eq!(hints[idx], QuestionHint::Column);
+    }
+
+    #[test]
+    fn superlative_keywords() {
+        let db = pets_db();
+        let tokens = tokenize_question("Who is the oldest student?");
+        let hints = question_hints(&tokens, &db);
+        let idx = tokens.iter().position(|t| t.lower == "oldest").unwrap();
+        assert_eq!(hints[idx], QuestionHint::Superlative);
+    }
+
+    #[test]
+    fn schema_hint_exact_partial_value() {
+        let db = pets_db();
+        let q = "How many pets are owned by students from France older than 20?";
+        let tokens = tokenize_question(q);
+        let extracted = HeuristicNer.extract(q, &tokens);
+        let cands = generate_candidates(&extracted, &tokens, &db, &CandidateConfig::default());
+        let hints = schema_hints(&tokens, &db, &cands);
+
+        let schema = db.schema();
+        let student = schema.table_by_name("student").unwrap();
+        let pet = schema.table_by_name("pet").unwrap();
+        let has_pet = schema.table_by_name("has_pet").unwrap();
+        assert_eq!(hints.tables[student.0], SchemaHint::Exact);
+        assert_eq!(hints.tables[pet.0], SchemaHint::Exact);
+        // "has pet": only "pet" appears → partial.
+        assert_eq!(hints.tables[has_pet.0], SchemaHint::Partial);
+
+        // France was validated in home_country → value-candidate match.
+        let country = schema.column_by_name(student, "home_country").unwrap();
+        assert_eq!(hints.columns[country.0], SchemaHint::ValueCandidate);
+        // age: "20" was found in column age → value-candidate match
+        // (the paper's exact example for this class).
+        let age = schema.column_by_name(student, "age").unwrap();
+        assert!(
+            matches!(hints.columns[age.0], SchemaHint::ValueCandidate | SchemaHint::Exact),
+            "{:?}",
+            hints.columns[age.0]
+        );
+    }
+
+    #[test]
+    fn unmentioned_schema_items_are_none() {
+        let db = pets_db();
+        let tokens = tokenize_question("Count everything");
+        let hints = schema_hints(&tokens, &db, &[]);
+        assert!(hints.tables.iter().all(|&h| h == SchemaHint::None));
+        assert!(hints.columns.iter().all(|&h| h == SchemaHint::None));
+    }
+}

@@ -1,0 +1,88 @@
+//! Pre-processing: question/schema hints and the value-candidate pipeline.
+//!
+//! Implements the paper's Section III-A and Section IV:
+//!
+//! - **Question hints** (Fig. 6): classify each question token as referring
+//!   to a table, a column, a database value, an aggregation or a
+//!   superlative, by stemming and exact matching against the schema and the
+//!   inverted index.
+//! - **Schema hints** (Fig. 7): the inverse — classify each schema item as
+//!   exactly / partially mentioned, or as the location of a value candidate.
+//! - **Value extraction** (IV-B1): a named-entity recogniser. Two backends:
+//!   the paper's deterministic heuristics (quotes, capitalised sequences,
+//!   single letters, numbers, dates, ordinals) and a trainable statistical
+//!   token classifier (a character-n-gram naive Bayes model standing in for
+//!   the transformer NER; see `DESIGN.md`).
+//! - **Candidate generation** (IV-B2): Damerau–Levenshtein similarity search
+//!   against the database, n-grams of multi-token values, and handcrafted
+//!   heuristics (gender → 'F'/'M', booleans → 0/1, ordinals → integers,
+//!   months → date wildcards).
+//! - **Candidate validation** (IV-B3): exact database lookups that prune the
+//!   candidate set and register the table/column each candidate was found
+//!   in — numeric and quoted values are exempt from validation, exactly as
+//!   in the paper.
+
+//! ```
+//! use valuenet_preprocess::{preprocess, CandidateConfig, HeuristicNer};
+//! use valuenet_schema::{ColumnType, SchemaBuilder};
+//! use valuenet_storage::Database;
+//!
+//! let schema = SchemaBuilder::new("demo")
+//!     .table("student", &[("name", ColumnType::Text), ("country", ColumnType::Text)])
+//!     .build();
+//! let mut db = Database::new(schema);
+//! let t = db.schema().table_by_name("student").unwrap();
+//! db.insert(t, vec!["Alice".into(), "France".into()]);
+//! db.rebuild_index();
+//!
+//! let pre = preprocess(
+//!     "How many students are from Frence?", // misspelled on purpose
+//!     &db,
+//!     &HeuristicNer::new(),
+//!     &CandidateConfig::default(),
+//! );
+//! // Similarity search recovered the real database value.
+//! assert!(pre.candidates.iter().any(|c| c.text == "France"));
+//! ```
+
+mod candidates;
+mod hints;
+mod ner;
+mod stem;
+mod tokenizer;
+
+pub use candidates::{
+    generate_candidates, CandidateConfig, CandidateSource, ValueCandidate,
+};
+pub use hints::{
+    question_hints, schema_hints, QuestionHint, SchemaHint, SchemaHints,
+};
+pub use ner::{ExtractedValue, HeuristicNer, Ner, StatisticalNer, ValueKind};
+pub use stem::porter_stem;
+pub use tokenizer::{tokenize_question, Token};
+
+use valuenet_storage::Database;
+
+/// Everything the encoder needs about one question: tokens, hints, and the
+/// validated value candidates (paper Fig. 5, "Pre-Processing" box).
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    /// Question tokens.
+    pub tokens: Vec<Token>,
+    /// One hint per token.
+    pub question_hints: Vec<QuestionHint>,
+    /// Hints for every schema table and column.
+    pub schema_hints: SchemaHints,
+    /// Validated value candidates with their database locations.
+    pub candidates: Vec<ValueCandidate>,
+}
+
+/// Runs the full pre-processing pipeline for a question against a database.
+pub fn preprocess(question: &str, db: &Database, ner: &dyn Ner, cfg: &CandidateConfig) -> Preprocessed {
+    let tokens = tokenize_question(question);
+    let extracted = ner.extract(question, &tokens);
+    let candidates = generate_candidates(&extracted, &tokens, db, cfg);
+    let question_hints = question_hints(&tokens, db);
+    let schema_hints = schema_hints(&tokens, db, &candidates);
+    Preprocessed { tokens, question_hints, schema_hints, candidates }
+}

@@ -1,0 +1,318 @@
+//! Porter stemming.
+//!
+//! The paper's hint generation "simply appl[ies] stemming to all words and
+//! look[s] for exact matches" (Section III-A1). This is the classic Porter
+//! (1980) algorithm, steps 1a–5b, operating on ASCII lowercase.
+
+/// Stems an English word with the Porter algorithm. Input is lowercased
+/// first; non-alphabetic inputs are returned unchanged (lowercased).
+pub fn porter_stem(word: &str) -> String {
+    let w = word.to_lowercase();
+    if w.len() <= 2 || !w.chars().all(|c| c.is_ascii_alphabetic()) {
+        return w;
+    }
+    let mut b: Vec<u8> = w.into_bytes();
+    step1a(&mut b);
+    step1b(&mut b);
+    step1c(&mut b);
+    step2(&mut b);
+    step3(&mut b);
+    step4(&mut b);
+    step5a(&mut b);
+    step5b(&mut b);
+    String::from_utf8(b).expect("ascii")
+}
+
+fn is_consonant(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_consonant(b, i - 1),
+        _ => true,
+    }
+}
+
+/// The Porter measure *m* of `b[..len]`: the number of VC sequences.
+fn measure(b: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_consonant(b, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !is_consonant(b, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // Skip consonants: one VC found.
+        while i < len && is_consonant(b, i) {
+            i += 1;
+        }
+        m += 1;
+    }
+}
+
+fn has_vowel(b: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(b, i))
+}
+
+fn ends_double_consonant(b: &[u8]) -> bool {
+    let n = b.len();
+    n >= 2 && b[n - 1] == b[n - 2] && is_consonant(b, n - 1)
+}
+
+/// Consonant-vowel-consonant ending where the final consonant is not w/x/y.
+fn ends_cvc(b: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    let (i, j, k) = (len - 3, len - 2, len - 1);
+    is_consonant(b, i)
+        && !is_consonant(b, j)
+        && is_consonant(b, k)
+        && !matches!(b[k], b'w' | b'x' | b'y')
+}
+
+fn ends_with(b: &[u8], suffix: &str) -> bool {
+    b.len() >= suffix.len() && &b[b.len() - suffix.len()..] == suffix.as_bytes()
+}
+
+/// If `b` ends with `suffix` and the stem before it has measure > `min_m`,
+/// replace the suffix. Returns whether the suffix matched (even if measure
+/// blocked the replacement).
+fn replace_m(b: &mut Vec<u8>, suffix: &str, replacement: &str, min_m: usize) -> bool {
+    if !ends_with(b, suffix) {
+        return false;
+    }
+    let stem_len = b.len() - suffix.len();
+    if measure(b, stem_len) > min_m {
+        b.truncate(stem_len);
+        b.extend_from_slice(replacement.as_bytes());
+    }
+    true
+}
+
+fn step1a(b: &mut Vec<u8>) {
+    // "sses" → "ss" and "ies" → "i" both drop two characters.
+    if ends_with(b, "sses") || ends_with(b, "ies") {
+        b.truncate(b.len() - 2);
+    } else if ends_with(b, "ss") {
+        // keep
+    } else if ends_with(b, "s") {
+        b.truncate(b.len() - 1);
+    }
+}
+
+fn step1b(b: &mut Vec<u8>) {
+    if ends_with(b, "eed") {
+        let stem = b.len() - 3;
+        if measure(b, stem) > 0 {
+            b.truncate(b.len() - 1);
+        }
+        return;
+    }
+    let matched = if ends_with(b, "ed") && has_vowel(b, b.len() - 2) {
+        b.truncate(b.len() - 2);
+        true
+    } else if ends_with(b, "ing") && has_vowel(b, b.len() - 3) {
+        b.truncate(b.len() - 3);
+        true
+    } else {
+        false
+    };
+    if matched {
+        if ends_with(b, "at") || ends_with(b, "bl") || ends_with(b, "iz") {
+            b.push(b'e');
+        } else if ends_double_consonant(b) && !matches!(b[b.len() - 1], b'l' | b's' | b'z') {
+            b.truncate(b.len() - 1);
+        } else if measure(b, b.len()) == 1 && ends_cvc(b, b.len()) {
+            b.push(b'e');
+        }
+    }
+}
+
+fn step1c(b: &mut [u8]) {
+    let n = b.len();
+    if n >= 2 && b[n - 1] == b'y' && has_vowel(b, n - 1) {
+        b[n - 1] = b'i';
+    }
+}
+
+fn step2(b: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    for (s, r) in RULES {
+        if replace_m(b, s, r, 0) {
+            return;
+        }
+    }
+}
+
+fn step3(b: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for (s, r) in RULES {
+        if replace_m(b, s, r, 0) {
+            return;
+        }
+    }
+}
+
+fn step4(b: &mut Vec<u8>) {
+    const SUFFIXES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+        "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    for s in SUFFIXES {
+        if ends_with(b, s) {
+            let stem = b.len() - s.len();
+            if measure(b, stem) > 1 {
+                b.truncate(stem);
+            }
+            return;
+        }
+    }
+    // Special case: -ion preceded by s or t.
+    if ends_with(b, "ion") {
+        let stem = b.len() - 3;
+        if stem > 0 && matches!(b[stem - 1], b's' | b't') && measure(b, stem) > 1 {
+            b.truncate(stem);
+        }
+    }
+}
+
+fn step5a(b: &mut Vec<u8>) {
+    if ends_with(b, "e") {
+        let stem = b.len() - 1;
+        let m = measure(b, stem);
+        if m > 1 || (m == 1 && !ends_cvc(b, stem)) {
+            b.truncate(stem);
+        }
+    }
+}
+
+fn step5b(b: &mut Vec<u8>) {
+    if b.len() >= 2
+        && b[b.len() - 1] == b'l'
+        && ends_double_consonant(b)
+        && measure(b, b.len()) > 1
+    {
+        b.truncate(b.len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_vectors() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("formaliti", "formal"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("activate", "activ"),
+            ("effective", "effect"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(porter_stem(input), expected, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn domain_words_match_after_stemming() {
+        // The hint generator relies on these equivalences.
+        assert_eq!(porter_stem("pets"), porter_stem("pet"));
+        assert_eq!(porter_stem("students"), porter_stem("student"));
+        assert_eq!(porter_stem("countries"), porter_stem("countri"));
+        assert_eq!(porter_stem("flights"), porter_stem("flight"));
+        assert_eq!(porter_stem("destinations"), porter_stem("destination"));
+    }
+
+    #[test]
+    fn short_and_non_alpha_unchanged() {
+        assert_eq!(porter_stem("at"), "at");
+        assert_eq!(porter_stem("20"), "20");
+        assert_eq!(porter_stem("A340-300"), "a340-300");
+        assert_eq!(porter_stem("JFK"), "jfk");
+    }
+}

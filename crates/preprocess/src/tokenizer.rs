@@ -1,0 +1,186 @@
+//! Question tokenizer.
+
+/// One question token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Original spelling.
+    pub text: String,
+    /// Lowercased spelling.
+    pub lower: String,
+    /// Whether the token came from inside single or double quotes.
+    pub quoted: bool,
+}
+
+impl Token {
+    fn new(text: &str, quoted: bool) -> Self {
+        Token { lower: text.to_lowercase(), text: text.to_string(), quoted }
+    }
+
+    /// Whether the token starts with an uppercase letter.
+    pub fn is_capitalized(&self) -> bool {
+        self.text.chars().next().is_some_and(char::is_uppercase)
+    }
+
+    /// Whether the token is entirely numeric (integer or decimal).
+    pub fn is_numeric(&self) -> bool {
+        !self.text.is_empty()
+            && self.text.chars().all(|c| c.is_ascii_digit() || c == '.')
+            && self.text.chars().any(|c| c.is_ascii_digit())
+    }
+
+    /// Whether the token is a single alphabetic letter.
+    pub fn is_single_letter(&self) -> bool {
+        self.text.chars().count() == 1 && self.text.chars().all(char::is_alphabetic)
+    }
+}
+
+/// Splits a natural-language question into tokens. Quoted spans (single or
+/// double quotes) become one token each, so *"Whose head's name has the
+/// substring 'Ha'?"* keeps `Ha` intact. Numbers keep decimal points and
+/// date-like separators (`2010-08-09`, `8/9/2010`); words keep internal
+/// apostrophes and hyphens.
+pub fn tokenize_question(question: &str) -> Vec<Token> {
+    let chars: Vec<char> = question.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '"' || c == '\u{201c}' {
+            let close = if c == '"' { '"' } else { '\u{201d}' };
+            if let Some(end) = find_close(&chars, i + 1, close) {
+                let text: String = chars[i + 1..end].iter().collect();
+                if !text.is_empty() {
+                    tokens.push(Token::new(&text, true));
+                }
+                i = end + 1;
+            } else {
+                i += 1;
+            }
+        } else if c == '\'' && !prev_is_word(&chars, i) {
+            // Opening quote (not an apostrophe inside a word).
+            if let Some(end) = find_close(&chars, i + 1, '\'') {
+                let text: String = chars[i + 1..end].iter().collect();
+                if !text.is_empty() {
+                    tokens.push(Token::new(&text, true));
+                }
+                i = end + 1;
+            } else {
+                i += 1;
+            }
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_ascii_digit()
+                    || ((chars[i] == '.' || chars[i] == '-' || chars[i] == '/' || chars[i] == ':')
+                        && i + 1 < chars.len()
+                        && chars[i + 1].is_ascii_digit()))
+            {
+                i += 1;
+            }
+            // Attach ordinal suffixes: 9th, 1st, 2nd, 3rd.
+            let mut end = i;
+            let rest: String = chars[i..].iter().take(2).collect();
+            let rl = rest.to_lowercase();
+            if rl.starts_with("th") || rl.starts_with("st") || rl.starts_with("nd") || rl.starts_with("rd") {
+                end += 2;
+                i = end;
+            }
+            let text: String = chars[start..end].iter().collect();
+            tokens.push(Token::new(&text, false));
+        } else if c.is_alphanumeric() {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_alphanumeric()
+                    || ((chars[i] == '\'' || chars[i] == '-' || chars[i] == '_')
+                        && i + 1 < chars.len()
+                        && chars[i + 1].is_alphanumeric()))
+            {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            tokens.push(Token::new(&text, false));
+        } else {
+            i += 1; // punctuation
+        }
+    }
+    tokens
+}
+
+fn find_close(chars: &[char], from: usize, close: char) -> Option<usize> {
+    (from..chars.len()).find(|&j| chars[j] == close)
+}
+
+fn prev_is_word(chars: &[char], i: usize) -> bool {
+    i > 0 && chars[i - 1].is_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(q: &str) -> Vec<String> {
+        tokenize_question(q).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn basic_words_and_punctuation() {
+        assert_eq!(
+            texts("How many pets are owned by French students?"),
+            vec!["How", "many", "pets", "are", "owned", "by", "French", "students"]
+        );
+    }
+
+    #[test]
+    fn quoted_spans_stay_whole() {
+        let toks = tokenize_question("Whose head's name has the substring 'Ha'?");
+        let quoted: Vec<&Token> = toks.iter().filter(|t| t.quoted).collect();
+        assert_eq!(quoted.len(), 1);
+        assert_eq!(quoted[0].text, "Ha");
+        // The apostrophe in "head's" must not open a quote.
+        assert!(toks.iter().any(|t| t.text == "head's"));
+    }
+
+    #[test]
+    fn double_quoted_multiword() {
+        let toks = tokenize_question("Find all albums starting with \"goodbye yellow\"");
+        let quoted: Vec<&Token> = toks.iter().filter(|t| t.quoted).collect();
+        assert_eq!(quoted[0].text, "goodbye yellow");
+    }
+
+    #[test]
+    fn numbers_dates_and_ordinals() {
+        assert_eq!(texts("older than 20"), vec!["older", "than", "20"]);
+        assert_eq!(texts("on 2010-08-09 at 9:30"), vec!["on", "2010-08-09", "at", "9:30"]);
+        assert_eq!(texts("the 9th of August 2010"), vec!["the", "9th", "of", "August", "2010"]);
+        assert_eq!(texts("weighs 4.5 kg"), vec!["weighs", "4.5", "kg"]);
+        assert_eq!(texts("flight 8/9/2010"), vec!["flight", "8/9/2010"]);
+    }
+
+    #[test]
+    fn hyphenated_codes() {
+        assert_eq!(texts("aircraft Airbus A340-300"), vec!["aircraft", "Airbus", "A340-300"]);
+    }
+
+    #[test]
+    fn token_predicates() {
+        let toks = tokenize_question("Show M flights from Paris at 20");
+        assert!(toks[1].is_single_letter());
+        assert!(toks[4].is_capitalized());
+        assert!(toks[6].is_numeric());
+        assert!(!toks[2].is_numeric());
+    }
+
+    #[test]
+    fn unterminated_quote_does_not_hang() {
+        let toks = tokenize_question("name with 'unclosed");
+        assert!(toks.iter().any(|t| t.text == "name"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize_question("").is_empty());
+        assert!(tokenize_question("   ?!  ").is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! Database schema model, schema graph, and join resolution.
+//!
+//! The paper (Section III-C2) observes that under the Spider *Execution
+//! Accuracy* metric a system must emit complete `JOIN ... ON` clauses —
+//! simply naming the joined tables (as IRNet does for Exact-Matching) yields
+//! Cartesian products. ValueNet therefore models the schema as an undirected
+//! graph whose vertices are tables and whose edges are primary-/foreign-key
+//! relationships *annotated with the key columns*, connects the tables
+//! mentioned by a query with shortest paths (two tables) or a Steiner-tree
+//! approximation (three or more), and emits the `ON` conditions from the
+//! edge annotations.
+
+mod graph;
+mod model;
+
+pub use graph::{JoinEdge, JoinTree, SchemaGraph};
+pub use model::{
+    Column, ColumnId, ColumnType, DbSchema, ForeignKey, SchemaBuilder, Table, TableId,
+};

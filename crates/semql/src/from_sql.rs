@@ -1,0 +1,303 @@
+//! SQL → SemQL import (the training-data direction).
+//!
+//! The original system trains on Spider's gold SQL, which must first be
+//! converted into SemQL action sequences. This importer handles the SQL
+//! dialect this workspace produces (which mirrors Spider's query shapes):
+//! aliased inner joins, WHERE/HAVING conjunctions over comparisons, BETWEEN,
+//! LIKE, IN (subquery), nested scalar subqueries, ORDER BY (+ LIMIT →
+//! Superlative) and one level of UNION/INTERSECT/EXCEPT. GROUP BY clauses
+//! are dropped — SemQL re-infers them during lowering.
+
+use crate::ast::*;
+use std::fmt;
+use valuenet_schema::{ColumnId, DbSchema, TableId};
+use valuenet_sql::{BinOp, ColumnRef, CompoundOp, Expr, Literal, SelectStmt};
+
+/// Import failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// SQL construct outside the SemQL grammar.
+    Unsupported(String),
+    /// Unresolvable table name.
+    UnknownTable(String),
+    /// Unresolvable column name.
+    UnknownColumn(String),
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::Unsupported(s) => write!(f, "unsupported SQL construct: {s}"),
+            ImportError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            ImportError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// A converted query plus the literal values it references, in `ValueRef`
+/// order (so `values[v.0]` is the text of value `v`).
+#[derive(Debug, Clone)]
+pub struct ImportResult {
+    /// The SemQL tree.
+    pub semql: SemQl,
+    /// Extracted literal texts.
+    pub values: Vec<String>,
+}
+
+/// Converts a parsed SQL statement into SemQL.
+pub fn semql_from_sql(schema: &DbSchema, stmt: &SelectStmt) -> Result<ImportResult, ImportError> {
+    let mut values = Vec::new();
+    let semql = match &stmt.compound {
+        None => SemQl::Single(Box::new(import_query(schema, stmt, &mut values)?)),
+        Some((op, rhs)) => {
+            if rhs.compound.is_some() {
+                return Err(ImportError::Unsupported("chained compound operators".into()));
+            }
+            let left = import_query(schema, stmt, &mut values)?;
+            let right = import_query(schema, rhs, &mut values)?;
+            match op {
+                CompoundOp::Union | CompoundOp::UnionAll => {
+                    SemQl::Union(Box::new(left), Box::new(right))
+                }
+                CompoundOp::Intersect => SemQl::Intersect(Box::new(left), Box::new(right)),
+                CompoundOp::Except => SemQl::Except(Box::new(left), Box::new(right)),
+            }
+        }
+    };
+    Ok(ImportResult { semql, values })
+}
+
+struct Scope {
+    /// `(effective name, table)` in FROM order.
+    entries: Vec<(String, TableId)>,
+}
+
+impl Scope {
+    fn resolve_table(&self, name: &str) -> Option<TableId> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|&(_, t)| t)
+    }
+
+    fn resolve_column(
+        &self,
+        schema: &DbSchema,
+        c: &ColumnRef,
+    ) -> Result<(ColumnId, TableId), ImportError> {
+        match &c.table {
+            Some(q) => {
+                let t = self
+                    .resolve_table(q)
+                    .or_else(|| schema.table_by_name(q))
+                    .ok_or_else(|| ImportError::UnknownTable(q.clone()))?;
+                if c.is_star() {
+                    return Ok((ColumnId::STAR, t));
+                }
+                let col = schema
+                    .column_by_name(t, &c.column)
+                    .ok_or_else(|| ImportError::UnknownColumn(format!("{q}.{}", c.column)))?;
+                Ok((col, t))
+            }
+            None => {
+                if c.is_star() {
+                    // SQL does not say which table a bare `*` counts; SemQL
+                    // does. Attribute it to the *last* joined table — for
+                    // `A JOIN B ... HAVING count(*)` patterns the counted
+                    // entity is the joined one, and without joins this is
+                    // simply the FROM table.
+                    let t = self
+                        .entries
+                        .last()
+                        .map(|&(_, t)| t)
+                        .ok_or_else(|| ImportError::Unsupported("* without FROM".into()))?;
+                    return Ok((ColumnId::STAR, t));
+                }
+                for &(_, t) in &self.entries {
+                    if let Some(col) = schema.column_by_name(t, &c.column) {
+                        return Ok((col, t));
+                    }
+                }
+                Err(ImportError::UnknownColumn(c.column.clone()))
+            }
+        }
+    }
+}
+
+/// Imports one statement (ignoring its compound tail) as a `QueryR`.
+fn import_query(
+    schema: &DbSchema,
+    stmt: &SelectStmt,
+    values: &mut Vec<String>,
+) -> Result<QueryR, ImportError> {
+    let core = &stmt.core;
+    let mut entries = Vec::new();
+    if let Some(from) = &core.from {
+        let t = schema
+            .table_by_name(&from.name)
+            .ok_or_else(|| ImportError::UnknownTable(from.name.clone()))?;
+        entries.push((from.effective_name().to_string(), t));
+        for j in &core.joins {
+            let t = schema
+                .table_by_name(&j.table.name)
+                .ok_or_else(|| ImportError::UnknownTable(j.table.name.clone()))?;
+            entries.push((j.table.effective_name().to_string(), t));
+        }
+    }
+    let scope = Scope { entries };
+
+    let mut aggs = Vec::with_capacity(core.items.len());
+    for item in &core.items {
+        aggs.push(expr_to_agg(schema, &scope, &item.expr)?);
+    }
+    if aggs.is_empty() || aggs.len() > 5 {
+        return Err(ImportError::Unsupported(format!("{} projections", aggs.len())));
+    }
+
+    let mut q = QueryR {
+        select: Select { distinct: core.distinct, aggs },
+        order: None,
+        superlative: None,
+        filter: None,
+    };
+
+    // Order / Superlative come before filters so value indices match the
+    // canonical action order (superlative V precedes filter Vs).
+    if let Some(first) = stmt.order_by.first() {
+        if stmt.order_by.len() > 1 {
+            return Err(ImportError::Unsupported("multiple ORDER BY keys".into()));
+        }
+        let agg = expr_to_agg(schema, &scope, &first.expr)?;
+        match stmt.limit {
+            Some(l) => {
+                values.push(l.to_string());
+                q.superlative = Some(Superlative {
+                    most: first.desc,
+                    limit: ValueRef(values.len() - 1),
+                    agg,
+                });
+            }
+            None => q.order = Some(Order { desc: first.desc, agg }),
+        }
+    } else if stmt.limit.is_some() {
+        return Err(ImportError::Unsupported("LIMIT without ORDER BY".into()));
+    }
+
+    let mut filters = Vec::new();
+    if let Some(w) = &core.where_clause {
+        filters.push(expr_to_filter(schema, &scope, w, values)?);
+    }
+    if let Some(h) = &core.having {
+        filters.push(expr_to_filter(schema, &scope, h, values)?);
+    }
+    q.filter = filters.into_iter().reduce(|a, b| Filter::And(Box::new(a), Box::new(b)));
+    Ok(q)
+}
+
+fn expr_to_agg(schema: &DbSchema, scope: &Scope, e: &Expr) -> Result<Agg, ImportError> {
+    match e {
+        Expr::Column(c) => {
+            let (col, table) = scope.resolve_column(schema, c)?;
+            Ok(Agg::plain(col, table))
+        }
+        Expr::Agg { func, arg, .. } => match arg.as_ref() {
+            Expr::Column(c) => {
+                let (col, table) = scope.resolve_column(schema, c)?;
+                Ok(Agg::with(*func, col, table))
+            }
+            other => Err(ImportError::Unsupported(format!("aggregate argument {other}"))),
+        },
+        other => Err(ImportError::Unsupported(format!("projection {other}"))),
+    }
+}
+
+fn literal_text(l: &Literal) -> Result<String, ImportError> {
+    Ok(match l {
+        Literal::Int(i) => i.to_string(),
+        Literal::Float(f) => f.to_string(),
+        Literal::Text(s) => s.clone(),
+        Literal::Null => return Err(ImportError::Unsupported("NULL literal".into())),
+    })
+}
+
+fn push_value(values: &mut Vec<String>, text: String) -> ValueRef {
+    values.push(text);
+    ValueRef(values.len() - 1)
+}
+
+fn expr_to_filter(
+    schema: &DbSchema,
+    scope: &Scope,
+    e: &Expr,
+    values: &mut Vec<String>,
+) -> Result<Filter, ImportError> {
+    match e {
+        Expr::Binary { op: BinOp::And, lhs, rhs } => Ok(Filter::And(
+            Box::new(expr_to_filter(schema, scope, lhs, values)?),
+            Box::new(expr_to_filter(schema, scope, rhs, values)?),
+        )),
+        Expr::Binary { op: BinOp::Or, lhs, rhs } => Ok(Filter::Or(
+            Box::new(expr_to_filter(schema, scope, lhs, values)?),
+            Box::new(expr_to_filter(schema, scope, rhs, values)?),
+        )),
+        Expr::Binary { op, lhs, rhs } => {
+            let cmp = match op {
+                BinOp::Eq => CmpOp::Eq,
+                BinOp::Ne => CmpOp::Ne,
+                BinOp::Lt => CmpOp::Lt,
+                BinOp::Le => CmpOp::Le,
+                BinOp::Gt => CmpOp::Gt,
+                BinOp::Ge => CmpOp::Ge,
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            };
+            let agg = expr_to_agg(schema, scope, lhs)?;
+            match rhs.as_ref() {
+                Expr::Lit(l) => {
+                    let v = push_value(values, literal_text(l)?);
+                    Ok(Filter::Cmp { op: cmp, agg, value: v })
+                }
+                Expr::Subquery(sub) => {
+                    if sub.compound.is_some() {
+                        return Err(ImportError::Unsupported("compound subquery".into()));
+                    }
+                    let query = Box::new(import_query(schema, sub, values)?);
+                    Ok(Filter::CmpNested { op: cmp, agg, query })
+                }
+                other => Err(ImportError::Unsupported(format!("comparison rhs {other}"))),
+            }
+        }
+        Expr::Between { expr, low, high, negated } => {
+            if *negated {
+                return Err(ImportError::Unsupported("NOT BETWEEN".into()));
+            }
+            let agg = expr_to_agg(schema, scope, expr)?;
+            let (Expr::Lit(l), Expr::Lit(h)) = (low.as_ref(), high.as_ref()) else {
+                return Err(ImportError::Unsupported("non-literal BETWEEN bounds".into()));
+            };
+            let low = push_value(values, literal_text(l)?);
+            let high = push_value(values, literal_text(h)?);
+            Ok(Filter::Between { agg, low, high })
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let agg = expr_to_agg(schema, scope, expr)?;
+            let Expr::Lit(Literal::Text(p)) = pattern.as_ref() else {
+                return Err(ImportError::Unsupported("non-text LIKE pattern".into()));
+            };
+            // Recover the core value from the wildcard pattern.
+            let core = p.trim_matches('%').to_string();
+            let v = push_value(values, core);
+            Ok(Filter::Like { agg, value: v, negated: *negated })
+        }
+        Expr::InSubquery { expr, subquery, negated } => {
+            let agg = expr_to_agg(schema, scope, expr)?;
+            if subquery.compound.is_some() {
+                return Err(ImportError::Unsupported("compound subquery".into()));
+            }
+            let query = Box::new(import_query(schema, subquery, values)?);
+            Ok(Filter::In { agg, query, negated: *negated })
+        }
+        other => Err(ImportError::Unsupported(format!("filter {other}"))),
+    }
+}

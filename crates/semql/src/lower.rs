@@ -1,0 +1,385 @@
+//! Deterministic SemQL → SQL lowering (paper Section III-C and IV-A).
+//!
+//! The lowering resolves joins through the schema graph (inserting bridge
+//! tables with complete `ON` clauses), infers GROUP BY / HAVING — SemQL has
+//! no explicit grouping; it is reconstructed from which projections carry
+//! aggregates — and formats the selected value candidates by the predicted
+//! column's type (quoting text, coercing numerics, wrapping LIKE patterns
+//! in `%` wildcards).
+
+use crate::ast::*;
+use std::fmt;
+use valuenet_schema::{ColumnId, ColumnType, DbSchema, SchemaGraph, TableId};
+use valuenet_sql::{
+    AggFunc, ColumnRef, CompoundOp, Expr, Join, Literal, OrderItem, SelectCore, SelectItem,
+    SelectStmt, TableRef,
+};
+
+/// A value candidate chosen by the decoder, ready for formatting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedValue {
+    /// The raw value text (as found in the question or the database).
+    pub text: String,
+}
+
+impl ResolvedValue {
+    /// Convenience constructor.
+    pub fn new(text: impl Into<String>) -> Self {
+        ResolvedValue { text: text.into() }
+    }
+}
+
+/// Lowering failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// A `V` pointer referenced a candidate index outside the provided list.
+    MissingValue(usize),
+    /// The tables used by a query are not connected by foreign keys.
+    DisconnectedTables(Vec<String>),
+    /// A column pointer referenced a column outside the schema.
+    BadColumn(usize),
+    /// A table pointer referenced a table outside the schema.
+    BadTable(usize),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::MissingValue(i) => write!(f, "value candidate #{i} was not provided"),
+            LowerError::DisconnectedTables(ts) => {
+                write!(f, "tables are not connected by foreign keys: {}", ts.join(", "))
+            }
+            LowerError::BadColumn(c) => write!(f, "column index {c} outside schema"),
+            LowerError::BadTable(t) => write!(f, "table index {t} outside schema"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lowers a SemQL tree to an executable SQL statement.
+pub fn to_sql(
+    semql: &SemQl,
+    schema: &DbSchema,
+    graph: &SchemaGraph,
+    values: &[ResolvedValue],
+) -> Result<SelectStmt, LowerError> {
+    let ctx = Lowering { schema, graph, values };
+    match semql {
+        SemQl::Single(q) => ctx.lower_query(q),
+        SemQl::Intersect(a, b) => ctx.compound(a, b, CompoundOp::Intersect),
+        SemQl::Union(a, b) => ctx.compound(a, b, CompoundOp::Union),
+        SemQl::Except(a, b) => ctx.compound(a, b, CompoundOp::Except),
+    }
+}
+
+struct Lowering<'a> {
+    schema: &'a DbSchema,
+    graph: &'a SchemaGraph,
+    values: &'a [ResolvedValue],
+}
+
+impl<'a> Lowering<'a> {
+    fn compound(
+        &self,
+        a: &QueryR,
+        b: &QueryR,
+        op: CompoundOp,
+    ) -> Result<SelectStmt, LowerError> {
+        let mut left = self.lower_query(a)?;
+        let right = self.lower_query(b)?;
+        left.compound = Some((op, Box::new(right)));
+        Ok(left)
+    }
+
+    fn lower_query(&self, q: &QueryR) -> Result<SelectStmt, LowerError> {
+        // 1. Terminal tables: every A's table plus the owning table of every
+        //    referenced column (they can disagree when the model errs).
+        let mut terminals: Vec<TableId> = Vec::new();
+        let add_agg_tables = |agg: &Agg, terminals: &mut Vec<TableId>| {
+            if agg.table.0 >= self.schema.tables.len() {
+                return Err(LowerError::BadTable(agg.table.0));
+            }
+            if !terminals.contains(&agg.table) {
+                terminals.push(agg.table);
+            }
+            if agg.column.0 >= self.schema.columns.len() {
+                return Err(LowerError::BadColumn(agg.column.0));
+            }
+            if let Some(owner) = self.schema.column(agg.column).table {
+                if !terminals.contains(&owner) {
+                    terminals.push(owner);
+                }
+            }
+            Ok(())
+        };
+        for agg in self.all_own_aggs(q) {
+            add_agg_tables(&agg, &mut terminals)?;
+        }
+
+        // 2. Join tree with aliases T1..Tn.
+        let tree = self.graph.join_tree(&terminals).ok_or_else(|| {
+            LowerError::DisconnectedTables(
+                terminals.iter().map(|&t| self.schema.table(t).name.clone()).collect(),
+            )
+        })?;
+        let alias_of = |t: TableId| -> String {
+            let pos = tree.tables.iter().position(|&x| x == t).expect("table in join tree");
+            format!("T{}", pos + 1)
+        };
+
+        let mut core = SelectCore::new();
+        core.distinct = q.select.distinct;
+        core.from = Some(TableRef {
+            name: self.schema.table(tree.tables[0]).name.clone(),
+            alias: Some(alias_of(tree.tables[0])),
+        });
+        for e in &tree.edges {
+            core.joins.push(Join {
+                table: TableRef {
+                    name: self.schema.table(e.to_table).name.clone(),
+                    alias: Some(alias_of(e.to_table)),
+                },
+                on: Some(Expr::binary(
+                    valuenet_sql::BinOp::Eq,
+                    self.column_expr(e.from_col, Some(e.from_table), &alias_of),
+                    self.column_expr(e.to_col, Some(e.to_table), &alias_of),
+                )),
+            });
+        }
+
+        // 3. Projections.
+        for agg in &q.select.aggs {
+            core.items.push(SelectItem { expr: self.agg_expr(agg, &alias_of), alias: None });
+        }
+
+        // 4. Filters → WHERE / HAVING conjuncts.
+        let mut where_parts: Vec<Expr> = Vec::new();
+        let mut having_parts: Vec<Expr> = Vec::new();
+        if let Some(f) = &q.filter {
+            for conjunct in split_conjuncts(f) {
+                let expr = self.filter_expr(conjunct, &alias_of)?;
+                if conjunct.contains_aggregate() {
+                    having_parts.push(expr);
+                } else {
+                    where_parts.push(expr);
+                }
+            }
+        }
+        core.where_clause = conjoin(where_parts);
+        core.having = conjoin(having_parts);
+
+        // 5. GROUP BY inference: if any aggregate appears (in the select, the
+        //    having, or the sort key) alongside plain projected columns,
+        //    group by those plain columns.
+        let plain_cols: Vec<Expr> = q
+            .select
+            .aggs
+            .iter()
+            .filter(|a| a.func.is_none() && !a.column.is_star())
+            .map(|a| self.agg_expr(&Agg::plain(a.column, a.table), &alias_of))
+            .collect();
+        let select_has_agg = q.select.aggs.iter().any(|a| a.func.is_some());
+        let sort_has_agg = q.order.as_ref().map(|o| o.agg.func.is_some()).unwrap_or(false)
+            || q.superlative.as_ref().map(|s| s.agg.func.is_some()).unwrap_or(false);
+        let needs_group = (select_has_agg && !plain_cols.is_empty())
+            || core.having.is_some()
+            || (sort_has_agg && !plain_cols.is_empty());
+        if needs_group {
+            core.group_by = plain_cols;
+        }
+
+        // 6. Ordering.
+        let mut stmt = SelectStmt::simple(core);
+        if let Some(o) = &q.order {
+            stmt.order_by.push(OrderItem { expr: self.agg_expr(&o.agg, &alias_of), desc: o.desc });
+        }
+        if let Some(s) = &q.superlative {
+            stmt.order_by
+                .push(OrderItem { expr: self.agg_expr(&s.agg, &alias_of), desc: s.most });
+            let text = &self.value(s.limit)?.text;
+            // Non-numeric limit predictions fall back to 1 (the most common
+            // superlative), matching the reference implementation.
+            stmt.limit = Some(text.trim().parse::<u64>().unwrap_or(1));
+        }
+        Ok(stmt)
+    }
+
+    /// Every `A` of this query, excluding nested queries.
+    fn all_own_aggs(&self, q: &QueryR) -> Vec<Agg> {
+        let mut out: Vec<Agg> = q.select.aggs.clone();
+        if let Some(o) = &q.order {
+            out.push(o.agg);
+        }
+        if let Some(s) = &q.superlative {
+            out.push(s.agg);
+        }
+        fn walk(f: &Filter, out: &mut Vec<Agg>) {
+            match f {
+                Filter::And(a, b) | Filter::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Filter::Cmp { agg, .. }
+                | Filter::CmpNested { agg, .. }
+                | Filter::Between { agg, .. }
+                | Filter::Like { agg, .. }
+                | Filter::In { agg, .. } => out.push(*agg),
+            }
+        }
+        if let Some(f) = &q.filter {
+            walk(f, &mut out);
+        }
+        out
+    }
+
+    fn value(&self, v: ValueRef) -> Result<&ResolvedValue, LowerError> {
+        self.values.get(v.0).ok_or(LowerError::MissingValue(v.0))
+    }
+
+    /// A column reference qualified by the alias of its owning table (or of
+    /// `fallback_table` for the `*` pseudo-column).
+    fn column_expr(
+        &self,
+        col: ColumnId,
+        fallback_table: Option<TableId>,
+        alias_of: &impl Fn(TableId) -> String,
+    ) -> Expr {
+        if col.is_star() {
+            return match fallback_table {
+                Some(t) => Expr::Column(ColumnRef::qualified(alias_of(t), "*")),
+                None => Expr::Column(ColumnRef::bare("*")),
+            };
+        }
+        let c = self.schema.column(col);
+        let owner = c.table.or(fallback_table);
+        match owner {
+            Some(t) => Expr::Column(ColumnRef::qualified(alias_of(t), c.name.clone())),
+            None => Expr::Column(ColumnRef::bare(c.name.clone())),
+        }
+    }
+
+    fn agg_expr(&self, agg: &Agg, alias_of: &impl Fn(TableId) -> String) -> Expr {
+        match agg.func {
+            None => self.column_expr(agg.column, Some(agg.table), alias_of),
+            Some(func) => {
+                // count(*) renders its argument as a bare star.
+                let arg = if agg.column.is_star() && func == AggFunc::Count {
+                    Expr::Column(ColumnRef::bare("*"))
+                } else {
+                    self.column_expr(agg.column, Some(agg.table), alias_of)
+                };
+                Expr::Agg { func, distinct: false, arg: Box::new(arg) }
+            }
+        }
+    }
+
+    fn filter_expr(
+        &self,
+        f: &Filter,
+        alias_of: &impl Fn(TableId) -> String,
+    ) -> Result<Expr, LowerError> {
+        Ok(match f {
+            Filter::And(a, b) => Expr::binary(
+                valuenet_sql::BinOp::And,
+                self.filter_expr(a, alias_of)?,
+                self.filter_expr(b, alias_of)?,
+            ),
+            Filter::Or(a, b) => Expr::binary(
+                valuenet_sql::BinOp::Or,
+                self.filter_expr(a, alias_of)?,
+                self.filter_expr(b, alias_of)?,
+            ),
+            Filter::Cmp { op, agg, value } => {
+                let lit = self.format_value(self.value(*value)?, agg.column, false);
+                Expr::binary(op.to_sql(), self.agg_expr(agg, alias_of), Expr::Lit(lit))
+            }
+            Filter::CmpNested { op, agg, query } => {
+                let sub = self.lower_query(query)?;
+                Expr::binary(
+                    op.to_sql(),
+                    self.agg_expr(agg, alias_of),
+                    Expr::Subquery(Box::new(sub)),
+                )
+            }
+            Filter::Between { agg, low, high } => Expr::Between {
+                expr: Box::new(self.agg_expr(agg, alias_of)),
+                low: Box::new(Expr::Lit(self.format_value(self.value(*low)?, agg.column, false))),
+                high: Box::new(Expr::Lit(
+                    self.format_value(self.value(*high)?, agg.column, false),
+                )),
+                negated: false,
+            },
+            Filter::Like { agg, value, negated } => Expr::Like {
+                expr: Box::new(self.agg_expr(agg, alias_of)),
+                pattern: Box::new(Expr::Lit(
+                    self.format_value(self.value(*value)?, agg.column, true),
+                )),
+                negated: *negated,
+            },
+            Filter::In { agg, query, negated } => {
+                let sub = self.lower_query(query)?;
+                Expr::InSubquery {
+                    expr: Box::new(self.agg_expr(agg, alias_of)),
+                    subquery: Box::new(sub),
+                    negated: *negated,
+                }
+            }
+        })
+    }
+
+    /// The paper's Section IV-A post-processing: format the value given the
+    /// predicted column's type; LIKE patterns get `%` wildcards.
+    fn format_value(&self, value: &ResolvedValue, column: ColumnId, like: bool) -> Literal {
+        let text = value.text.trim();
+        if like {
+            let pattern = if text.contains('%') {
+                text.to_string()
+            } else {
+                format!("%{text}%")
+            };
+            return Literal::Text(pattern);
+        }
+        let ty = if column.is_star() {
+            ColumnType::Others
+        } else {
+            self.schema.column(column).ty
+        };
+        match ty {
+            ColumnType::Number => {
+                if let Ok(i) = text.parse::<i64>() {
+                    Literal::Int(i)
+                } else if let Ok(f) = text.parse::<f64>() {
+                    Literal::Float(f)
+                } else {
+                    Literal::Text(text.to_string())
+                }
+            }
+            ColumnType::Boolean => match text.to_lowercase().as_str() {
+                "1" | "true" | "t" | "yes" | "y" => Literal::Int(1),
+                "0" | "false" | "f" | "no" | "n" => Literal::Int(0),
+                other => Literal::Text(other.to_string()),
+            },
+            ColumnType::Text | ColumnType::Time => Literal::Text(text.to_string()),
+            ColumnType::Others => Literal::infer(text),
+        }
+    }
+}
+
+/// Splits a filter tree at top-level ANDs into its conjuncts.
+fn split_conjuncts(f: &Filter) -> Vec<&Filter> {
+    match f {
+        Filter::And(a, b) => {
+            let mut out = split_conjuncts(a);
+            out.extend(split_conjuncts(b));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+fn conjoin(parts: Vec<Expr>) -> Option<Expr> {
+    parts
+        .into_iter()
+        .reduce(|acc, e| Expr::binary(valuenet_sql::BinOp::And, acc, e))
+}

@@ -1,0 +1,397 @@
+//! SemQL → SQL lowering tests: the generated SQL must parse, execute and
+//! return the hand-computed results; SQL → SemQL must round-trip.
+
+use valuenet_exec::execute;
+use valuenet_schema::{ColumnId, ColumnType, DbSchema, SchemaBuilder, SchemaGraph, TableId};
+use valuenet_semql::{
+    actions_to_ast, ast_to_actions, semql_from_sql, to_sql, Agg, CmpOp, Filter, LowerError,
+    Order, QueryR, ResolvedValue, Select, SemQl, Superlative, ValueRef,
+};
+use valuenet_sql::{parse_select, AggFunc};
+use valuenet_storage::Database;
+
+fn pets_schema() -> DbSchema {
+    SchemaBuilder::new("pets")
+        .table(
+            "student",
+            &[
+                ("stu_id", ColumnType::Number),
+                ("name", ColumnType::Text),
+                ("age", ColumnType::Number),
+                ("home_country", ColumnType::Text),
+            ],
+        )
+        .primary_key("student", "stu_id")
+        .table("has_pet", &[("stu_id", ColumnType::Number), ("pet_id", ColumnType::Number)])
+        .table(
+            "pet",
+            &[
+                ("pet_id", ColumnType::Number),
+                ("pet_type", ColumnType::Text),
+                ("weight", ColumnType::Number),
+            ],
+        )
+        .primary_key("pet", "pet_id")
+        .foreign_key("has_pet", "stu_id", "student", "stu_id")
+        .foreign_key("has_pet", "pet_id", "pet", "pet_id")
+        .build()
+}
+
+fn pets_db() -> Database {
+    let schema = pets_schema();
+    let mut db = Database::new(schema);
+    let student = db.schema().table_by_name("student").unwrap();
+    let has_pet = db.schema().table_by_name("has_pet").unwrap();
+    let pet = db.schema().table_by_name("pet").unwrap();
+    db.insert(student, vec![1.into(), "Alice".into(), 21.into(), "France".into()]);
+    db.insert(student, vec![2.into(), "Bob".into(), 19.into(), "France".into()]);
+    db.insert(student, vec![3.into(), "Carol".into(), 25.into(), "Germany".into()]);
+    db.insert(pet, vec![1.into(), "dog".into(), 12.0.into()]);
+    db.insert(pet, vec![2.into(), "cat".into(), 4.5.into()]);
+    db.insert(has_pet, vec![1.into(), 1.into()]);
+    db.insert(has_pet, vec![1.into(), 2.into()]);
+    db.insert(has_pet, vec![3.into(), 1.into()]);
+    db.rebuild_index();
+    db
+}
+
+/// Column helper by (table, column) name.
+fn col(schema: &DbSchema, table: &str, column: &str) -> (ColumnId, TableId) {
+    let t = schema.table_by_name(table).unwrap();
+    (schema.column_by_name(t, column).unwrap(), t)
+}
+
+#[test]
+fn running_example_lowers_and_executes() {
+    // "How many pets are owned by French students that are older than 20?"
+    let schema = pets_schema();
+    let graph = SchemaGraph::new(&schema);
+    let student = schema.table_by_name("student").unwrap();
+    let pet = schema.table_by_name("pet").unwrap();
+    let (country, _) = col(&schema, "student", "home_country");
+    let (age, _) = col(&schema, "student", "age");
+
+    // count(pet.*) with filters on student: the join tree must pull in
+    // has_pet as a bridge.
+    let tree = SemQl::Single(Box::new(QueryR {
+        select: Select::new(vec![Agg::count_star(pet)]),
+        order: None,
+        superlative: None,
+        filter: Some(Filter::And(
+            Box::new(Filter::Cmp {
+                op: CmpOp::Eq,
+                agg: Agg::plain(country, student),
+                value: ValueRef(0),
+            }),
+            Box::new(Filter::Cmp {
+                op: CmpOp::Gt,
+                agg: Agg::plain(age, student),
+                value: ValueRef(1),
+            }),
+        )),
+    }));
+    let values = vec![ResolvedValue::new("France"), ResolvedValue::new("20")];
+    let sql = to_sql(&tree, &schema, &graph, &values).unwrap();
+    let text = sql.to_string();
+    assert!(text.contains("JOIN"), "bridge table missing: {text}");
+    assert!(text.contains("ON"), "ON clause missing: {text}");
+    assert!(text.contains("'France'"), "text value not quoted: {text}");
+    assert!(text.contains("> 20"), "numeric value quoted: {text}");
+
+    // The printed SQL must reparse to the same AST.
+    assert_eq!(parse_select(&text).unwrap(), sql);
+
+    // And execute to the right answer: Alice (France, 21) owns 2 pets,
+    // Carol is German, Bob is 19. → 2.
+    let db = pets_db();
+    let rs = execute(&db, &sql).unwrap();
+    assert_eq!(rs.rows[0][0].as_number(), Some(2.0));
+}
+
+#[test]
+fn superlative_lowers_to_order_limit() {
+    let schema = pets_schema();
+    let graph = SchemaGraph::new(&schema);
+    let (ptype, pet) = col(&schema, "pet", "pet_type");
+    let (weight, _) = col(&schema, "pet", "weight");
+    let tree = SemQl::Single(Box::new(QueryR {
+        select: Select::new(vec![Agg::plain(ptype, pet)]),
+        order: None,
+        superlative: Some(Superlative {
+            most: true,
+            limit: ValueRef(0),
+            agg: Agg::plain(weight, pet),
+        }),
+        filter: None,
+    }));
+    let sql = to_sql(&tree, &schema, &graph, &[ResolvedValue::new("1")]).unwrap();
+    let text = sql.to_string();
+    assert!(text.contains("ORDER BY"), "{text}");
+    assert!(text.contains("DESC"), "{text}");
+    assert!(text.ends_with("LIMIT 1"), "{text}");
+    let db = pets_db();
+    let rs = execute(&db, &sql).unwrap();
+    assert_eq!(rs.rows[0][0].to_string(), "dog");
+}
+
+#[test]
+fn non_numeric_limit_falls_back_to_one() {
+    let schema = pets_schema();
+    let graph = SchemaGraph::new(&schema);
+    let (weight, pet) = col(&schema, "pet", "weight");
+    let tree = SemQl::Single(Box::new(QueryR {
+        select: Select::new(vec![Agg::plain(weight, pet)]),
+        order: None,
+        superlative: Some(Superlative {
+            most: false,
+            limit: ValueRef(0),
+            agg: Agg::plain(weight, pet),
+        }),
+        filter: None,
+    }));
+    let sql = to_sql(&tree, &schema, &graph, &[ResolvedValue::new("lots")]).unwrap();
+    assert_eq!(sql.limit, Some(1));
+}
+
+#[test]
+fn group_by_inferred_for_mixed_projection() {
+    // "How many pets does each student own?" →
+    // SELECT name, count(*) ... GROUP BY name
+    let schema = pets_schema();
+    let graph = SchemaGraph::new(&schema);
+    let (name, student) = col(&schema, "student", "name");
+    let has_pet = schema.table_by_name("has_pet").unwrap();
+    let tree = SemQl::Single(Box::new(QueryR {
+        select: Select::new(vec![Agg::plain(name, student), Agg::count_star(has_pet)]),
+        order: None,
+        superlative: None,
+        filter: None,
+    }));
+    let sql = to_sql(&tree, &schema, &graph, &[]).unwrap();
+    let text = sql.to_string();
+    assert!(text.contains("GROUP BY"), "{text}");
+    let db = pets_db();
+    let rs = execute(&db, &sql).unwrap();
+    // Alice owns 2, Carol owns 1 (only students in has_pet).
+    assert_eq!(rs.rows.len(), 2);
+}
+
+#[test]
+fn aggregate_filter_becomes_having() {
+    // Students owning more than one pet.
+    let schema = pets_schema();
+    let graph = SchemaGraph::new(&schema);
+    let (name, student) = col(&schema, "student", "name");
+    let has_pet = schema.table_by_name("has_pet").unwrap();
+    let tree = SemQl::Single(Box::new(QueryR {
+        select: Select::new(vec![Agg::plain(name, student)]),
+        order: None,
+        superlative: None,
+        filter: Some(Filter::Cmp {
+            op: CmpOp::Gt,
+            agg: Agg::count_star(has_pet),
+            value: ValueRef(0),
+        }),
+    }));
+    let sql = to_sql(&tree, &schema, &graph, &[ResolvedValue::new("1")]).unwrap();
+    let text = sql.to_string();
+    assert!(text.contains("HAVING"), "{text}");
+    assert!(text.contains("GROUP BY"), "{text}");
+    let db = pets_db();
+    let rs = execute(&db, &sql).unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0].to_string(), "Alice");
+}
+
+#[test]
+fn like_value_gets_wildcards() {
+    let schema = pets_schema();
+    let graph = SchemaGraph::new(&schema);
+    let (name, student) = col(&schema, "student", "name");
+    let tree = SemQl::Single(Box::new(QueryR {
+        select: Select::new(vec![Agg::plain(name, student)]),
+        order: None,
+        superlative: None,
+        filter: Some(Filter::Like {
+            agg: Agg::plain(name, student),
+            value: ValueRef(0),
+            negated: false,
+        }),
+    }));
+    let sql = to_sql(&tree, &schema, &graph, &[ResolvedValue::new("li")]).unwrap();
+    assert!(sql.to_string().contains("'%li%'"), "{sql}");
+    // Already-wildcarded values pass through unchanged.
+    let sql2 = to_sql(&tree, &schema, &graph, &[ResolvedValue::new("li%")]).unwrap();
+    assert!(sql2.to_string().contains("'li%'"), "{sql2}");
+}
+
+#[test]
+fn nested_query_lowering() {
+    // Students older than the average age.
+    let schema = pets_schema();
+    let graph = SchemaGraph::new(&schema);
+    let (name, student) = col(&schema, "student", "name");
+    let (age, _) = col(&schema, "student", "age");
+    let tree = SemQl::Single(Box::new(QueryR {
+        select: Select::new(vec![Agg::plain(name, student)]),
+        order: None,
+        superlative: None,
+        filter: Some(Filter::CmpNested {
+            op: CmpOp::Gt,
+            agg: Agg::plain(age, student),
+            query: Box::new(QueryR::select_only(Select::new(vec![Agg::with(
+                AggFunc::Avg,
+                age,
+                student,
+            )]))),
+        }),
+    }));
+    let sql = to_sql(&tree, &schema, &graph, &[]).unwrap();
+    let text = sql.to_string();
+    assert!(text.contains("(SELECT avg("), "{text}");
+    let db = pets_db();
+    let rs = execute(&db, &sql).unwrap();
+    // avg age = (21+19+25)/3 = 21.67 → Carol only... wait, 25 > 21.67,
+    // 21 < 21.67, 19 < 21.67 → Carol.
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0].to_string(), "Carol");
+}
+
+#[test]
+fn except_compound_lowers() {
+    // Students without pets: all names EXCEPT pet-owner names.
+    let schema = pets_schema();
+    let graph = SchemaGraph::new(&schema);
+    let (name, student) = col(&schema, "student", "name");
+    let has_pet = schema.table_by_name("has_pet").unwrap();
+    let (hp_sid, _) = col(&schema, "has_pet", "stu_id");
+    let (sid, _) = col(&schema, "student", "stu_id");
+    let left = QueryR::select_only(Select::new(vec![Agg::plain(name, student)]));
+    let right = QueryR {
+        select: Select::new(vec![Agg::plain(name, student)]),
+        order: None,
+        superlative: None,
+        filter: Some(Filter::In {
+            agg: Agg::plain(sid, student),
+            query: Box::new(QueryR::select_only(Select::new(vec![Agg::plain(
+                hp_sid, has_pet,
+            )]))),
+            negated: false,
+        }),
+    };
+    let tree = SemQl::Except(Box::new(left), Box::new(right));
+    let sql = to_sql(&tree, &schema, &graph, &[]).unwrap();
+    let db = pets_db();
+    let rs = execute(&db, &sql).unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0].to_string(), "Bob");
+}
+
+#[test]
+fn missing_value_errors() {
+    let schema = pets_schema();
+    let graph = SchemaGraph::new(&schema);
+    let (age, student) = col(&schema, "student", "age");
+    let tree = SemQl::Single(Box::new(QueryR {
+        select: Select::new(vec![Agg::plain(age, student)]),
+        order: None,
+        superlative: None,
+        filter: Some(Filter::Cmp {
+            op: CmpOp::Gt,
+            agg: Agg::plain(age, student),
+            value: ValueRef(3),
+        }),
+    }));
+    assert_eq!(to_sql(&tree, &schema, &graph, &[]), Err(LowerError::MissingValue(3)));
+}
+
+#[test]
+fn boolean_value_formatting() {
+    let schema = SchemaBuilder::new("b")
+        .table("lang", &[("name", ColumnType::Text), ("is_official", ColumnType::Boolean)])
+        .build();
+    let graph = SchemaGraph::new(&schema);
+    let lang = schema.table_by_name("lang").unwrap();
+    let (name, _) = col(&schema, "lang", "name");
+    let (official, _) = col(&schema, "lang", "is_official");
+    let tree = SemQl::Single(Box::new(QueryR {
+        select: Select::new(vec![Agg::plain(name, lang)]),
+        order: None,
+        superlative: None,
+        filter: Some(Filter::Cmp {
+            op: CmpOp::Eq,
+            agg: Agg::plain(official, lang),
+            value: ValueRef(0),
+        }),
+    }));
+    let sql = to_sql(&tree, &schema, &graph, &[ResolvedValue::new("True")]).unwrap();
+    assert!(sql.to_string().contains("= 1"), "{sql}");
+    let sql = to_sql(&tree, &schema, &graph, &[ResolvedValue::new("no")]).unwrap();
+    assert!(sql.to_string().contains("= 0"), "{sql}");
+}
+
+#[test]
+fn sql_semql_round_trip_through_lowering() {
+    // SemQL → SQL → SemQL must preserve the tree (modulo value indices,
+    // which the importer re-numbers identically for canonical trees).
+    let schema = pets_schema();
+    let graph = SchemaGraph::new(&schema);
+    let (country, student) = col(&schema, "student", "home_country");
+    let (age, _) = col(&schema, "student", "age");
+    let (name, _) = col(&schema, "student", "name");
+    let tree = SemQl::Single(Box::new(QueryR {
+        select: Select::new(vec![Agg::plain(name, student)]),
+        order: Some(Order { desc: true, agg: Agg::plain(age, student) }),
+        superlative: None,
+        filter: Some(Filter::And(
+            Box::new(Filter::Cmp {
+                op: CmpOp::Eq,
+                agg: Agg::plain(country, student),
+                value: ValueRef(0),
+            }),
+            Box::new(Filter::Between {
+                agg: Agg::plain(age, student),
+                low: ValueRef(1),
+                high: ValueRef(2),
+            }),
+        )),
+    }));
+    let values = vec![
+        ResolvedValue::new("France"),
+        ResolvedValue::new("18"),
+        ResolvedValue::new("25"),
+    ];
+    let sql = to_sql(&tree, &schema, &graph, &values).unwrap();
+    let imported = semql_from_sql(&schema, &sql).unwrap();
+    assert_eq!(imported.semql, tree);
+    assert_eq!(imported.values, vec!["France", "18", "25"]);
+
+    // The action encoding must also survive the full trip.
+    let actions = ast_to_actions(&imported.semql);
+    assert_eq!(actions_to_ast(&actions).unwrap(), tree);
+}
+
+#[test]
+fn import_superlative_and_nested() {
+    let schema = pets_schema();
+    let sql = parse_select(
+        "SELECT T1.pet_type FROM pet AS T1 WHERE T1.weight > \
+         (SELECT avg(T1.weight) FROM pet AS T1) ORDER BY T1.weight DESC LIMIT 2",
+    )
+    .unwrap();
+    let imported = semql_from_sql(&schema, &sql).unwrap();
+    let q = imported.semql.main_query();
+    let sup = q.superlative.as_ref().expect("superlative");
+    assert!(sup.most);
+    assert_eq!(imported.values[sup.limit.0], "2");
+    assert!(matches!(q.filter, Some(Filter::CmpNested { op: CmpOp::Gt, .. })));
+}
+
+#[test]
+fn import_rejects_unsupported() {
+    let schema = pets_schema();
+    let sql = parse_select("SELECT name FROM student LIMIT 3").unwrap();
+    assert!(semql_from_sql(&schema, &sql).is_err(), "LIMIT without ORDER BY");
+    let sql = parse_select("SELECT name FROM student WHERE age IN (1, 2)").unwrap();
+    assert!(semql_from_sql(&schema, &sql).is_err(), "IN list is outside the grammar");
+}

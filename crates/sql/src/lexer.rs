@@ -1,0 +1,350 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+/// A lexical token. Keywords are uppercased identifiers matched by the
+/// parser; the lexer itself only distinguishes token classes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (original spelling preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string (unescaped contents).
+    Str(String),
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `;`
+    Semicolon,
+}
+
+impl Token {
+    /// Whether this token is the identifier/keyword `kw` (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            b'.' => {
+                // A dot starting a number (".5") is rare in SQL and unused by
+                // our generator; treat '.' as a separator always.
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "expected '=' after '!'".into(), offset: i });
+                }
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let mut s = String::new();
+                let start = i;
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Consume one UTF-8 scalar value.
+                            let rest = &input[i..];
+                            let ch = rest.chars().next().expect("non-empty");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string literal".into(),
+                                offset: start,
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            b'"' => {
+                // Double-quoted identifiers / strings: Spider gold queries use
+                // them for string literals, so accept them as strings.
+                let mut s = String::new();
+                let start = i;
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let rest = &input[i..];
+                            let ch = rest.chars().next().expect("non-empty");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated quoted name".into(),
+                                offset: start,
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && bytes[i + 1].is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let f: f64 = text.parse().map_err(|_| LexError {
+                        message: format!("bad float literal '{text}'"),
+                        offset: start,
+                    })?;
+                    tokens.push(Token::Float(f));
+                } else {
+                    let n: i64 = text.parse().map_err(|_| LexError {
+                        message: format!("bad integer literal '{text}'"),
+                        offset: start,
+                    })?;
+                    tokens.push(Token::Int(n));
+                }
+            }
+            b'-' => {
+                // Negative numeric literal (the parser never needs binary minus).
+                if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let mut is_float = false;
+                    if i < bytes.len()
+                        && bytes[i] == b'.'
+                        && i + 1 < bytes.len()
+                        && bytes[i + 1].is_ascii_digit()
+                    {
+                        is_float = true;
+                        i += 1;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                    let text = &input[start..i];
+                    if is_float {
+                        tokens.push(Token::Float(text.parse().unwrap()));
+                    } else {
+                        tokens.push(Token::Int(text.parse().unwrap()));
+                    }
+                } else {
+                    return Err(LexError {
+                        message: "unexpected '-' (arithmetic is not supported)".into(),
+                        offset: i,
+                    });
+                }
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            _ => {
+                return Err(LexError {
+                    message: format!("unexpected character '{}'", &input[i..].chars().next().unwrap()),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_query() {
+        let toks = tokenize("SELECT a, b FROM t WHERE x >= 2.5").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[2], Token::Comma);
+        assert_eq!(toks[8], Token::Ge);
+        assert_eq!(toks[9], Token::Float(2.5));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let toks = tokenize("'O''Brien' \"JFK\"").unwrap();
+        assert_eq!(toks, vec![Token::Str("O'Brien".into()), Token::Str("JFK".into())]);
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("= != <> < <= > >= ( ) . * ;").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::LParen,
+                Token::RParen,
+                Token::Dot,
+                Token::Star,
+                Token::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("42 3.25 -7 -0.5").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Int(42), Token::Float(3.25), Token::Int(-7), Token::Float(-0.5)]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = tokenize("SELECT 'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.offset, 7);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = tokenize("'Zürich'").unwrap();
+        assert_eq!(toks, vec![Token::Str("Zürich".into())]);
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        assert!(tokenize("SELECT #").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! SQL front-end: AST, lexer, parser and printer.
+//!
+//! Covers the SQL subset that the SemQL 2.0 grammar (paper Fig. 2) can
+//! express, which in turn covers the Spider query distribution: SELECT with
+//! DISTINCT and aggregates, INNER JOIN with `ON` clauses, WHERE with
+//! AND/OR, comparison/BETWEEN/LIKE/IN predicates and (uncorrelated) nested
+//! subqueries, GROUP BY + HAVING, ORDER BY with LIMIT, and the UNION /
+//! INTERSECT / EXCEPT set operations.
+//!
+//! One deliberate deviation from standard SQL precedence: in a compound
+//! query each operand is a complete [`SelectStmt`], so an `ORDER BY` binds
+//! to the operand it follows rather than to the whole compound. The crate is
+//! both the only producer and the only consumer of this dialect, and the
+//! query generator never emits `ORDER BY` inside compound operands, so
+//! standard queries are unaffected.
+//!
+//! ```
+//! use valuenet_sql::parse_select;
+//!
+//! let q = parse_select(
+//!     "SELECT count(*) FROM student AS T1 JOIN has_pet AS T2 ON T1.stu_id = T2.stu_id \
+//!      WHERE T1.home_country = 'France' AND T1.age > 20",
+//! )
+//! .unwrap();
+//! assert_eq!(q.core.joins.len(), 1);
+//! let round_trip = valuenet_sql::parse_select(&q.to_string()).unwrap();
+//! assert_eq!(q, round_trip);
+//! ```
+
+mod ast;
+mod lexer;
+mod parser;
+mod printer;
+
+pub use ast::{
+    AggFunc, BinOp, ColumnRef, CompoundOp, Expr, Join, Literal, OrderItem, SelectCore,
+    SelectItem, SelectStmt, TableRef,
+};
+pub use lexer::{tokenize, LexError, Token};
+pub use parser::{parse_select, ParseError};

@@ -1,0 +1,575 @@
+//! Recursive-descent parser for the covered SQL subset.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, LexError, Token};
+use std::fmt;
+
+/// Parsing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.to_string() }
+    }
+}
+
+/// Parses a complete `SELECT` statement (optionally `;`-terminated).
+pub fn parse_select(input: &str) -> Result<SelectStmt, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select_stmt()?;
+    if p.peek().is_some_and(|t| *t == Token::Semicolon) {
+        p.advance();
+    }
+    match p.peek() {
+        None => Ok(stmt),
+        Some(t) => Err(ParseError { message: format!("trailing input at token {t:?}") }),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn advance(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("keyword {kw}")))
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("{t:?}")))
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> ParseError {
+        ParseError {
+            message: match self.peek() {
+                Some(t) => format!("expected {wanted}, found {t:?} at token {}", self.pos),
+                None => format!("expected {wanted}, found end of input"),
+            },
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.unexpected("identifier")),
+        }
+    }
+
+    fn select_stmt(&mut self) -> Result<SelectStmt, ParseError> {
+        let core = self.select_core()?;
+        let mut stmt = SelectStmt::simple(core);
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                stmt.order_by.push(OrderItem { expr, desc });
+                if !self.eat_comma() {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("LIMIT") {
+            match self.advance() {
+                Some(Token::Int(n)) if *n >= 0 => stmt.limit = Some(*n as u64),
+                _ => return Err(ParseError { message: "LIMIT expects a non-negative integer".into() }),
+            }
+        }
+        let op = if self.eat_kw("UNION") {
+            Some(if self.eat_kw("ALL") { CompoundOp::UnionAll } else { CompoundOp::Union })
+        } else if self.eat_kw("INTERSECT") {
+            Some(CompoundOp::Intersect)
+        } else if self.eat_kw("EXCEPT") {
+            Some(CompoundOp::Except)
+        } else {
+            None
+        };
+        if let Some(op) = op {
+            let rhs = self.select_stmt()?;
+            stmt.compound = Some((op, Box::new(rhs)));
+        }
+        Ok(stmt)
+    }
+
+    fn eat_comma(&mut self) -> bool {
+        if self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn select_core(&mut self) -> Result<SelectCore, ParseError> {
+        self.expect_kw("SELECT")?;
+        let mut core = SelectCore::new();
+        core.distinct = self.eat_kw("DISTINCT");
+        loop {
+            let expr = self.expr()?;
+            let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
+            core.items.push(SelectItem { expr, alias });
+            if !self.eat_comma() {
+                break;
+            }
+        }
+        if self.eat_kw("FROM") {
+            core.from = Some(self.table_ref()?);
+            loop {
+                let inner = self.eat_kw("INNER");
+                if self.eat_kw("JOIN") {
+                    let table = self.table_ref()?;
+                    let on = if self.eat_kw("ON") { Some(self.expr()?) } else { None };
+                    core.joins.push(Join { table, on });
+                } else if inner {
+                    return Err(self.unexpected("JOIN after INNER"));
+                } else {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("WHERE") {
+            core.where_clause = Some(self.expr()?);
+        }
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                core.group_by.push(self.expr()?);
+                if !self.eat_comma() {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("HAVING") {
+            core.having = Some(self.expr()?);
+        }
+        Ok(core)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let name = self.ident()?;
+        // Alias follows either as `AS ident` or as a bare non-keyword ident.
+        let has_alias = self.eat_kw("AS")
+            || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s));
+        let alias = if has_alias { Some(self.ident()?) } else { None };
+        Ok(TableRef { name, alias })
+    }
+
+    // Precedence: OR < AND < NOT < predicate.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::binary(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::binary(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw("NOT") {
+            // `NOT` directly before IN/LIKE/BETWEEN is handled in predicate();
+            // here it is a prefix boolean negation.
+            let inner = self.not_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.primary()?;
+        let negated = self.eat_kw("NOT");
+        if let Some(op) = self.comparison_op() {
+            if negated {
+                return Err(ParseError { message: "NOT before comparison operator".into() });
+            }
+            let rhs = self.primary()?;
+            return Ok(Expr::binary(op, lhs, rhs));
+        }
+        if self.eat_kw("BETWEEN") {
+            let low = self.primary()?;
+            self.expect_kw("AND")?;
+            let high = self.primary()?;
+            return Ok(Expr::Between {
+                expr: Box::new(lhs),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = self.primary()?;
+            return Ok(Expr::Like { expr: Box::new(lhs), pattern: Box::new(pattern), negated });
+        }
+        if self.eat_kw("IN") {
+            self.expect(&Token::LParen)?;
+            if self.peek().is_some_and(|t| t.is_kw("SELECT")) {
+                let sub = self.select_stmt()?;
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(lhs),
+                    subquery: Box::new(sub),
+                    negated,
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.primary()?);
+                if !self.eat_comma() {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(lhs), list, negated });
+        }
+        if negated {
+            return Err(ParseError { message: "dangling NOT".into() });
+        }
+        Ok(lhs)
+    }
+
+    fn comparison_op(&mut self) -> Option<BinOp> {
+        let op = match self.peek()? {
+            Token::Eq => BinOp::Eq,
+            Token::Ne => BinOp::Ne,
+            Token::Lt => BinOp::Lt,
+            Token::Le => BinOp::Le,
+            Token::Gt => BinOp::Gt,
+            Token::Ge => BinOp::Ge,
+            _ => return None,
+        };
+        self.pos += 1;
+        Some(op)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Token::Int(n)) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(Expr::Lit(Literal::Int(n)))
+            }
+            Some(Token::Float(f)) => {
+                let f = *f;
+                self.pos += 1;
+                Ok(Expr::Lit(Literal::Float(f)))
+            }
+            Some(Token::Str(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(Expr::Lit(Literal::Text(s)))
+            }
+            Some(Token::Star) => {
+                self.pos += 1;
+                Ok(Expr::Column(ColumnRef::bare("*")))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                if self.peek().is_some_and(|t| t.is_kw("SELECT")) {
+                    let sub = self.select_stmt()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(Expr::Subquery(Box::new(sub)))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(e)
+                }
+            }
+            Some(Token::Ident(s)) => {
+                if let Some(func) = agg_func(s) {
+                    if self.peek2() == Some(&Token::LParen) {
+                        self.pos += 2;
+                        let distinct = self.eat_kw("DISTINCT");
+                        let arg = if self.peek() == Some(&Token::Star) {
+                            self.pos += 1;
+                            Expr::Column(ColumnRef::bare("*"))
+                        } else {
+                            self.primary()?
+                        };
+                        self.expect(&Token::RParen)?;
+                        return Ok(Expr::Agg { func, distinct, arg: Box::new(arg) });
+                    }
+                }
+                if s.eq_ignore_ascii_case("NULL") {
+                    self.pos += 1;
+                    return Ok(Expr::Lit(Literal::Null));
+                }
+                let first = self.ident()?;
+                if self.peek() == Some(&Token::Dot) {
+                    self.pos += 1;
+                    if self.peek() == Some(&Token::Star) {
+                        self.pos += 1;
+                        return Ok(Expr::Column(ColumnRef::qualified(first, "*")));
+                    }
+                    let col = self.ident()?;
+                    Ok(Expr::Column(ColumnRef::qualified(first, col)))
+                } else {
+                    Ok(Expr::Column(ColumnRef::bare(first)))
+                }
+            }
+            _ => Err(self.unexpected("expression")),
+        }
+    }
+}
+
+fn agg_func(s: &str) -> Option<AggFunc> {
+    match s.to_ascii_lowercase().as_str() {
+        "count" => Some(AggFunc::Count),
+        "sum" => Some(AggFunc::Sum),
+        "avg" => Some(AggFunc::Avg),
+        "min" => Some(AggFunc::Min),
+        "max" => Some(AggFunc::Max),
+        _ => None,
+    }
+}
+
+fn is_reserved(s: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "select", "distinct", "from", "join", "inner", "on", "where", "and", "or", "not", "in",
+        "between", "like", "group", "by", "having", "order", "asc", "desc", "limit", "union",
+        "all", "intersect", "except", "as", "null",
+    ];
+    RESERVED.contains(&s.to_ascii_lowercase().as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let q = parse_select("SELECT name FROM student").unwrap();
+        assert_eq!(q.core.items.len(), 1);
+        assert_eq!(q.core.from.as_ref().unwrap().name, "student");
+        assert!(q.core.where_clause.is_none());
+    }
+
+    #[test]
+    fn running_example() {
+        let q = parse_select(
+            "SELECT count(*) FROM student AS T1 JOIN has_pet AS T2 ON T1.stu_id = T2.stu_id \
+             WHERE T1.home_country = 'France' AND T1.age > 20",
+        )
+        .unwrap();
+        assert_eq!(q.core.joins.len(), 1);
+        let on = q.core.joins[0].on.as_ref().unwrap();
+        assert!(matches!(on, Expr::Binary { op: BinOp::Eq, .. }));
+        let w = q.core.where_clause.as_ref().unwrap();
+        assert!(matches!(w, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let q = parse_select(
+            "SELECT T1.grade, count(DISTINCT T1.name), avg(T1.age) FROM student AS T1 \
+             GROUP BY T1.grade HAVING count(*) > 2",
+        )
+        .unwrap();
+        assert_eq!(q.core.items.len(), 3);
+        assert!(matches!(
+            q.core.items[1].expr,
+            Expr::Agg { func: AggFunc::Count, distinct: true, .. }
+        ));
+        assert_eq!(q.core.group_by.len(), 1);
+        assert!(q.core.having.is_some());
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let q = parse_select("SELECT name FROM t ORDER BY age DESC, name LIMIT 3").unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].desc);
+        assert!(!q.order_by[1].desc);
+        assert_eq!(q.limit, Some(3));
+        assert!(q.is_ordered());
+    }
+
+    #[test]
+    fn nested_subquery_comparison() {
+        let q = parse_select("SELECT name FROM t WHERE age > (SELECT avg(age) FROM t)").unwrap();
+        let w = q.core.where_clause.unwrap();
+        match w {
+            Expr::Binary { op: BinOp::Gt, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Subquery(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_and_not_in_subquery() {
+        let q = parse_select(
+            "SELECT name FROM t WHERE id NOT IN (SELECT stu_id FROM has_pet)",
+        )
+        .unwrap();
+        assert!(matches!(q.core.where_clause.unwrap(), Expr::InSubquery { negated: true, .. }));
+        let q2 = parse_select("SELECT name FROM t WHERE id IN (1, 2, 3)").unwrap();
+        match q2.core.where_clause.unwrap() {
+            Expr::InList { list, negated, .. } => {
+                assert_eq!(list.len(), 3);
+                assert!(!negated);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_and_like() {
+        let q = parse_select(
+            "SELECT name FROM t WHERE age BETWEEN 10 AND 20 AND name LIKE '%Ha%'",
+        )
+        .unwrap();
+        let w = q.core.where_clause.unwrap();
+        match w {
+            Expr::Binary { op: BinOp::And, lhs, rhs } => {
+                assert!(matches!(*lhs, Expr::Between { negated: false, .. }));
+                assert!(matches!(*rhs, Expr::Like { negated: false, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let q2 = parse_select("SELECT a FROM t WHERE a NOT LIKE 'x%'").unwrap();
+        assert!(matches!(q2.core.where_clause.unwrap(), Expr::Like { negated: true, .. }));
+    }
+
+    #[test]
+    fn compound_ops() {
+        let q = parse_select("SELECT a FROM t UNION SELECT b FROM u INTERSECT SELECT c FROM v")
+            .unwrap();
+        let (op, rhs) = q.compound.unwrap();
+        assert_eq!(op, CompoundOp::Union);
+        let (op2, _) = rhs.compound.clone().unwrap();
+        assert_eq!(op2, CompoundOp::Intersect);
+        assert!(!q.core.items.is_empty());
+    }
+
+    #[test]
+    fn except_query() {
+        let q = parse_select("SELECT a FROM t EXCEPT SELECT a FROM u").unwrap();
+        assert_eq!(q.compound.as_ref().unwrap().0, CompoundOp::Except);
+        assert!(!q.is_ordered());
+    }
+
+    #[test]
+    fn implicit_alias() {
+        let q = parse_select("SELECT T1.a FROM t T1 WHERE T1.a = 1").unwrap();
+        assert_eq!(q.core.from.unwrap().alias.as_deref(), Some("T1"));
+    }
+
+    #[test]
+    fn or_precedence() {
+        // a = 1 OR b = 2 AND c = 3  →  OR(a=1, AND(b=2, c=3))
+        let q = parse_select("SELECT x FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        match q.core.where_clause.unwrap() {
+            Expr::Binary { op: BinOp::Or, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_boolean() {
+        let q = parse_select("SELECT x FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap();
+        match q.core.where_clause.unwrap() {
+            Expr::Binary { op: BinOp::And, lhs, .. } => {
+                assert!(matches!(*lhs, Expr::Binary { op: BinOp::Or, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_variants() {
+        let q = parse_select("SELECT *, T1.*, count(*) FROM t AS T1").unwrap();
+        assert!(matches!(&q.core.items[0].expr, Expr::Column(c) if c.is_star() && c.table.is_none()));
+        assert!(
+            matches!(&q.core.items[1].expr, Expr::Column(c) if c.is_star() && c.table.as_deref() == Some("T1"))
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_select("SELECT").is_err());
+        assert!(parse_select("SELECT a FROM").is_err());
+        assert!(parse_select("SELECT a FROM t WHERE").is_err());
+        assert!(parse_select("SELECT a FROM t LIMIT x").is_err());
+        assert!(parse_select("SELECT a FROM t extra garbage ,").is_err());
+        assert!(parse_select("FROM t SELECT a").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse_select("SELECT a FROM t;").is_ok());
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let q = parse_select("select A from T where B like 'x%' order by A asc limit 1").unwrap();
+        assert_eq!(q.limit, Some(1));
+        assert_eq!(q.order_by.len(), 1);
+    }
+}

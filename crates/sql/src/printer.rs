@@ -1,0 +1,228 @@
+//! Canonical SQL rendering via `Display`.
+//!
+//! The printer emits exactly the dialect the parser accepts, so
+//! `parse_select(&stmt.to_string())` round-trips for every AST the system
+//! produces (a property test in the integration suite relies on this).
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Null => write!(f, "NULL"),
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Literal::Text(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Lit(l) => write!(f, "{l}"),
+            Expr::Agg { func, distinct, arg } => {
+                write!(f, "{}(", func.keyword())?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                write!(f, "{arg})")
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                if op.is_comparison() {
+                    write!(f, "{lhs} {} {rhs}", op.symbol())
+                } else {
+                    // Parenthesize nested boolean operands so the exact tree
+                    // shape (including associativity) survives reparsing.
+                    let fmt_operand =
+                        |f: &mut fmt::Formatter<'_>, e: &Expr| -> fmt::Result {
+                            match e {
+                                Expr::Binary { op: inner, .. } if !inner.is_comparison() => {
+                                    write!(f, "({e})")
+                                }
+                                _ => write!(f, "{e}"),
+                            }
+                        };
+                    fmt_operand(f, lhs)?;
+                    write!(f, " {} ", op.symbol())?;
+                    fmt_operand(f, rhs)
+                }
+            }
+            Expr::Not(e) => write!(f, "NOT {e}"),
+            Expr::Between { expr, low, high, negated } => {
+                if *negated {
+                    write!(f, "{expr} NOT BETWEEN {low} AND {high}")
+                } else {
+                    write!(f, "{expr} BETWEEN {low} AND {high}")
+                }
+            }
+            Expr::InList { expr, list, negated } => {
+                let items: Vec<String> = list.iter().map(|e| e.to_string()).collect();
+                if *negated {
+                    write!(f, "{expr} NOT IN ({})", items.join(", "))
+                } else {
+                    write!(f, "{expr} IN ({})", items.join(", "))
+                }
+            }
+            Expr::InSubquery { expr, subquery, negated } => {
+                if *negated {
+                    write!(f, "{expr} NOT IN ({subquery})")
+                } else {
+                    write!(f, "{expr} IN ({subquery})")
+                }
+            }
+            Expr::Like { expr, pattern, negated } => {
+                if *negated {
+                    write!(f, "{expr} NOT LIKE {pattern}")
+                } else {
+                    write!(f, "{expr} LIKE {pattern}")
+                }
+            }
+            Expr::Subquery(s) => write!(f, "({s})"),
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} AS {a}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl fmt::Display for SelectCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        let items: Vec<String> = self
+            .items
+            .iter()
+            .map(|it| match &it.alias {
+                Some(a) => format!("{} AS {a}", it.expr),
+                None => it.expr.to_string(),
+            })
+            .collect();
+        write!(f, "{}", items.join(", "))?;
+        if let Some(from) = &self.from {
+            write!(f, " FROM {from}")?;
+            for j in &self.joins {
+                write!(f, " JOIN {}", j.table)?;
+                if let Some(on) = &j.on {
+                    write!(f, " ON {on}")?;
+                }
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            let keys: Vec<String> = self.group_by.iter().map(|e| e.to_string()).collect();
+            write!(f, " GROUP BY {}", keys.join(", "))?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.core)?;
+        if !self.order_by.is_empty() {
+            let keys: Vec<String> = self
+                .order_by
+                .iter()
+                .map(|o| {
+                    if o.desc {
+                        format!("{} DESC", o.expr)
+                    } else {
+                        format!("{} ASC", o.expr)
+                    }
+                })
+                .collect();
+            write!(f, " ORDER BY {}", keys.join(", "))?;
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if let Some((op, rhs)) = &self.compound {
+            write!(f, " {} {rhs}", op.keyword())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_select;
+
+    /// Parse → print → parse must be the identity on the AST.
+    fn round_trip(sql: &str) {
+        let q1 = parse_select(sql).unwrap_or_else(|e| panic!("first parse of {sql}: {e}"));
+        let printed = q1.to_string();
+        let q2 = parse_select(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed}: {e}"));
+        assert_eq!(q1, q2, "round trip changed AST for: {sql}\nprinted: {printed}");
+    }
+
+    #[test]
+    fn round_trips() {
+        for sql in [
+            "SELECT name FROM student",
+            "SELECT DISTINCT T1.name FROM student AS T1",
+            "SELECT count(*) FROM student AS T1 JOIN has_pet AS T2 ON T1.stu_id = T2.stu_id WHERE T1.home_country = 'France' AND T1.age > 20",
+            "SELECT T1.grade, count(DISTINCT T1.name) FROM student AS T1 GROUP BY T1.grade HAVING count(*) > 2",
+            "SELECT name FROM t ORDER BY age DESC LIMIT 3",
+            "SELECT name FROM t WHERE age > (SELECT avg(age) FROM t)",
+            "SELECT name FROM t WHERE id NOT IN (SELECT stu_id FROM has_pet)",
+            "SELECT name FROM t WHERE age BETWEEN 10 AND 20 AND name LIKE '%Ha%'",
+            "SELECT a FROM t UNION SELECT b FROM u",
+            "SELECT a FROM t EXCEPT SELECT a FROM u INTERSECT SELECT c FROM v",
+            "SELECT x FROM t WHERE (a = 1 OR b = 2) AND c = 3",
+            "SELECT x FROM t WHERE a NOT BETWEEN 1 AND 2 OR b NOT LIKE 'q%'",
+            "SELECT *, T1.* FROM t AS T1",
+            "SELECT name FROM t WHERE note = 'O''Brien said \"hi\"'",
+            "SELECT a FROM t WHERE b = 3.5 AND c = -2",
+            "SELECT sum(T1.weight) AS total FROM pet AS T1",
+        ] {
+            round_trip(sql);
+        }
+    }
+
+    #[test]
+    fn boolean_parenthesization_preserved() {
+        let q = parse_select("SELECT x FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap();
+        let s = q.to_string();
+        assert!(s.contains("(a = 1 OR b = 2) AND"), "printed: {s}");
+    }
+
+    #[test]
+    fn float_formatting_reparses_as_float() {
+        let q = parse_select("SELECT a FROM t WHERE b = 2.0").unwrap();
+        let s = q.to_string();
+        assert!(s.contains("2.0"), "printed: {s}");
+        round_trip("SELECT a FROM t WHERE b = 2.0");
+    }
+}

@@ -1,0 +1,175 @@
+//! Property test: arbitrary well-formed ASTs print to SQL that reparses to
+//! the identical AST.
+
+use proptest::prelude::*;
+use valuenet_sql::{
+    parse_select, AggFunc, BinOp, ColumnRef, CompoundOp, Expr, Join, Literal, OrderItem,
+    SelectCore, SelectItem, SelectStmt, TableRef,
+};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not reserved", |s| {
+        !matches!(
+            s.as_str(),
+            "select" | "distinct" | "from" | "join" | "inner" | "on" | "where" | "and" | "or"
+                | "not" | "in" | "between" | "like" | "group" | "by" | "having" | "order"
+                | "asc" | "desc" | "limit" | "union" | "all" | "intersect" | "except" | "as"
+                | "null" | "count" | "sum" | "avg" | "min" | "max" | "is"
+        )
+    })
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Literal::Int(i as i64)),
+        (-1000i32..1000, 1u32..100).prop_map(|(a, b)| Literal::Float(a as f64 + b as f64 / 100.0)),
+        "[a-zA-Z0-9 '%_-]{0,12}".prop_map(Literal::Text),
+        Just(Literal::Null),
+    ]
+}
+
+fn column_ref() -> impl Strategy<Value = ColumnRef> {
+    (proptest::option::of(ident()), ident())
+        .prop_map(|(t, c)| ColumnRef { table: t, column: c })
+}
+
+fn agg() -> impl Strategy<Value = Expr> {
+    (
+        proptest::sample::select(vec![
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ]),
+        any::<bool>(),
+        column_ref(),
+    )
+        .prop_map(|(func, distinct, c)| Expr::Agg {
+            func,
+            // DISTINCT * is not printable/parsable; restrict.
+            distinct: distinct && c.column != "*",
+            arg: Box::new(Expr::Column(c)),
+        })
+}
+
+fn value_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        literal().prop_map(Expr::Lit),
+        column_ref().prop_map(Expr::Column),
+        agg(),
+    ]
+}
+
+fn comparison() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (
+            proptest::sample::select(vec![
+                BinOp::Eq,
+                BinOp::Ne,
+                BinOp::Lt,
+                BinOp::Le,
+                BinOp::Gt,
+                BinOp::Ge
+            ]),
+            column_ref(),
+            value_expr()
+        )
+            .prop_map(|(op, l, r)| Expr::binary(op, Expr::Column(l), r)),
+        (column_ref(), literal(), literal(), any::<bool>()).prop_map(|(c, lo, hi, neg)| {
+            Expr::Between {
+                expr: Box::new(Expr::Column(c)),
+                low: Box::new(Expr::Lit(lo)),
+                high: Box::new(Expr::Lit(hi)),
+                negated: neg,
+            }
+        }),
+        (column_ref(), "[a-z%_]{1,8}", any::<bool>()).prop_map(|(c, pat, neg)| Expr::Like {
+            expr: Box::new(Expr::Column(c)),
+            pattern: Box::new(Expr::Lit(Literal::Text(pat))),
+            negated: neg,
+        }),
+        (column_ref(), prop::collection::vec(literal(), 1..4), any::<bool>()).prop_map(
+            |(c, list, neg)| Expr::InList {
+                expr: Box::new(Expr::Column(c)),
+                list: list.into_iter().map(Expr::Lit).collect(),
+                negated: neg,
+            }
+        ),
+    ]
+}
+
+fn predicate() -> impl Strategy<Value = Expr> {
+    comparison().prop_recursive(2, 8, 2, |inner| {
+        (
+            proptest::sample::select(vec![BinOp::And, BinOp::Or]),
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, a, b)| Expr::binary(op, a, b))
+    })
+}
+
+fn select_core() -> impl Strategy<Value = SelectCore> {
+    (
+        any::<bool>(),
+        prop::collection::vec(value_expr(), 1..4),
+        ident(),
+        proptest::option::of((ident(), proptest::option::of(comparison()))),
+        proptest::option::of(predicate()),
+        prop::collection::vec(column_ref().prop_map(Expr::Column), 0..3),
+        proptest::option::of(comparison()),
+    )
+        .prop_map(|(distinct, items, from, join, where_clause, group_by, having)| SelectCore {
+            distinct,
+            items: items.into_iter().map(|e| SelectItem { expr: e, alias: None }).collect(),
+            from: Some(TableRef { name: from, alias: Some("T1".into()) }),
+            joins: join
+                .map(|(name, on)| {
+                    vec![Join { table: TableRef { name, alias: Some("T2".into()) }, on }]
+                })
+                .unwrap_or_default(),
+            where_clause,
+            group_by,
+            having,
+        })
+}
+
+fn select_stmt() -> impl Strategy<Value = SelectStmt> {
+    (
+        select_core(),
+        prop::collection::vec((value_expr(), any::<bool>()), 0..3),
+        proptest::option::of(0u64..100),
+        proptest::option::of((
+            proptest::sample::select(vec![
+                CompoundOp::Union,
+                CompoundOp::UnionAll,
+                CompoundOp::Intersect,
+                CompoundOp::Except,
+            ]),
+            select_core(),
+        )),
+    )
+        .prop_map(|(core, order, limit, compound)| SelectStmt {
+            core,
+            order_by: order
+                .into_iter()
+                .map(|(e, desc)| OrderItem { expr: e, desc })
+                .collect(),
+            limit,
+            compound: compound
+                .map(|(op, rhs)| (op, Box::new(SelectStmt::simple(rhs)))),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, max_shrink_iters: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn print_parse_round_trip(stmt in select_stmt()) {
+        let text = stmt.to_string();
+        let reparsed = parse_select(&text)
+            .unwrap_or_else(|e| panic!("printed SQL failed to parse: {text}\n{e}"));
+        prop_assert_eq!(reparsed, stmt, "round trip changed the AST for: {}", text);
+    }
+}

@@ -1,0 +1,201 @@
+//! Inverted index over the base data.
+
+use crate::{damerau_levenshtein, Database, Datum};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use valuenet_schema::ColumnId;
+
+/// Where a value was found: a column (its table is derivable from the
+/// schema). The candidate-validation step registers these locations so the
+/// encoder can encode each value *together with* its table and column
+/// (paper Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ValueLocation {
+    /// Column containing the value.
+    pub column: ColumnId,
+}
+
+/// A database value found by similarity search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimilarValue {
+    /// Column the value occurs in.
+    pub column: ColumnId,
+    /// The value exactly as stored in the database.
+    pub value: String,
+    /// Damerau–Levenshtein distance to the query.
+    pub distance: usize,
+}
+
+/// An inverted index over every column of a database: per-column distinct
+/// values (for exact and similarity lookup) plus a token → columns map (for
+/// hint generation).
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    /// Distinct values per column, original spelling, indexed by `ColumnId.0`.
+    distinct: Vec<Vec<String>>,
+    /// Normalised (lowercased) distinct values per column for O(1) exact lookup.
+    normalized: Vec<HashSet<String>>,
+    /// Lowercased word token → columns whose values contain that word.
+    tokens: HashMap<String, BTreeSet<usize>>,
+}
+
+impl InvertedIndex {
+    /// Builds the index by scanning every row of `db`.
+    pub fn build(db: &Database) -> Self {
+        let schema = db.schema();
+        let mut distinct: Vec<Vec<String>> = vec![Vec::new(); schema.columns.len()];
+        let mut normalized: Vec<HashSet<String>> = vec![HashSet::new(); schema.columns.len()];
+        let mut tokens: HashMap<String, BTreeSet<usize>> = HashMap::new();
+        for (ti, table) in schema.tables.iter().enumerate() {
+            for row in db.rows(valuenet_schema::TableId(ti)) {
+                for (off, &cid) in table.columns.iter().enumerate() {
+                    let text = match &row[off] {
+                        Datum::Null => continue,
+                        Datum::Int(i) => i.to_string(),
+                        Datum::Float(f) => f.to_string(),
+                        Datum::Text(s) => s.clone(),
+                    };
+                    let norm = text.to_lowercase();
+                    if normalized[cid.0].insert(norm.clone()) {
+                        distinct[cid.0].push(text);
+                    }
+                    for tok in norm.split(|c: char| !c.is_alphanumeric()) {
+                        if !tok.is_empty() {
+                            tokens.entry(tok.to_string()).or_default().insert(cid.0);
+                        }
+                    }
+                }
+            }
+        }
+        InvertedIndex { distinct, normalized, tokens }
+    }
+
+    /// Columns whose base data contains `value` exactly (case-insensitive).
+    pub fn find_exact(&self, value: &str) -> Vec<ColumnId> {
+        let norm = value.to_lowercase();
+        self.normalized
+            .iter()
+            .enumerate()
+            .filter(|(_, set)| set.contains(&norm))
+            .map(|(i, _)| ColumnId(i))
+            .collect()
+    }
+
+    /// Whether `value` occurs exactly (case-insensitively) in `column`.
+    pub fn contains(&self, column: ColumnId, value: &str) -> bool {
+        self.normalized
+            .get(column.0)
+            .is_some_and(|set| set.contains(&value.to_lowercase()))
+    }
+
+    /// Columns whose values contain the given word `token`
+    /// (case-insensitive). Used for question/schema hint generation.
+    pub fn find_token(&self, token: &str) -> Vec<ColumnId> {
+        self.tokens
+            .get(&token.to_lowercase())
+            .map(|set| set.iter().map(|&i| ColumnId(i)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Database values within Damerau–Levenshtein `max_dist` of `query`
+    /// (case-insensitive), sorted by ascending distance then column.
+    ///
+    /// Length blocking skips values whose length differs from the query by
+    /// more than `max_dist` — the cheap "blocking/indexing" optimisation the
+    /// paper cites from the record-linkage literature.
+    pub fn find_similar(&self, query: &str, max_dist: usize) -> Vec<SimilarValue> {
+        let qnorm = query.to_lowercase();
+        let qlen = qnorm.chars().count();
+        let mut out = Vec::new();
+        for (ci, values) in self.distinct.iter().enumerate() {
+            for v in values {
+                let vlen = v.chars().count();
+                if vlen.abs_diff(qlen) > max_dist {
+                    continue;
+                }
+                let d = damerau_levenshtein(&qnorm, &v.to_lowercase());
+                if d <= max_dist {
+                    out.push(SimilarValue { column: ColumnId(ci), value: v.clone(), distance: d });
+                }
+            }
+        }
+        out.sort_by(|a, b| a.distance.cmp(&b.distance).then(a.column.cmp(&b.column)));
+        out
+    }
+
+    /// Distinct values of `column` matching a SQL LIKE `pattern`
+    /// (case-insensitive). Used e.g. by the month heuristic (`8/%`).
+    pub fn find_like(&self, column: ColumnId, pattern: &str) -> Vec<String> {
+        let pnorm = pattern.to_lowercase();
+        self.distinct
+            .get(column.0)
+            .map(|vals| {
+                vals.iter()
+                    .filter(|v| like_match(&pnorm, &v.to_lowercase()))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Distinct values of `column` matching a LIKE pattern, over all columns.
+    pub fn find_like_anywhere(&self, pattern: &str) -> Vec<(ColumnId, String)> {
+        let pnorm = pattern.to_lowercase();
+        let mut out = Vec::new();
+        for (ci, vals) in self.distinct.iter().enumerate() {
+            for v in vals {
+                if like_match(&pnorm, &v.to_lowercase()) {
+                    out.push((ColumnId(ci), v.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// All distinct values stored for `column` (original spelling).
+    pub fn distinct_values(&self, column: ColumnId) -> &[String] {
+        self.distinct.get(column.0).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of distinct values across all columns.
+    pub fn num_values(&self) -> usize {
+        self.distinct.iter().map(Vec::len).sum()
+    }
+}
+
+/// SQL LIKE matching with `%` (any run) and `_` (any single char).
+/// Case-sensitive; normalise both sides for case-insensitive matching.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    fn rec(p: &[char], t: &[char]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some(('%', rest)) => {
+                (0..=t.len()).any(|k| rec(rest, &t[k..]))
+            }
+            Some(('_', rest)) => !t.is_empty() && rec(rest, &t[1..]),
+            Some((&c, rest)) => t.first() == Some(&c) && rec(rest, &t[1..]),
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    rec(&p, &t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_match_semantics() {
+        assert!(like_match("%ah%", "sarah"));
+        assert!(like_match("ha%", "harry"));
+        assert!(!like_match("ha%", "sarah"));
+        assert!(like_match("%", ""));
+        assert!(like_match("a_c", "abc"));
+        assert!(!like_match("a_c", "ac"));
+        assert!(like_match("8/%", "8/9/2010"));
+        assert!(!like_match("8/%", "18/9/2010"));
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abcd"));
+        assert!(like_match("%goodbye%", "goodbye yellow brick road"));
+    }
+}

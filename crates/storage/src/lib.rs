@@ -1,0 +1,22 @@
+//! In-memory database storage with an inverted index over the base data.
+//!
+//! The ValueNet architecture (paper Fig. 5) takes "access to the content of
+//! the database, e.g. via an inverted index" as an input. This crate supplies
+//! that substrate: row storage typed by a [`valuenet_schema::DbSchema`], plus
+//! an [`InvertedIndex`] supporting the three lookups the value-candidate
+//! pipeline needs —
+//!
+//! 1. *exact* value lookup (candidate validation, Section IV-B3),
+//! 2. *token* lookup (question/schema hints, Section III-A),
+//! 3. *similarity* lookup via Damerau–Levenshtein distance with length
+//!    blocking (candidate generation, Section IV-B2).
+
+mod database;
+mod datum;
+mod distance;
+mod index;
+
+pub use database::Database;
+pub use datum::Datum;
+pub use distance::damerau_levenshtein;
+pub use index::{like_match, InvertedIndex, SimilarValue, ValueLocation};

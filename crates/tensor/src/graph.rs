@@ -1,0 +1,923 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] records every operation of a forward pass as a node. Calling
+//! [`Graph::backward`] walks the tape in reverse creation order (which is a
+//! valid reverse topological order, because operands must exist before the
+//! operation that consumes them) and accumulates gradients into a
+//! [`Gradients`] structure keyed by node and by parameter id.
+
+use crate::Tensor;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+/// The recorded operation of a node. Operands are stored as [`Var`]s.
+enum Op {
+    /// Constant input or trainable parameter (leaf).
+    Leaf,
+    Add(Var, Var),
+    /// `[n,d] + [1,d]` — broadcast the single row over all rows.
+    AddBroadcastRow(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    /// `[n,d] * [1,d]` element-wise with row broadcast.
+    MulBroadcastRow(Var, Var),
+    Scale(Var, f32),
+    Matmul(Var, Var),
+    Transpose(Var),
+    Tanh(Var),
+    Sigmoid(Var),
+    Relu(Var),
+    SoftmaxRows(Var),
+    LogSoftmaxRows(Var),
+    ConcatCols(Vec<Var>),
+    ConcatRows(Vec<Var>),
+    SliceCols(Var, usize, usize),
+    SliceRows(Var, usize, usize),
+    SumAll(Var),
+    MeanAll(Var),
+    /// Select rows of an embedding table; gradient is a scatter-add.
+    Gather(Var, Vec<usize>),
+    /// Mean negative log likelihood: operand holds per-row log-probabilities,
+    /// the vector holds one target class per row.
+    NllLoss(Var, Vec<usize>),
+    /// Element-wise multiply by a fixed mask (inverted-dropout scaling baked in).
+    Dropout(Var, Vec<f32>),
+    /// Per-row layer normalisation (no affine; compose gain/bias separately).
+    LayerNormRows(Var, f32),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+    needs_grad: bool,
+    param_id: Option<usize>,
+}
+
+/// Gradients produced by [`Graph::backward`].
+pub struct Gradients {
+    by_node: Vec<Option<Tensor>>,
+    params: Vec<(usize, usize)>, // (param_id, node index)
+}
+
+impl Gradients {
+    /// Gradient of the loss with respect to node `v`, if it was computed.
+    pub fn for_var(&self, v: Var) -> Option<&Tensor> {
+        self.by_node.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    /// Gradient for the parameter registered under `param_id`.
+    ///
+    /// If the same parameter was used through several [`Graph::param`] nodes,
+    /// their gradients are summed.
+    pub fn for_param(&self, param_id: usize) -> Option<Tensor> {
+        let mut acc: Option<Tensor> = None;
+        for &(pid, node) in &self.params {
+            if pid != param_id {
+                continue;
+            }
+            if let Some(g) = &self.by_node[node] {
+                match &mut acc {
+                    Some(a) => a.add_assign(g),
+                    None => acc = Some(g.clone()),
+                }
+            }
+        }
+        acc
+    }
+
+    /// Iterates over `(param_id, node gradient)` pairs for every parameter
+    /// node that received a gradient. The same id may appear more than once.
+    pub fn param_grads(&self) -> impl Iterator<Item = (usize, &Tensor)> {
+        self.params
+            .iter()
+            .filter_map(move |&(pid, node)| self.by_node[node].as_ref().map(|g| (pid, g)))
+    }
+}
+
+/// An autodiff tape. See the crate-level documentation for an example.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no node has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, needs_grad: bool, param_id: Option<usize>) -> Var {
+        self.nodes.push(Node { value, op, needs_grad, param_id });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn any_needs_grad(&self, vars: &[Var]) -> bool {
+        vars.iter().any(|v| self.nodes[v.0].needs_grad)
+    }
+
+    /// Registers a constant input (no gradient flows into it).
+    pub fn input(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf, false, None)
+    }
+
+    /// Registers a trainable parameter identified by `param_id`. The
+    /// gradient for this node is retrievable via [`Gradients::for_param`].
+    pub fn param(&mut self, t: Tensor, param_id: usize) -> Var {
+        self.push(t, Op::Leaf, true, Some(param_id))
+    }
+
+    /// Element-wise sum of two same-shape tensors.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        let ng = self.any_needs_grad(&[a, b]);
+        self.push(v, Op::Add(a, b), ng, None)
+    }
+
+    /// `[n,d] + [1,d]`: adds row-vector `b` to every row of `a`.
+    pub fn add_broadcast_row(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (self.value(a), self.value(b));
+        assert_eq!(tb.rows(), 1, "add_broadcast_row: rhs must be a row vector");
+        assert_eq!(ta.cols(), tb.cols(), "add_broadcast_row: column mismatch");
+        let mut out = ta.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                let v = out.get(r, c) + tb.get(0, c);
+                out.set(r, c, v);
+            }
+        }
+        let ng = self.any_needs_grad(&[a, b]);
+        self.push(out, Op::AddBroadcastRow(a, b), ng, None)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        let ng = self.any_needs_grad(&[a, b]);
+        self.push(v, Op::Sub(a, b), ng, None)
+    }
+
+    /// Element-wise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        let ng = self.any_needs_grad(&[a, b]);
+        self.push(v, Op::Mul(a, b), ng, None)
+    }
+
+    /// `[n,d] * [1,d]` element-wise with row broadcast (e.g. layer-norm gain).
+    pub fn mul_broadcast_row(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (self.value(a), self.value(b));
+        assert_eq!(tb.rows(), 1, "mul_broadcast_row: rhs must be a row vector");
+        assert_eq!(ta.cols(), tb.cols(), "mul_broadcast_row: column mismatch");
+        let mut out = ta.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                let v = out.get(r, c) * tb.get(0, c);
+                out.set(r, c, v);
+            }
+        }
+        let ng = self.any_needs_grad(&[a, b]);
+        self.push(out, Op::MulBroadcastRow(a, b), ng, None)
+    }
+
+    /// Multiplication by a compile-time constant.
+    pub fn scale(&mut self, a: Var, k: f32) -> Var {
+        let v = self.value(a).map(|x| x * k);
+        let ng = self.any_needs_grad(&[a]);
+        self.push(v, Op::Scale(a, k), ng, None)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        let ng = self.any_needs_grad(&[a, b]);
+        self.push(v, Op::Matmul(a, b), ng, None)
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        let ng = self.any_needs_grad(&[a]);
+        self.push(v, Op::Transpose(a), ng, None)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        let ng = self.any_needs_grad(&[a]);
+        self.push(v, Op::Tanh(a), ng, None)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let ng = self.any_needs_grad(&[a]);
+        self.push(v, Op::Sigmoid(a), ng, None)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        let ng = self.any_needs_grad(&[a]);
+        self.push(v, Op::Relu(a), ng, None)
+    }
+
+    /// Numerically stable softmax applied independently to each row.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let t = self.value(a);
+        let mut out = t.clone();
+        for r in 0..out.rows() {
+            softmax_row(out.row_mut(r));
+        }
+        let ng = self.any_needs_grad(&[a]);
+        self.push(out, Op::SoftmaxRows(a), ng, None)
+    }
+
+    /// Numerically stable log-softmax applied independently to each row.
+    pub fn log_softmax_rows(&mut self, a: Var) -> Var {
+        let t = self.value(a);
+        let mut out = t.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let lse = max + row.iter().map(|x| (x - max).exp()).sum::<f32>().ln();
+            for x in row.iter_mut() {
+                *x -= lse;
+            }
+        }
+        let ng = self.any_needs_grad(&[a]);
+        self.push(out, Op::LogSoftmaxRows(a), ng, None)
+    }
+
+    /// Horizontal concatenation: all operands share the row count.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols: no operands");
+        let rows = self.value(parts[0]).rows();
+        let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
+        let mut out = Tensor::zeros(rows, total);
+        let mut off = 0;
+        for &p in parts {
+            let t = self.value(p);
+            assert_eq!(t.rows(), rows, "concat_cols: row mismatch");
+            for r in 0..rows {
+                out.row_mut(r)[off..off + t.cols()].copy_from_slice(t.row(r));
+            }
+            off += t.cols();
+        }
+        let ng = self.any_needs_grad(parts);
+        self.push(out, Op::ConcatCols(parts.to_vec()), ng, None)
+    }
+
+    /// Vertical concatenation: all operands share the column count.
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows: no operands");
+        let cols = self.value(parts[0]).cols();
+        let total: usize = parts.iter().map(|&p| self.value(p).rows()).sum();
+        let mut out = Tensor::zeros(total, cols);
+        let mut off = 0;
+        for &p in parts {
+            let t = self.value(p);
+            assert_eq!(t.cols(), cols, "concat_rows: column mismatch");
+            for r in 0..t.rows() {
+                out.row_mut(off + r).copy_from_slice(t.row(r));
+            }
+            off += t.rows();
+        }
+        let ng = self.any_needs_grad(parts);
+        self.push(out, Op::ConcatRows(parts.to_vec()), ng, None)
+    }
+
+    /// Columns `c0..c1` of `a`.
+    pub fn slice_cols(&mut self, a: Var, c0: usize, c1: usize) -> Var {
+        let t = self.value(a);
+        assert!(c0 < c1 && c1 <= t.cols(), "slice_cols: bad range {c0}..{c1}");
+        let mut out = Tensor::zeros(t.rows(), c1 - c0);
+        for r in 0..t.rows() {
+            out.row_mut(r).copy_from_slice(&t.row(r)[c0..c1]);
+        }
+        let ng = self.any_needs_grad(&[a]);
+        self.push(out, Op::SliceCols(a, c0, c1), ng, None)
+    }
+
+    /// Rows `r0..r1` of `a`.
+    pub fn slice_rows(&mut self, a: Var, r0: usize, r1: usize) -> Var {
+        let t = self.value(a);
+        assert!(r0 < r1 && r1 <= t.rows(), "slice_rows: bad range {r0}..{r1}");
+        let mut out = Tensor::zeros(r1 - r0, t.cols());
+        for r in r0..r1 {
+            out.row_mut(r - r0).copy_from_slice(t.row(r));
+        }
+        let ng = self.any_needs_grad(&[a]);
+        self.push(out, Op::SliceRows(a, r0, r1), ng, None)
+    }
+
+    /// Sum of all elements, as a `1 × 1` tensor.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum());
+        let ng = self.any_needs_grad(&[a]);
+        self.push(v, Op::SumAll(a), ng, None)
+    }
+
+    /// Mean of all elements, as a `1 × 1` tensor.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let t = self.value(a);
+        let v = Tensor::scalar(t.sum() / t.len() as f32);
+        let ng = self.any_needs_grad(&[a]);
+        self.push(v, Op::MeanAll(a), ng, None)
+    }
+
+    /// Gathers rows `indices` from `table` (embedding lookup).
+    pub fn gather_rows(&mut self, table: Var, indices: &[usize]) -> Var {
+        let t = self.value(table);
+        let mut out = Tensor::zeros(indices.len(), t.cols());
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < t.rows(), "gather_rows: index {idx} out of {} rows", t.rows());
+            out.row_mut(i).copy_from_slice(t.row(idx));
+        }
+        let ng = self.any_needs_grad(&[table]);
+        self.push(out, Op::Gather(table, indices.to_vec()), ng, None)
+    }
+
+    /// Mean negative log-likelihood over rows of `log_probs` with one target
+    /// class per row. Returns a `1 × 1` loss tensor.
+    pub fn nll_loss(&mut self, log_probs: Var, targets: &[usize]) -> Var {
+        let t = self.value(log_probs);
+        assert_eq!(t.rows(), targets.len(), "nll_loss: {} rows vs {} targets", t.rows(), targets.len());
+        let mut loss = 0.0;
+        for (r, &c) in targets.iter().enumerate() {
+            assert!(c < t.cols(), "nll_loss: target {c} out of {} classes", t.cols());
+            loss -= t.get(r, c);
+        }
+        let v = Tensor::scalar(loss / targets.len() as f32);
+        let ng = self.any_needs_grad(&[log_probs]);
+        self.push(v, Op::NllLoss(log_probs, targets.to_vec()), ng, None)
+    }
+
+    /// Inverted dropout with keep probability `1 - p`. The mask is sampled by
+    /// the caller so the graph stays deterministic; entries must be either
+    /// `0.0` or `1 / (1 - p)`.
+    pub fn dropout(&mut self, a: Var, mask: Vec<f32>) -> Var {
+        let t = self.value(a);
+        assert_eq!(mask.len(), t.len(), "dropout: mask length mismatch");
+        let mut out = t.clone();
+        for (x, &m) in out.as_mut_slice().iter_mut().zip(&mask) {
+            *x *= m;
+        }
+        let ng = self.any_needs_grad(&[a]);
+        self.push(out, Op::Dropout(a, mask), ng, None)
+    }
+
+    /// Per-row layer normalisation (zero mean, unit variance, no affine).
+    pub fn layer_norm_rows(&mut self, a: Var, eps: f32) -> Var {
+        let t = self.value(a);
+        let mut out = t.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let n = row.len() as f32;
+            let mean = row.iter().sum::<f32>() / n;
+            let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+            let inv = 1.0 / (var + eps).sqrt();
+            for x in row.iter_mut() {
+                *x = (*x - mean) * inv;
+            }
+        }
+        let ng = self.any_needs_grad(&[a]);
+        self.push(out, Op::LayerNormRows(a, eps), ng, None)
+    }
+
+    /// Runs the backward pass from `loss` (which must be `1 × 1`) and returns
+    /// all gradients. The tape is left intact, so values remain readable.
+    pub fn backward(&mut self, loss: Var) -> Gradients {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward: loss must be scalar, got {:?}",
+            self.value(loss).shape()
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for i in (0..=loss.0).rev() {
+            if !self.nodes[i].needs_grad {
+                continue;
+            }
+            let Some(g) = grads[i].take() else { continue };
+            self.accumulate_parents(i, &g, &mut grads);
+            grads[i] = Some(g);
+        }
+
+        let params = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.param_id.map(|pid| (pid, i)))
+            .collect();
+        Gradients { by_node: grads, params }
+    }
+
+    /// Adds the contribution of node `i` (with output gradient `g`) to the
+    /// gradients of its operands.
+    fn accumulate_parents(&self, i: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
+        let add_to = |grads: &mut [Option<Tensor>], v: Var, delta: Tensor| {
+            match &mut grads[v.0] {
+                Some(acc) => acc.add_assign(&delta),
+                slot @ None => *slot = Some(delta),
+            }
+        };
+        match &self.nodes[i].op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                if self.nodes[a.0].needs_grad {
+                    add_to(grads, *a, g.clone());
+                }
+                if self.nodes[b.0].needs_grad {
+                    add_to(grads, *b, g.clone());
+                }
+            }
+            Op::AddBroadcastRow(a, b) => {
+                if self.nodes[a.0].needs_grad {
+                    add_to(grads, *a, g.clone());
+                }
+                if self.nodes[b.0].needs_grad {
+                    let mut gb = Tensor::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            gb.set(0, c, gb.get(0, c) + g.get(r, c));
+                        }
+                    }
+                    add_to(grads, *b, gb);
+                }
+            }
+            Op::Sub(a, b) => {
+                if self.nodes[a.0].needs_grad {
+                    add_to(grads, *a, g.clone());
+                }
+                if self.nodes[b.0].needs_grad {
+                    add_to(grads, *b, g.map(|x| -x));
+                }
+            }
+            Op::Mul(a, b) => {
+                if self.nodes[a.0].needs_grad {
+                    add_to(grads, *a, g.zip(&self.nodes[b.0].value, |gv, bv| gv * bv));
+                }
+                if self.nodes[b.0].needs_grad {
+                    add_to(grads, *b, g.zip(&self.nodes[a.0].value, |gv, av| gv * av));
+                }
+            }
+            Op::MulBroadcastRow(a, b) => {
+                let tb = &self.nodes[b.0].value;
+                let ta = &self.nodes[a.0].value;
+                if self.nodes[a.0].needs_grad {
+                    let mut ga = g.clone();
+                    for r in 0..ga.rows() {
+                        for c in 0..ga.cols() {
+                            let v = ga.get(r, c) * tb.get(0, c);
+                            ga.set(r, c, v);
+                        }
+                    }
+                    add_to(grads, *a, ga);
+                }
+                if self.nodes[b.0].needs_grad {
+                    let mut gb = Tensor::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            gb.set(0, c, gb.get(0, c) + g.get(r, c) * ta.get(r, c));
+                        }
+                    }
+                    add_to(grads, *b, gb);
+                }
+            }
+            Op::Scale(a, k) => {
+                if self.nodes[a.0].needs_grad {
+                    let k = *k;
+                    add_to(grads, *a, g.map(|x| x * k));
+                }
+            }
+            Op::Matmul(a, b) => {
+                if self.nodes[a.0].needs_grad {
+                    add_to(grads, *a, g.matmul(&self.nodes[b.0].value.transpose()));
+                }
+                if self.nodes[b.0].needs_grad {
+                    add_to(grads, *b, self.nodes[a.0].value.transpose().matmul(g));
+                }
+            }
+            Op::Transpose(a) => {
+                if self.nodes[a.0].needs_grad {
+                    add_to(grads, *a, g.transpose());
+                }
+            }
+            Op::Tanh(a) => {
+                if self.nodes[a.0].needs_grad {
+                    let y = &self.nodes[i].value;
+                    add_to(grads, *a, g.zip(y, |gv, yv| gv * (1.0 - yv * yv)));
+                }
+            }
+            Op::Sigmoid(a) => {
+                if self.nodes[a.0].needs_grad {
+                    let y = &self.nodes[i].value;
+                    add_to(grads, *a, g.zip(y, |gv, yv| gv * yv * (1.0 - yv)));
+                }
+            }
+            Op::Relu(a) => {
+                if self.nodes[a.0].needs_grad {
+                    let x = &self.nodes[a.0].value;
+                    add_to(grads, *a, g.zip(x, |gv, xv| if xv > 0.0 { gv } else { 0.0 }));
+                }
+            }
+            Op::SoftmaxRows(a) => {
+                if self.nodes[a.0].needs_grad {
+                    let y = &self.nodes[i].value;
+                    let mut gx = Tensor::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let dot: f32 =
+                            y.row(r).iter().zip(g.row(r)).map(|(&yv, &gv)| yv * gv).sum();
+                        for c in 0..y.cols() {
+                            gx.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                        }
+                    }
+                    add_to(grads, *a, gx);
+                }
+            }
+            Op::LogSoftmaxRows(a) => {
+                if self.nodes[a.0].needs_grad {
+                    let y = &self.nodes[i].value; // y = log softmax(x)
+                    let mut gx = Tensor::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let gsum: f32 = g.row(r).iter().sum();
+                        for c in 0..y.cols() {
+                            gx.set(r, c, g.get(r, c) - y.get(r, c).exp() * gsum);
+                        }
+                    }
+                    add_to(grads, *a, gx);
+                }
+            }
+            Op::ConcatCols(parts) => {
+                let mut off = 0;
+                for &p in parts {
+                    let cols = self.nodes[p.0].value.cols();
+                    if self.nodes[p.0].needs_grad {
+                        let mut gp = Tensor::zeros(g.rows(), cols);
+                        for r in 0..g.rows() {
+                            gp.row_mut(r).copy_from_slice(&g.row(r)[off..off + cols]);
+                        }
+                        add_to(grads, p, gp);
+                    }
+                    off += cols;
+                }
+            }
+            Op::ConcatRows(parts) => {
+                let mut off = 0;
+                for &p in parts {
+                    let rows = self.nodes[p.0].value.rows();
+                    if self.nodes[p.0].needs_grad {
+                        let mut gp = Tensor::zeros(rows, g.cols());
+                        for r in 0..rows {
+                            gp.row_mut(r).copy_from_slice(g.row(off + r));
+                        }
+                        add_to(grads, p, gp);
+                    }
+                    off += rows;
+                }
+            }
+            Op::SliceCols(a, c0, _c1) => {
+                if self.nodes[a.0].needs_grad {
+                    let src = &self.nodes[a.0].value;
+                    let mut ga = Tensor::zeros(src.rows(), src.cols());
+                    for r in 0..g.rows() {
+                        ga.row_mut(r)[*c0..*c0 + g.cols()].copy_from_slice(g.row(r));
+                    }
+                    add_to(grads, *a, ga);
+                }
+            }
+            Op::SliceRows(a, r0, _r1) => {
+                if self.nodes[a.0].needs_grad {
+                    let src = &self.nodes[a.0].value;
+                    let mut ga = Tensor::zeros(src.rows(), src.cols());
+                    for r in 0..g.rows() {
+                        ga.row_mut(r0 + r).copy_from_slice(g.row(r));
+                    }
+                    add_to(grads, *a, ga);
+                }
+            }
+            Op::SumAll(a) => {
+                if self.nodes[a.0].needs_grad {
+                    let src = &self.nodes[a.0].value;
+                    let gv = g.scalar_value();
+                    add_to(grads, *a, Tensor::full(src.rows(), src.cols(), gv));
+                }
+            }
+            Op::MeanAll(a) => {
+                if self.nodes[a.0].needs_grad {
+                    let src = &self.nodes[a.0].value;
+                    let gv = g.scalar_value() / src.len() as f32;
+                    add_to(grads, *a, Tensor::full(src.rows(), src.cols(), gv));
+                }
+            }
+            Op::Gather(table, indices) => {
+                if self.nodes[table.0].needs_grad {
+                    let t = &self.nodes[table.0].value;
+                    let mut gt = Tensor::zeros(t.rows(), t.cols());
+                    for (r, &idx) in indices.iter().enumerate() {
+                        for c in 0..t.cols() {
+                            gt.set(idx, c, gt.get(idx, c) + g.get(r, c));
+                        }
+                    }
+                    add_to(grads, *table, gt);
+                }
+            }
+            Op::NllLoss(lp, targets) => {
+                if self.nodes[lp.0].needs_grad {
+                    let t = &self.nodes[lp.0].value;
+                    let gv = g.scalar_value() / targets.len() as f32;
+                    let mut glp = Tensor::zeros(t.rows(), t.cols());
+                    for (r, &c) in targets.iter().enumerate() {
+                        glp.set(r, c, -gv);
+                    }
+                    add_to(grads, *lp, glp);
+                }
+            }
+            Op::Dropout(a, mask) => {
+                if self.nodes[a.0].needs_grad {
+                    let mut ga = g.clone();
+                    for (x, &m) in ga.as_mut_slice().iter_mut().zip(mask) {
+                        *x *= m;
+                    }
+                    add_to(grads, *a, ga);
+                }
+            }
+            Op::LayerNormRows(a, eps) => {
+                if self.nodes[a.0].needs_grad {
+                    let x = &self.nodes[a.0].value;
+                    let y = &self.nodes[i].value;
+                    let n = x.cols() as f32;
+                    let mut gx = Tensor::zeros(x.rows(), x.cols());
+                    for r in 0..x.rows() {
+                        let mean = x.row(r).iter().sum::<f32>() / n;
+                        let var =
+                            x.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+                        let inv = 1.0 / (var + eps).sqrt();
+                        let gmean: f32 = g.row(r).iter().sum::<f32>() / n;
+                        let gydot: f32 = g
+                            .row(r)
+                            .iter()
+                            .zip(y.row(r))
+                            .map(|(&gv, &yv)| gv * yv)
+                            .sum::<f32>()
+                            / n;
+                        for c in 0..x.cols() {
+                            gx.set(r, c, inv * (g.get(r, c) - gmean - y.get(r, c) * gydot));
+                        }
+                    }
+                    add_to(grads, *a, gx);
+                }
+            }
+        }
+    }
+}
+
+fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in row.iter_mut() {
+        *x /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numeric gradient of a scalar-valued function of one parameter tensor.
+    fn numeric_grad(
+        f: &dyn Fn(&Tensor) -> f32,
+        at: &Tensor,
+        eps: f32,
+    ) -> Tensor {
+        let mut g = Tensor::zeros(at.rows(), at.cols());
+        for r in 0..at.rows() {
+            for c in 0..at.cols() {
+                let mut plus = at.clone();
+                plus.set(r, c, at.get(r, c) + eps);
+                let mut minus = at.clone();
+                minus.set(r, c, at.get(r, c) - eps);
+                g.set(r, c, (f(&plus) - f(&minus)) / (2.0 * eps));
+            }
+        }
+        g
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "grad mismatch: {x} vs {y}\nanalytic {a:?}\nnumeric {b:?}"
+            );
+        }
+    }
+
+    /// Checks the analytic gradient of `build` (a scalar function of a single
+    /// parameter) against central differences at the point `at`.
+    fn gradcheck(at: Tensor, build: impl Fn(&mut Graph, Var) -> Var) {
+        let mut g = Graph::new();
+        let p = g.param(at.clone(), 0);
+        let loss = build(&mut g, p);
+        let grads = g.backward(loss);
+        let analytic = grads.for_param(0).expect("no gradient");
+
+        let f = |t: &Tensor| -> f32 {
+            let mut g = Graph::new();
+            let p = g.param(t.clone(), 0);
+            let loss = build(&mut g, p);
+            g.value(loss).scalar_value()
+        };
+        let numeric = numeric_grad(&f, &at, 1e-2);
+        assert_close(&analytic, &numeric, 2e-2);
+    }
+
+    fn sample(rows: usize, cols: usize, seed: u64) -> Tensor {
+        // Tiny deterministic LCG so the test has no external dependencies.
+        let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            data.push(((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5);
+        }
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn grad_matmul() {
+        gradcheck(sample(3, 4, 1), |g, p| {
+            let w = g.input(sample(4, 2, 2));
+            let y = g.matmul(p, w);
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_matmul_rhs() {
+        gradcheck(sample(4, 2, 3), |g, p| {
+            let x = g.input(sample(3, 4, 4));
+            let y = g.matmul(x, p);
+            let t = g.tanh(y);
+            g.sum_all(t)
+        });
+    }
+
+    #[test]
+    fn grad_activations() {
+        gradcheck(sample(2, 3, 5), |g, p| {
+            let a = g.tanh(p);
+            let b = g.sigmoid(a);
+            let c = g.relu(b);
+            g.mean_all(c)
+        });
+    }
+
+    #[test]
+    fn grad_softmax_nll() {
+        gradcheck(sample(3, 5, 6), |g, p| {
+            let lp = g.log_softmax_rows(p);
+            g.nll_loss(lp, &[1, 4, 0])
+        });
+    }
+
+    #[test]
+    fn grad_softmax_weighted() {
+        gradcheck(sample(2, 4, 7), |g, p| {
+            let s = g.softmax_rows(p);
+            let w = g.input(sample(2, 4, 8));
+            let m = g.mul(s, w);
+            g.sum_all(m)
+        });
+    }
+
+    #[test]
+    fn grad_concat_slice() {
+        gradcheck(sample(2, 3, 9), |g, p| {
+            let q = g.scale(p, 2.0);
+            let cat = g.concat_cols(&[p, q]);
+            let sl = g.slice_cols(cat, 1, 5);
+            let rows = g.concat_rows(&[sl, sl]);
+            let sr = g.slice_rows(rows, 1, 3);
+            g.sum_all(sr)
+        });
+    }
+
+    #[test]
+    fn grad_broadcast_ops() {
+        gradcheck(sample(1, 4, 10), |g, p| {
+            let x = g.input(sample(3, 4, 11));
+            let a = g.add_broadcast_row(x, p);
+            let b = g.mul_broadcast_row(a, p);
+            g.sum_all(b)
+        });
+    }
+
+    #[test]
+    fn grad_gather() {
+        gradcheck(sample(5, 3, 12), |g, p| {
+            let e = g.gather_rows(p, &[0, 2, 2, 4]);
+            let t = g.tanh(e);
+            g.sum_all(t)
+        });
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        gradcheck(sample(2, 6, 13), |g, p| {
+            let y = g.layer_norm_rows(p, 1e-5);
+            let w = g.input(sample(2, 6, 14));
+            let m = g.mul(y, w);
+            g.sum_all(m)
+        });
+    }
+
+    #[test]
+    fn grad_sub_mul_transpose() {
+        gradcheck(sample(3, 3, 15), |g, p| {
+            let t = g.transpose(p);
+            let d = g.sub(p, t);
+            let m = g.mul(d, d);
+            g.mean_all(m)
+        });
+    }
+
+    #[test]
+    fn dropout_backward_applies_mask() {
+        let mut g = Graph::new();
+        let p = g.param(Tensor::row_vector(&[1.0, 2.0, 3.0]), 0);
+        let mask = vec![2.0, 0.0, 2.0]; // keep-prob 0.5 inverted dropout
+        let d = g.dropout(p, mask);
+        let loss = g.sum_all(d);
+        let grads = g.backward(loss);
+        assert_eq!(grads.for_param(0).unwrap().as_slice(), &[2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn param_reuse_accumulates() {
+        // Same parameter registered twice: gradients must sum.
+        let mut g = Graph::new();
+        let t = Tensor::row_vector(&[1.0, 1.0]);
+        let p1 = g.param(t.clone(), 7);
+        let p2 = g.param(t, 7);
+        let s = g.add(p1, p2);
+        let loss = g.sum_all(s);
+        let grads = g.backward(loss);
+        assert_eq!(grads.for_param(7).unwrap().as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn inputs_receive_no_gradient() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::scalar(3.0));
+        let p = g.param(Tensor::scalar(2.0), 0);
+        let y = g.mul(x, p);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert!(grads.for_var(x).is_none());
+        assert_eq!(grads.for_param(0).unwrap().scalar_value(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be scalar")]
+    fn backward_requires_scalar_loss() {
+        let mut g = Graph::new();
+        let p = g.param(Tensor::row_vector(&[1.0, 2.0]), 0);
+        g.backward(p);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]));
+        let s = g.softmax_rows(x);
+        let t = g.value(s);
+        for r in 0..2 {
+            let sum: f32 = t.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        assert!(t.get(0, 2) > t.get(0, 1) && t.get(0, 1) > t.get(0, 0));
+    }
+}

@@ -1,0 +1,319 @@
+//! A dense, row-major, two-dimensional `f32` matrix.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f32` values.
+///
+/// All autodiff operations in [`crate::Graph`] produce and consume `Tensor`s.
+/// Shape errors are programming errors and panic with a descriptive message.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Tensor {
+    /// A `rows × cols` tensor filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// A `rows × cols` tensor filled with `v`.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Tensor { data: vec![v; rows * cols], rows, cols }
+    }
+
+    /// A `1 × 1` tensor holding a single scalar.
+    pub fn scalar(v: f32) -> Self {
+        Tensor { data: vec![v], rows: 1, cols: 1 }
+    }
+
+    /// Builds a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Tensor::from_vec: buffer of {} elements cannot be {rows}x{cols}",
+            data.len()
+        );
+        Tensor { data, rows, cols }
+    }
+
+    /// Builds a tensor from row slices. All rows must have equal length.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "Tensor::from_rows: no rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "Tensor::from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Tensor { data, rows: rows.len(), cols }
+    }
+
+    /// A `1 × n` row vector.
+    pub fn row_vector(v: &[f32]) -> Self {
+        Tensor { data: v.to_vec(), rows: 1, cols: v.len() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The flat row-major buffer, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The value of a `1 × 1` tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not `1 × 1`.
+    pub fn scalar_value(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "scalar_value on {}x{} tensor", self.rows, self.cols);
+        self.data[0]
+    }
+
+    /// Matrix product `self @ other`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(n, m);
+        // i-k-j loop order: the inner loop walks both `other` and `out`
+        // contiguously, which the compiler can vectorise.
+        for i in 0..n {
+            let out_row = &mut out.data[i * m..(i + 1) * m];
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * m..(p + 1) * m];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// Element-wise binary zip with another tensor of identical shape.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "zip: shape mismatch");
+        Tensor {
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// In-place element-wise accumulation `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Index of the maximum element in a `1 × n` or `n × 1` vector.
+    pub fn argmax(&self) -> usize {
+        assert!(self.rows == 1 || self.cols == 1, "argmax expects a vector");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Tensor {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(6);
+        for r in 0..show {
+            let cols = self.cols.min(8);
+            let vals: Vec<String> =
+                self.row(r)[..cols].iter().map(|v| format!("{v:.4}")).collect();
+            let ell = if self.cols > 8 { ", ..." } else { "" };
+            writeln!(f, "  [{}{}]", vals.join(", "), ell)?;
+        }
+        if self.rows > show {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(2, 3);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.len(), 6);
+        assert!(t.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_rows_and_get() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(t.get(0, 1), 2.0);
+        assert_eq!(t.get(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_ragged_panics() {
+        Tensor::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Tensor::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_rows(&[&[1.0, 0.0, 2.0]]);
+        let b = Tensor::from_rows(&[&[1.0], &[1.0], &[1.0]]);
+        assert_eq!(a.matmul(&b).scalar_value(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn argmax_row_and_col() {
+        assert_eq!(Tensor::row_vector(&[0.1, 3.0, -1.0]).argmax(), 1);
+        let col = Tensor::from_vec(3, 1, vec![5.0, 1.0, 2.0]);
+        assert_eq!(col.argmax(), 0);
+    }
+
+    #[test]
+    fn map_zip_sum() {
+        let a = Tensor::row_vector(&[1.0, -2.0]);
+        assert_eq!(a.map(f32::abs).sum(), 3.0);
+        let b = Tensor::row_vector(&[3.0, 4.0]);
+        assert_eq!(a.zip(&b, |x, y| x * y).as_slice(), &[3.0, -8.0]);
+    }
+}

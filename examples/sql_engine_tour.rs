@@ -1,0 +1,101 @@
+//! Tour of the SQL substrate: schema builder, in-memory storage, the
+//! parser/executor, and the Execution Accuracy comparison — everything the
+//! Spider *Execution with Values* metric needs, usable standalone.
+//!
+//! ```text
+//! cargo run --release --example sql_engine_tour
+//! ```
+
+use valuenet::exec::execute;
+use valuenet::schema::{ColumnType, SchemaBuilder, SchemaGraph};
+use valuenet::sql::parse_select;
+use valuenet::storage::Database;
+
+fn main() {
+    // 1. Declare a schema with the fluent builder.
+    let schema = SchemaBuilder::new("concerts")
+        .table(
+            "singer",
+            &[
+                ("singer_id", ColumnType::Number),
+                ("name", ColumnType::Text),
+                ("country", ColumnType::Text),
+                ("age", ColumnType::Number),
+            ],
+        )
+        .primary_key("singer", "singer_id")
+        .table(
+            "concert",
+            &[
+                ("concert_id", ColumnType::Number),
+                ("concert_name", ColumnType::Text),
+                ("singer_id", ColumnType::Number),
+                ("attendance", ColumnType::Number),
+            ],
+        )
+        .primary_key("concert", "concert_id")
+        .foreign_key("concert", "singer_id", "singer", "singer_id")
+        .build();
+
+    // 2. Load rows and build the inverted index.
+    let mut db = Database::new(schema);
+    let singer = db.schema().table_by_name("singer").unwrap();
+    let concert = db.schema().table_by_name("concert").unwrap();
+    for (id, name, country, age) in [
+        (1, "Nora Vance", "France", 29),
+        (2, "Theo Adler", "Germany", 41),
+        (3, "Mira Sole", "France", 35),
+    ] {
+        db.insert(singer, vec![id.into(), name.into(), country.into(), age.into()]);
+    }
+    for (id, cname, sid, att) in [
+        (1, "Summer Fest", 1, 12000),
+        (2, "Winter Gala", 1, 7000),
+        (3, "Spring Jam", 2, 9000),
+    ] {
+        db.insert(concert, vec![id.into(), cname.into(), sid.into(), att.into()]);
+    }
+    db.rebuild_index();
+
+    // 3. Run queries.
+    for sql in [
+        "SELECT name FROM singer WHERE country = 'France' ORDER BY age ASC",
+        "SELECT T1.name, count(*) FROM singer AS T1 JOIN concert AS T2 \
+         ON T1.singer_id = T2.singer_id GROUP BY T1.name ORDER BY count(*) DESC",
+        "SELECT name FROM singer WHERE age > (SELECT avg(age) FROM singer)",
+        "SELECT name FROM singer EXCEPT SELECT T1.name FROM singer AS T1 \
+         JOIN concert AS T2 ON T1.singer_id = T2.singer_id",
+    ] {
+        let stmt = parse_select(sql).expect("query parses");
+        let rs = execute(&db, &stmt).expect("query executes");
+        println!("SQL: {sql}\n{rs}");
+    }
+
+    // 4. The inverted index: exact, fuzzy and wildcard lookup.
+    println!("find_exact(\"France\") → {:?}", db.index().find_exact("France"));
+    for hit in db.index().find_similar("Frnce", 2) {
+        println!(
+            "find_similar(\"Frnce\") → '{}' in {} (distance {})",
+            hit.value,
+            db.schema().qualified(hit.column),
+            hit.distance
+        );
+    }
+
+    // 5. Join planning with the schema graph (bridge tables + ON clauses).
+    let graph = SchemaGraph::new(db.schema());
+    let tree = graph.join_tree(&[singer, concert]).expect("connected schema");
+    println!("\njoin tree over (singer, concert):");
+    for e in &tree.edges {
+        println!(
+            "  JOIN ON {} = {}",
+            db.schema().qualified(e.from_col),
+            db.schema().qualified(e.to_col)
+        );
+    }
+
+    // 6. The Execution Accuracy comparison the evaluation uses.
+    let a = execute(&db, &parse_select("SELECT name FROM singer WHERE age >= 35").unwrap()).unwrap();
+    let b = execute(&db, &parse_select("SELECT name FROM singer WHERE age > 34").unwrap()).unwrap();
+    println!("\nequivalent queries compare equal: {}", a.result_eq(&b));
+}

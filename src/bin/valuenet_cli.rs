@@ -1,0 +1,228 @@
+//! Command-line interface: train a ValueNet model, save it, evaluate it,
+//! and translate questions against the corpus databases.
+//!
+//! ```text
+//! valuenet-cli train --out model.json [--mode light|full] [--train 2000]
+//!                    [--dev 300] [--epochs 8] [--seed 42]
+//! valuenet-cli eval  --model model.json
+//! valuenet-cli ask   --model model.json --db student_pets "How many pets ...?"
+//! valuenet-cli repl  --model model.json --db student_pets
+//! valuenet-cli dbs   [--seed 42]
+//! ```
+
+use std::io::{BufRead, Write};
+use valuenet::core::{
+    train, ModelConfig, Pipeline, TrainConfig, ValueMode, ValueNetModel,
+};
+use valuenet::dataset::{generate, Corpus, CorpusConfig};
+use valuenet::eval::{execution_accuracy, ExecOutcome};
+use valuenet::preprocess::StatisticalNer;
+use valuenet::sql::parse_select;
+
+/// Everything needed to reload a trained pipeline: weights, the trained
+/// NER, the mode, and the corpus configuration (seed ⇒ identical DBs).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Bundle {
+    model: String,
+    ner: StatisticalNer,
+    mode: String,
+    corpus: CorpusConfig,
+}
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_usize(args: &[String], name: &str, default: usize) -> usize {
+    arg(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn load_bundle(path: &str) -> (Pipeline, Corpus) {
+    let data = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fatal(&format!("cannot read {path}: {e}")));
+    let bundle: Bundle = serde_json::from_str(&data)
+        .unwrap_or_else(|e| fatal(&format!("cannot parse {path}: {e}")));
+    let model = ValueNetModel::from_json(&bundle.model)
+        .unwrap_or_else(|e| fatal(&format!("cannot restore model: {e}")));
+    let mode = match bundle.mode.as_str() {
+        "light" => ValueMode::Light,
+        "novalue" => ValueMode::NoValue,
+        _ => ValueMode::Full,
+    };
+    eprintln!("regenerating corpus (seed {})...", bundle.corpus.seed);
+    let corpus = generate(&bundle.corpus);
+    (Pipeline::new(model, mode, bundle.ner), corpus)
+}
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn cmd_train(args: &[String]) {
+    let out = arg(args, "--out").unwrap_or_else(|| "model.json".to_string());
+    let mode_name = arg(args, "--mode").unwrap_or_else(|| "full".to_string());
+    let mode = match mode_name.as_str() {
+        "light" => ValueMode::Light,
+        "full" => ValueMode::Full,
+        other => fatal(&format!("unknown mode '{other}' (use light|full)")),
+    };
+    let corpus_cfg = CorpusConfig {
+        seed: arg_usize(args, "--seed", 42) as u64,
+        train_size: arg_usize(args, "--train", 2000),
+        dev_size: arg_usize(args, "--dev", 300),
+        rows_per_table: arg_usize(args, "--rows", 30),
+        surface_weights: valuenet::dataset::DEFAULT_SURFACE_WEIGHTS,
+    };
+    eprintln!(
+        "generating corpus ({} train / {} dev)...",
+        corpus_cfg.train_size, corpus_cfg.dev_size
+    );
+    let corpus = generate(&corpus_cfg);
+    let tc = TrainConfig {
+        epochs: arg_usize(args, "--epochs", 8),
+        verbose: true,
+        ..Default::default()
+    };
+    eprintln!("training ValueNet ({mode_name} mode, {} epochs)...", tc.epochs);
+    let (pipeline, report) = train(&corpus, mode, ModelConfig::default(), &tc);
+    eprintln!(
+        "trained on {} samples ({} skipped), final loss {:.4}",
+        report.trained_samples,
+        report.skipped_samples,
+        report.epoch_losses.last().copied().unwrap_or(f32::NAN)
+    );
+    let bundle = Bundle {
+        model: pipeline.model.to_json(),
+        ner: pipeline.ner.clone(),
+        mode: mode_name,
+        corpus: corpus_cfg,
+    };
+    std::fs::write(&out, serde_json::to_string(&bundle).expect("serialisable"))
+        .unwrap_or_else(|e| fatal(&format!("cannot write {out}: {e}")));
+    println!("saved model bundle to {out}");
+}
+
+fn cmd_eval(args: &[String]) {
+    let path = arg(args, "--model").unwrap_or_else(|| fatal("--model is required"));
+    let (pipeline, corpus) = load_bundle(&path);
+    let mut correct = 0;
+    let mut failed_exec = 0;
+    for s in &corpus.dev {
+        let db = corpus.db(s);
+        let gold = parse_select(&s.sql).expect("gold parses");
+        let gold_values = match pipeline.mode {
+            ValueMode::Light => Some(s.values.as_slice()),
+            _ => None,
+        };
+        let pred = pipeline.translate(db, &s.question, gold_values);
+        match pred.sql.as_ref().map(|sql| execution_accuracy(db, sql, &gold)) {
+            Some(ExecOutcome::Correct) => correct += 1,
+            Some(ExecOutcome::PredictionFailed) | None => failed_exec += 1,
+            _ => {}
+        }
+    }
+    println!(
+        "dev execution accuracy: {correct}/{} = {:.1}% ({failed_exec} failed to execute)",
+        corpus.dev.len(),
+        100.0 * correct as f64 / corpus.dev.len().max(1) as f64
+    );
+}
+
+fn translate_one(pipeline: &Pipeline, corpus: &Corpus, db_id: &str, question: &str) {
+    let Some(db_index) =
+        corpus.databases.iter().position(|db| db.schema().db_id == db_id)
+    else {
+        let names: Vec<&str> =
+            corpus.databases.iter().map(|d| d.schema().db_id.as_str()).collect();
+        fatal(&format!("unknown database '{db_id}'; available: {}", names.join(", ")));
+    };
+    let db = &corpus.databases[db_index];
+    let pred = pipeline.translate(db, question, None);
+    match &pred.sql {
+        Some(sql) => {
+            println!("SQL: {sql}");
+            match &pred.result {
+                Some(rs) => print!("{rs}"),
+                None => println!("(execution failed)"),
+            }
+        }
+        None => println!("(no SQL produced; candidates were {:?})", pred.candidates),
+    }
+}
+
+fn cmd_ask(args: &[String]) {
+    let path = arg(args, "--model").unwrap_or_else(|| fatal("--model is required"));
+    let db_id = arg(args, "--db").unwrap_or_else(|| fatal("--db is required"));
+    let question = args
+        .iter()
+        .skip_while(|a| *a != "--db")
+        .nth(2)
+        .cloned()
+        .unwrap_or_else(|| fatal("question text is required"));
+    let (pipeline, corpus) = load_bundle(&path);
+    translate_one(&pipeline, &corpus, &db_id, &question);
+}
+
+fn cmd_repl(args: &[String]) {
+    let path = arg(args, "--model").unwrap_or_else(|| fatal("--model is required"));
+    let db_id = arg(args, "--db").unwrap_or_else(|| fatal("--db is required"));
+    let (pipeline, corpus) = load_bundle(&path);
+    println!("ValueNet REPL over '{db_id}' — empty line to quit.");
+    let stdin = std::io::stdin();
+    loop {
+        print!("nl> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let q = line.trim();
+        if q.is_empty() {
+            break;
+        }
+        translate_one(&pipeline, &corpus, &db_id, q);
+    }
+}
+
+fn cmd_dbs(args: &[String]) {
+    let cfg = CorpusConfig {
+        seed: arg_usize(args, "--seed", 42) as u64,
+        train_size: 1,
+        dev_size: 1,
+        rows_per_table: arg_usize(args, "--rows", 30),
+        surface_weights: valuenet::dataset::DEFAULT_SURFACE_WEIGHTS,
+    };
+    let corpus = generate(&cfg);
+    for db in &corpus.databases {
+        let schema = db.schema();
+        println!("{} ({} tables, {} rows)", schema.db_id, schema.tables.len(), db.num_rows());
+        for t in &schema.tables {
+            let cols: Vec<&str> =
+                t.columns.iter().map(|&c| schema.column(c).name.as_str()).collect();
+            println!("  {}({})", t.name, cols.join(", "));
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        Some("ask") => cmd_ask(&args[1..]),
+        Some("repl") => cmd_repl(&args[1..]),
+        Some("dbs") => cmd_dbs(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: valuenet-cli <train|eval|ask|repl|dbs> [options]\n\
+                 \x20 train --out model.json [--mode light|full] [--train N] [--dev N] [--epochs N] [--seed N]\n\
+                 \x20 eval  --model model.json\n\
+                 \x20 ask   --model model.json --db <db_id> \"question\"\n\
+                 \x20 repl  --model model.json --db <db_id>\n\
+                 \x20 dbs   [--seed N]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # ValueNet — a natural-language-to-SQL system that learns from database information
+//!
+//! Rust reproduction of Brunner & Stockinger, *ValueNet* (ICDE 2021). This
+//! facade crate re-exports the public API of every subsystem:
+//!
+//! - [`tensor`] / [`nn`]: from-scratch autodiff and neural-network layers
+//!   (the substitute for the paper's PyTorch + pretrained BERT stack).
+//! - [`schema`]: database schema model, schema graph and Steiner-tree join
+//!   resolution with primary-/foreign-key `ON` clauses.
+//! - [`sql`] / [`storage`] / [`exec`]: SQL front-end, in-memory database with
+//!   an inverted index over the base data, and a query executor — the
+//!   substrate required by the Spider *Execution Accuracy* metric.
+//! - [`semql`]: the SemQL 2.0 grammar (the paper's Fig. 2), its transition
+//!   system for grammar-constrained decoding, and deterministic SemQL→SQL
+//!   lowering.
+//! - [`preprocess`]: question/schema hints, NER, value-candidate generation
+//!   and validation (the paper's Section IV pipeline).
+//! - [`dataset`]: a synthetic Spider-like corpus generator (substitute for
+//!   the Spider dataset; see `DESIGN.md`).
+//! - [`core`]: the neural encoder/decoder with pointer networks, training,
+//!   and the end-to-end pipeline for both *ValueNet* and *ValueNet light*.
+//! - [`eval`]: Execution Accuracy, Exact-Matching Accuracy, difficulty
+//!   grouping and error analysis.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use valuenet_core as core;
+pub use valuenet_dataset as dataset;
+pub use valuenet_eval as eval;
+pub use valuenet_exec as exec;
+pub use valuenet_nn as nn;
+pub use valuenet_preprocess as preprocess;
+pub use valuenet_schema as schema;
+pub use valuenet_semql as semql;
+pub use valuenet_sql as sql;
+pub use valuenet_storage as storage;
+pub use valuenet_tensor as tensor;

@@ -1,0 +1,123 @@
+//! Cross-crate integration: the synthetic corpus must be self-consistent
+//! through every layer — gold SemQL lowers to SQL that parses, prints,
+//! reparses and executes to the same result as the stored gold SQL text.
+
+use valuenet::dataset::{generate, CorpusConfig};
+use valuenet::exec::execute;
+use valuenet::schema::SchemaGraph;
+use valuenet::semql::{actions_to_ast, ast_to_actions, semql_from_sql, to_sql, ResolvedValue};
+use valuenet::sql::parse_select;
+
+fn corpus() -> valuenet::dataset::Corpus {
+    generate(&CorpusConfig {
+        seed: 99,
+        train_size: 150,
+        dev_size: 50,
+        rows_per_table: 18,
+        ..CorpusConfig::default()
+    })
+}
+
+#[test]
+fn gold_semql_lowers_to_equivalent_sql() {
+    let c = corpus();
+    for s in c.train.iter().chain(&c.dev) {
+        let db = c.db(s);
+        let graph = SchemaGraph::new(db.schema());
+        let values: Vec<ResolvedValue> = s.values.iter().map(ResolvedValue::new).collect();
+        let lowered =
+            to_sql(&s.semql, db.schema(), &graph, &values).expect("gold tree lowers");
+        let stored = parse_select(&s.sql).expect("stored gold SQL parses");
+        let r1 = execute(db, &lowered).expect("lowered SQL executes");
+        let r2 = execute(db, &stored).expect("stored SQL executes");
+        assert!(
+            r1.result_eq(&r2),
+            "lowering disagrees with stored SQL for: {}\nlowered: {lowered}\nstored: {}",
+            s.question,
+            s.sql
+        );
+    }
+}
+
+#[test]
+fn printed_sql_round_trips_through_parser() {
+    let c = corpus();
+    for s in c.train.iter().chain(&c.dev) {
+        let stmt = parse_select(&s.sql).expect("parses");
+        let reparsed = parse_select(&stmt.to_string()).expect("printed form parses");
+        assert_eq!(stmt, reparsed, "print/parse round trip changed: {}", s.sql);
+    }
+}
+
+#[test]
+fn action_sequences_are_transition_valid() {
+    use valuenet::semql::TransitionSystem;
+    let c = corpus();
+    for s in c.train.iter().take(80) {
+        let actions = ast_to_actions(&s.semql);
+        let mut ts = TransitionSystem::new();
+        for a in &actions {
+            if let Some(idx) = a.sketch_index() {
+                assert!(
+                    ts.valid_sketch_actions().contains(&idx),
+                    "gold action {a:?} not offered by the transition system for: {}",
+                    s.question
+                );
+            }
+            ts.apply(a).expect("gold action applies");
+        }
+        assert!(ts.is_complete());
+        assert_eq!(actions_to_ast(&actions).unwrap(), s.semql);
+    }
+}
+
+#[test]
+fn sql_import_round_trips_gold_queries() {
+    // SQL → SemQL → SQL must preserve execution semantics for the corpus.
+    let c = corpus();
+    let mut imported_ok = 0;
+    let mut total = 0;
+    for s in c.train.iter().chain(&c.dev) {
+        let db = c.db(s);
+        let stmt = parse_select(&s.sql).unwrap();
+        total += 1;
+        let Ok(import) = semql_from_sql(db.schema(), &stmt) else { continue };
+        imported_ok += 1;
+        let graph = SchemaGraph::new(db.schema());
+        let values: Vec<ResolvedValue> =
+            import.values.iter().map(ResolvedValue::new).collect();
+        let relowered = to_sql(&import.semql, db.schema(), &graph, &values)
+            .expect("imported tree lowers");
+        let r1 = execute(db, &stmt).unwrap();
+        let r2 = execute(db, &relowered).expect("re-lowered SQL executes");
+        assert!(
+            r1.result_eq(&r2),
+            "import/lower changed semantics for: {}\noriginal: {}\nrelowered: {relowered}",
+            s.question,
+            s.sql
+        );
+    }
+    // The importer must cover the overwhelming majority of gold queries.
+    assert!(
+        imported_ok * 10 >= total * 9,
+        "importer covered only {imported_ok}/{total} gold queries"
+    );
+}
+
+#[test]
+fn gold_values_appear_in_gold_sql() {
+    let c = corpus();
+    for s in c.train.iter().chain(&c.dev) {
+        for (v, info) in s.values.iter().zip(&s.value_infos) {
+            // LIKE fragments appear wrapped in wildcards; everything else
+            // appears as a literal or a LIMIT count.
+            let sql = s.sql.to_lowercase();
+            assert!(
+                sql.contains(&v.to_lowercase()),
+                "gold value '{v}' (difficulty {:?}) missing from SQL: {}",
+                info.difficulty,
+                s.sql
+            );
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Property-based cross-crate tests: random grammar-valid SemQL trees must
+//! survive the action round trip, lower to parseable SQL, and execute.
+
+use proptest::prelude::*;
+use valuenet::exec::execute;
+use valuenet::schema::{ColumnId, ColumnType, DbSchema, SchemaBuilder, SchemaGraph, TableId};
+use valuenet::semql::{
+    actions_to_ast, ast_to_actions, to_sql, Agg, CmpOp, Filter, Order, QueryR, ResolvedValue,
+    Select, SemQl, Superlative, ValueRef,
+};
+use valuenet::sql::{parse_select, AggFunc};
+use valuenet::storage::Database;
+
+/// The pets schema + data used by all properties.
+fn pets_db() -> Database {
+    let schema = SchemaBuilder::new("pets")
+        .table(
+            "student",
+            &[
+                ("stu_id", ColumnType::Number),
+                ("name", ColumnType::Text),
+                ("age", ColumnType::Number),
+                ("home_country", ColumnType::Text),
+            ],
+        )
+        .primary_key("student", "stu_id")
+        .table("has_pet", &[("stu_id", ColumnType::Number), ("pet_id", ColumnType::Number)])
+        .table(
+            "pet",
+            &[
+                ("pet_id", ColumnType::Number),
+                ("pet_type", ColumnType::Text),
+                ("weight", ColumnType::Number),
+            ],
+        )
+        .primary_key("pet", "pet_id")
+        .foreign_key("has_pet", "stu_id", "student", "stu_id")
+        .foreign_key("has_pet", "pet_id", "pet", "pet_id")
+        .build();
+    let mut db = Database::new(schema);
+    let student = db.schema().table_by_name("student").unwrap();
+    let has_pet = db.schema().table_by_name("has_pet").unwrap();
+    let pet = db.schema().table_by_name("pet").unwrap();
+    let countries = ["France", "Germany", "Spain"];
+    for i in 0..12i64 {
+        db.insert(
+            student,
+            vec![
+                i.into(),
+                format!("Student{i}").into(),
+                (18 + (i * 3) % 14).into(),
+                countries[i as usize % 3].into(),
+            ],
+        );
+    }
+    let types = ["dog", "cat", "bird"];
+    for i in 0..10i64 {
+        db.insert(
+            pet,
+            vec![i.into(), types[i as usize % 3].into(), (((i * 17) % 40) as f64).into()],
+        );
+        db.insert(has_pet, vec![(i % 12).into(), i.into()]);
+    }
+    db.rebuild_index();
+    db
+}
+
+/// Strategy: a random `A` over the pets schema (column paired with its
+/// owning table, so lowering always finds a join tree).
+fn arb_agg(schema: &DbSchema) -> impl Strategy<Value = Agg> {
+    let pairs: Vec<(ColumnId, TableId)> = schema
+        .columns
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, c)| (ColumnId(i), c.table.expect("real columns have tables")))
+        .collect();
+    let num_pairs: Vec<(ColumnId, TableId)> = schema
+        .columns
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, c)| c.ty == ColumnType::Number)
+        .map(|(i, c)| (ColumnId(i), c.table.unwrap()))
+        .collect();
+    let star_tables: Vec<TableId> = (0..schema.tables.len()).map(TableId).collect();
+    prop_oneof![
+        // plain column
+        proptest::sample::select(pairs.clone()).prop_map(|(c, t)| Agg::plain(c, t)),
+        // count(*)
+        proptest::sample::select(star_tables).prop_map(Agg::count_star),
+        // aggregated numeric column
+        (
+            proptest::sample::select(num_pairs),
+            proptest::sample::select(vec![
+                AggFunc::Max,
+                AggFunc::Min,
+                AggFunc::Sum,
+                AggFunc::Avg,
+                AggFunc::Count
+            ])
+        )
+            .prop_map(|((c, t), f)| Agg::with(f, c, t)),
+    ]
+}
+
+/// Strategy: a random flat filter (no nesting — nested queries are covered
+/// by the corpus tests).
+fn arb_filter(schema: &DbSchema, next_value: usize) -> impl Strategy<Value = (Filter, usize)> {
+    let num_pairs: Vec<(ColumnId, TableId)> = schema
+        .columns
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, c)| c.ty == ColumnType::Number)
+        .map(|(i, c)| (ColumnId(i), c.table.unwrap()))
+        .collect();
+    let text_pairs: Vec<(ColumnId, TableId)> = schema
+        .columns
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, c)| c.ty == ColumnType::Text)
+        .map(|(i, c)| (ColumnId(i), c.table.unwrap()))
+        .collect();
+    prop_oneof![
+        (
+            proptest::sample::select(num_pairs.clone()),
+            proptest::sample::select(vec![
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Gt,
+                CmpOp::Le,
+                CmpOp::Ge
+            ])
+        )
+            .prop_map(move |((c, t), op)| {
+                (Filter::Cmp { op, agg: Agg::plain(c, t), value: ValueRef(next_value) },
+                 next_value + 1)
+            }),
+        proptest::sample::select(text_pairs.clone()).prop_map(move |(c, t)| {
+            (Filter::Cmp { op: CmpOp::Eq, agg: Agg::plain(c, t), value: ValueRef(next_value) },
+             next_value + 1)
+        }),
+        proptest::sample::select(num_pairs).prop_map(move |(c, t)| {
+            (
+                Filter::Between {
+                    agg: Agg::plain(c, t),
+                    low: ValueRef(next_value),
+                    high: ValueRef(next_value + 1),
+                },
+                next_value + 2,
+            )
+        }),
+        proptest::sample::select(text_pairs).prop_map(move |(c, t)| {
+            (Filter::Like { agg: Agg::plain(c, t), value: ValueRef(next_value), negated: false },
+             next_value + 1)
+        }),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = (SemQl, Vec<ResolvedValue>)> {
+    let db = pets_db();
+    let schema = db.schema().clone();
+    let schema2 = schema.clone();
+    let aggs = prop::collection::vec(arb_agg(&schema), 1..=3);
+    let order = proptest::option::of((any::<bool>(), arb_agg(&schema2)));
+    let schema3 = schema.clone();
+    (aggs, order, any::<bool>(), 0usize..3).prop_flat_map(move |(aggs, order, distinct, n_filters)| {
+        let schema = schema3.clone();
+        // Chain filters, tracking the value counter manually.
+        let filters = prop::collection::vec(arb_filter(&schema, 0), n_filters..=n_filters);
+        (Just(aggs), Just(order), Just(distinct), filters).prop_map(
+            move |(aggs, order, distinct, filters)| {
+                let mut value_count = 0usize;
+                let mut filter_tree: Option<Filter> = None;
+                for (f, _) in filters {
+                    // Renumber the value refs sequentially.
+                    let f = renumber(f, &mut value_count);
+                    filter_tree = Some(match filter_tree.take() {
+                        Some(acc) => Filter::And(Box::new(acc), Box::new(f)),
+                        None => f,
+                    });
+                }
+                let mut select = Select::new(aggs);
+                select.distinct = distinct;
+                let q = QueryR {
+                    select,
+                    order: order.clone().map(|(desc, agg)| Order { desc, agg }),
+                    superlative: None,
+                    filter: filter_tree,
+                };
+                let values: Vec<ResolvedValue> =
+                    (0..value_count).map(|i| ResolvedValue::new(sample_value(i))).collect();
+                (SemQl::Single(Box::new(q)), values)
+            },
+        )
+    })
+}
+
+fn renumber(f: Filter, counter: &mut usize) -> Filter {
+    let mut next = || {
+        let v = ValueRef(*counter);
+        *counter += 1;
+        v
+    };
+    match f {
+        Filter::Cmp { op, agg, .. } => Filter::Cmp { op, agg, value: next() },
+        Filter::Between { agg, .. } => {
+            Filter::Between { agg, low: next(), high: next() }
+        }
+        Filter::Like { agg, negated, .. } => Filter::Like { agg, value: next(), negated },
+        other => other,
+    }
+}
+
+fn sample_value(i: usize) -> String {
+    ["France", "20", "dog", "7", "Germany", "12"][i % 6].to_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any grammar-valid tree survives actions → AST → actions.
+    #[test]
+    fn actions_round_trip((tree, _values) in arb_query()) {
+        let actions = ast_to_actions(&tree);
+        let back = actions_to_ast(&actions).expect("canonical actions parse");
+        prop_assert_eq!(back, tree);
+    }
+
+    /// Any grammar-valid tree lowers to SQL that parses, prints, reparses
+    /// identically, and executes against the database.
+    #[test]
+    fn lowering_produces_executable_sql((tree, values) in arb_query()) {
+        let db = pets_db();
+        let graph = SchemaGraph::new(db.schema());
+        let sql = to_sql(&tree, db.schema(), &graph, &values).expect("lowers");
+        let text = sql.to_string();
+        let reparsed = parse_select(&text)
+            .unwrap_or_else(|e| panic!("unparseable lowering: {text} ({e})"));
+        prop_assert_eq!(&reparsed, &sql);
+        execute(&db, &sql).unwrap_or_else(|e| panic!("execution failed: {text} ({e})"));
+    }
+
+    /// Superlatives always lower to ORDER BY ... LIMIT with the right bound.
+    #[test]
+    fn superlative_limit_respected(k in 1u64..6, most in any::<bool>()) {
+        let db = pets_db();
+        let schema = db.schema();
+        let graph = SchemaGraph::new(schema);
+        let student = schema.table_by_name("student").unwrap();
+        let age = schema.column_by_name(student, "age").unwrap();
+        let name = schema.column_by_name(student, "name").unwrap();
+        let tree = SemQl::Single(Box::new(QueryR {
+            select: Select::new(vec![Agg::plain(name, student)]),
+            order: None,
+            superlative: Some(Superlative {
+                most,
+                limit: ValueRef(0),
+                agg: Agg::plain(age, student),
+            }),
+            filter: None,
+        }));
+        let sql = to_sql(&tree, schema, &graph, &[ResolvedValue::new(k.to_string())]).unwrap();
+        prop_assert_eq!(sql.limit, Some(k));
+        let rs = execute(&db, &sql).unwrap();
+        prop_assert!(rs.rows.len() <= k as usize);
+        prop_assert!(rs.ordered);
+    }
+}
