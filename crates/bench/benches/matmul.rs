@@ -1,0 +1,57 @@
+//! Criterion bench: the cache-blocked packed matmul kernel against the
+//! naive reference kernel across square sizes, plus the transposed-operand
+//! kernels against their materialise-then-multiply equivalents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use valuenet_tensor::Tensor;
+
+fn random_tensor(rng: &mut SmallRng, rows: usize, cols: usize) -> Tensor {
+    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen::<f32>() - 0.5).collect())
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(7);
+
+    let mut group = c.benchmark_group("matmul_naive");
+    for n in [64usize, 128, 256, 512] {
+        let a = random_tensor(&mut rng, n, n);
+        let b = random_tensor(&mut rng, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| a.matmul_naive(&b))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("matmul_blocked");
+    for n in [64usize, 128, 256, 512] {
+        let a = random_tensor(&mut rng, n, n);
+        let b = random_tensor(&mut rng, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| a.matmul(&b))
+        });
+    }
+    group.finish();
+
+    // Backward-pass shapes: grad kernels vs. materialising the transpose.
+    let n = 256;
+    let g = random_tensor(&mut rng, n, n);
+    let b = random_tensor(&mut rng, n, n);
+    let mut group = c.benchmark_group("matmul_backward_256");
+    group.bench_function("transposed_b_kernel", |bch| {
+        bch.iter(|| g.matmul_transposed_b(&b))
+    });
+    group.bench_function("transposed_b_materialised", |bch| {
+        bch.iter(|| g.matmul_naive(&b.transpose()))
+    });
+    group.bench_function("transposed_a_kernel", |bch| {
+        bch.iter(|| b.matmul_transposed_a(&g))
+    });
+    group.bench_function("transposed_a_materialised", |bch| {
+        bch.iter(|| b.transpose().matmul_naive(&g))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: thread scaling of the data-parallel trainer and the
+//! parallel evaluation sweep. Results are bit-identical across thread
+//! counts; only wall-clock time changes (bounded by the machine's cores).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use valuenet_core::{evaluate_with_threads, train, ModelConfig, TrainConfig, ValueMode};
+use valuenet_dataset::{generate, Corpus, CorpusConfig};
+
+fn small_corpus() -> Corpus {
+    generate(&CorpusConfig {
+        seed: 11,
+        train_size: 48,
+        dev_size: 24,
+        rows_per_table: 12,
+        ..CorpusConfig::default()
+    })
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let corpus = small_corpus();
+
+    let mut group = c.benchmark_group("training_epoch");
+    for threads in [1usize, 2, 4] {
+        let cfg = TrainConfig { epochs: 1, threads, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| train(&corpus, ValueMode::Light, ModelConfig::tiny(), &cfg))
+        });
+    }
+    group.finish();
+
+    let (pipeline, _) = train(
+        &corpus,
+        ValueMode::Light,
+        ModelConfig::tiny(),
+        &TrainConfig { epochs: 2, ..Default::default() },
+    );
+    let mut group = c.benchmark_group("eval_sweep");
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| evaluate_with_threads(&pipeline, &corpus, &corpus.dev, threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

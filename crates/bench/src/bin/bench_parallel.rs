@@ -1,0 +1,91 @@
+//! Thread-scaling measurement for the parallel training and evaluation
+//! engine, written to `BENCH_parallel.json`.
+//!
+//! For each worker count the binary measures the marginal cost of one
+//! training epoch (runtime of a 3-epoch run minus a 1-epoch run, halved —
+//! subtracting out corpus preprocessing and vocabulary setup, which are
+//! identical across thread counts) and the wall-clock time of a full dev
+//! evaluation sweep. Speedup is reported relative to one worker and is
+//! naturally bounded by the machine's available cores (recorded in the
+//! output, since a single-core container cannot show parallel gains).
+//!
+//! Scale via the usual knobs: `VN_TRAIN`, `VN_DEV`, `VN_ROWS` (defaults
+//! here: 96 / 48 / 12).
+
+use std::time::Instant;
+use valuenet_core::{evaluate_with_threads, train, ModelConfig, TrainConfig, ValueMode};
+use valuenet_dataset::{generate, CorpusConfig};
+
+#[derive(serde::Serialize)]
+struct Scaling {
+    threads: Vec<usize>,
+    millis: Vec<f64>,
+    speedup_at_4: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    cores: usize,
+    training_epoch: Scaling,
+    eval_sweep: Scaling,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn scaling(threads: &[usize], millis: Vec<f64>) -> Scaling {
+    let speedup_at_4 = millis[0] / millis[millis.len() - 1].max(1e-9);
+    Scaling { threads: threads.to_vec(), millis, speedup_at_4 }
+}
+
+fn main() {
+    let corpus = generate(&CorpusConfig {
+        seed: 11,
+        train_size: env_usize("VN_TRAIN", 96),
+        dev_size: env_usize("VN_DEV", 48),
+        rows_per_table: env_usize("VN_ROWS", 12),
+        ..CorpusConfig::default()
+    });
+    let thread_counts = [1usize, 2, 4];
+
+    let mut train_ms = Vec::new();
+    for &threads in &thread_counts {
+        let run = |epochs: usize| {
+            let cfg = TrainConfig { epochs, threads, ..Default::default() };
+            let t = Instant::now();
+            train(&corpus, ValueMode::Light, ModelConfig::tiny(), &cfg);
+            t.elapsed().as_secs_f64() * 1e3
+        };
+        let per_epoch = (run(3) - run(1)) / 2.0;
+        eprintln!("training epoch, {threads} thread(s): {per_epoch:.1} ms");
+        train_ms.push(per_epoch);
+    }
+
+    let (pipeline, _) = train(
+        &corpus,
+        ValueMode::Light,
+        ModelConfig::tiny(),
+        &TrainConfig { epochs: 2, ..Default::default() },
+    );
+    let mut eval_ms = Vec::new();
+    for &threads in &thread_counts {
+        let t = Instant::now();
+        let stats = evaluate_with_threads(&pipeline, &corpus, &corpus.dev, threads);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        eprintln!(
+            "eval sweep, {threads} thread(s): {ms:.1} ms (accuracy {:.3})",
+            stats.execution_accuracy()
+        );
+        eval_ms.push(ms);
+    }
+
+    let report = Report {
+        cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        training_epoch: scaling(&thread_counts, train_ms),
+        eval_sweep: scaling(&thread_counts, eval_ms),
+    };
+    let json = serde_json::to_string(&report).expect("report serialises");
+    std::fs::write("BENCH_parallel.json", &json).expect("can write BENCH_parallel.json");
+    println!("{json}");
+}

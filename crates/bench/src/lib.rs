@@ -12,12 +12,11 @@
 //! | `VN_EPOCHS` | training epochs | 6 |
 //! | `VN_SEEDS` | independent runs to average (Fig. 10) | 3 |
 //! | `VN_SEED` | base RNG seed | 42 |
+//! | `VN_THREADS` | worker threads (0 = all cores); results are identical for any value | 0 |
 
-use std::collections::BTreeMap;
-use valuenet_core::{Pipeline, Prediction, ValueMode};
-use valuenet_dataset::{Corpus, CorpusConfig, Sample};
-use valuenet_eval::{exact_match, execution_accuracy, Difficulty, ExecOutcome};
-use valuenet_sql::{parse_select, SelectStmt};
+use valuenet_dataset::CorpusConfig;
+
+pub use valuenet_core::{evaluate, evaluate_with_threads, EvalStats, SampleEval};
 
 /// Scale knobs for the experiment binaries.
 #[derive(Debug, Clone)]
@@ -78,109 +77,10 @@ impl BenchConfig {
             epochs: self.epochs,
             seed: self.seed + seed_offset,
             verbose: std::env::var("VN_VERBOSE").is_ok(),
+            threads: env_usize("VN_THREADS", 0),
             ..Default::default()
         }
     }
-}
-
-/// Evaluation outcome of one sample.
-pub struct SampleEval {
-    /// Index into the evaluated split.
-    pub index: usize,
-    /// The execution-accuracy outcome.
-    pub outcome: ExecOutcome,
-    /// Whether the sketch/schema components matched (Exact-Match metric).
-    pub exact: bool,
-    /// Query difficulty.
-    pub difficulty: Difficulty,
-    /// The full prediction (for error analysis and timing).
-    pub prediction: Prediction,
-    /// The parsed gold query.
-    pub gold: SelectStmt,
-}
-
-/// Aggregate evaluation of a split.
-pub struct EvalStats {
-    /// Per-sample outcomes.
-    pub samples: Vec<SampleEval>,
-}
-
-impl EvalStats {
-    /// Execution accuracy over all samples (gold failures excluded).
-    pub fn execution_accuracy(&self) -> f64 {
-        let scored: Vec<&SampleEval> = self
-            .samples
-            .iter()
-            .filter(|s| s.outcome != ExecOutcome::GoldFailed)
-            .collect();
-        if scored.is_empty() {
-            return 0.0;
-        }
-        scored.iter().filter(|s| s.outcome.is_correct()).count() as f64 / scored.len() as f64
-    }
-
-    /// Exact-Matching accuracy.
-    pub fn exact_match_accuracy(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.samples.iter().filter(|s| s.exact).count() as f64 / self.samples.len() as f64
-    }
-
-    /// `(correct, total)` per Spider difficulty.
-    pub fn by_difficulty(&self) -> BTreeMap<Difficulty, (usize, usize)> {
-        let mut map: BTreeMap<Difficulty, (usize, usize)> = BTreeMap::new();
-        for s in &self.samples {
-            if s.outcome == ExecOutcome::GoldFailed {
-                continue;
-            }
-            let e = map.entry(s.difficulty).or_insert((0, 0));
-            e.1 += 1;
-            if s.outcome.is_correct() {
-                e.0 += 1;
-            }
-        }
-        map
-    }
-
-    /// The failed samples.
-    pub fn failures(&self) -> Vec<&SampleEval> {
-        self.samples
-            .iter()
-            .filter(|s| {
-                matches!(s.outcome, ExecOutcome::WrongResult | ExecOutcome::PredictionFailed)
-            })
-            .collect()
-    }
-}
-
-/// Runs a pipeline over a sample set and scores every prediction. In
-/// [`ValueMode::Light`] the gold value options are passed through (the
-/// oracle the paper describes).
-pub fn evaluate(pipeline: &Pipeline, corpus: &Corpus, samples: &[Sample]) -> EvalStats {
-    let mut out = Vec::with_capacity(samples.len());
-    for (index, sample) in samples.iter().enumerate() {
-        let db = corpus.db(sample);
-        let gold = parse_select(&sample.sql).expect("gold SQL parses by construction");
-        let gold_values = match pipeline.mode {
-            ValueMode::Light => Some(sample.values.as_slice()),
-            _ => None,
-        };
-        let prediction = pipeline.translate(db, &sample.question, gold_values);
-        let (outcome, exact) = match &prediction.sql {
-            Some(sql) => (execution_accuracy(db, sql, &gold), exact_match(sql, &gold)),
-            None => (ExecOutcome::PredictionFailed, false),
-        };
-        out.push(SampleEval {
-            index,
-            outcome,
-            exact,
-            difficulty: sample.difficulty,
-            prediction,
-            gold,
-        });
-    }
-    EvalStats { samples: out }
 }
 
 /// Mean and (population) standard deviation of a series.

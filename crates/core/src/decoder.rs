@@ -228,7 +228,8 @@ impl Decoder {
 
     /// Beam-search decoding under the same grammar constraints.
     ///
-    /// Returns up to `beam_width` completed hypotheses, best first, each
+    /// Returns up to `beam_width` completed hypotheses, best first (ranked
+    /// by mean per-action log-probability, i.e. length-normalised), each
     /// with its summed log-probability. An empty result means no hypothesis
     /// completed within `max_steps`.
     ///
@@ -352,8 +353,13 @@ impl Decoder {
                 break;
             }
         }
-        completed
-            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // Rank completions by *length-normalised* score (mean log-probability
+        // per action). Raw sums shrink monotonically with derivation length,
+        // so ranking on them systematically prefers short hypotheses — long
+        // correct derivations lose to short wrong ones, and beam search can
+        // score below greedy decoding.
+        let norm = |(actions, score): &(Vec<Action>, f32)| score / actions.len().max(1) as f32;
+        completed.sort_by(|a, b| norm(b).partial_cmp(&norm(a)).unwrap_or(std::cmp::Ordering::Equal));
         completed.truncate(beam_width);
         completed
     }

@@ -1,0 +1,116 @@
+//! Scoring a pipeline over a sample split, fanned out over worker threads.
+//!
+//! Each sample's translate-and-execute round trip is independent (the
+//! [`Pipeline`] is read-only during inference), so the sweep parallelises
+//! with [`valuenet_par::par_map`]. Outputs are collected in sample order,
+//! so every aggregate — accuracy, per-difficulty counts, failure lists — is
+//! identical for any thread count.
+
+use crate::pipeline::{Pipeline, Prediction, ValueMode};
+use std::collections::BTreeMap;
+use valuenet_dataset::{Corpus, Sample};
+use valuenet_eval::{exact_match, execution_accuracy, Difficulty, ExecOutcome};
+use valuenet_sql::{parse_select, SelectStmt};
+
+/// Evaluation outcome of one sample.
+pub struct SampleEval {
+    /// Index into the evaluated split.
+    pub index: usize,
+    /// The execution-accuracy outcome.
+    pub outcome: ExecOutcome,
+    /// Whether the sketch/schema components matched (Exact-Match metric).
+    pub exact: bool,
+    /// Query difficulty.
+    pub difficulty: Difficulty,
+    /// The full prediction (for error analysis and timing).
+    pub prediction: Prediction,
+    /// The parsed gold query.
+    pub gold: SelectStmt,
+}
+
+/// Aggregate evaluation of a split.
+pub struct EvalStats {
+    /// Per-sample outcomes, in split order.
+    pub samples: Vec<SampleEval>,
+}
+
+impl EvalStats {
+    /// Execution accuracy over all samples (gold failures excluded).
+    pub fn execution_accuracy(&self) -> f64 {
+        let scored: Vec<&SampleEval> = self
+            .samples
+            .iter()
+            .filter(|s| s.outcome != ExecOutcome::GoldFailed)
+            .collect();
+        if scored.is_empty() {
+            return 0.0;
+        }
+        scored.iter().filter(|s| s.outcome.is_correct()).count() as f64 / scored.len() as f64
+    }
+
+    /// Exact-Matching accuracy.
+    pub fn exact_match_accuracy(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.exact).count() as f64 / self.samples.len() as f64
+    }
+
+    /// `(correct, total)` per Spider difficulty.
+    pub fn by_difficulty(&self) -> BTreeMap<Difficulty, (usize, usize)> {
+        let mut map: BTreeMap<Difficulty, (usize, usize)> = BTreeMap::new();
+        for s in &self.samples {
+            if s.outcome == ExecOutcome::GoldFailed {
+                continue;
+            }
+            let e = map.entry(s.difficulty).or_insert((0, 0));
+            e.1 += 1;
+            if s.outcome.is_correct() {
+                e.0 += 1;
+            }
+        }
+        map
+    }
+
+    /// The failed samples.
+    pub fn failures(&self) -> Vec<&SampleEval> {
+        self.samples
+            .iter()
+            .filter(|s| {
+                matches!(s.outcome, ExecOutcome::WrongResult | ExecOutcome::PredictionFailed)
+            })
+            .collect()
+    }
+}
+
+/// Runs a pipeline over a sample set and scores every prediction, using the
+/// process-wide default worker count. In [`ValueMode::Light`] the gold value
+/// options are passed through (the oracle the paper describes).
+pub fn evaluate(pipeline: &Pipeline, corpus: &Corpus, samples: &[Sample]) -> EvalStats {
+    evaluate_with_threads(pipeline, corpus, samples, 0)
+}
+
+/// [`evaluate`] with an explicit worker count (`0` = process-wide default).
+/// The outcome counts are identical for any thread count.
+pub fn evaluate_with_threads(
+    pipeline: &Pipeline,
+    corpus: &Corpus,
+    samples: &[Sample],
+    threads: usize,
+) -> EvalStats {
+    let samples = valuenet_par::par_map(samples, threads, |index, sample| {
+        let db = corpus.db(sample);
+        let gold = parse_select(&sample.sql).expect("gold SQL parses by construction");
+        let gold_values = match pipeline.mode {
+            ValueMode::Light => Some(sample.values.as_slice()),
+            _ => None,
+        };
+        let prediction = pipeline.translate(db, &sample.question, gold_values);
+        let (outcome, exact) = match &prediction.sql {
+            Some(sql) => (execution_accuracy(db, sql, &gold), exact_match(sql, &gold)),
+            None => (ExecOutcome::PredictionFailed, false),
+        };
+        SampleEval { index, outcome, exact, difficulty: sample.difficulty, prediction, gold }
+    });
+    EvalStats { samples }
+}

@@ -26,6 +26,7 @@
 
 mod decoder;
 mod encoder;
+mod evaluate;
 mod heuristic;
 mod input;
 mod model;
@@ -35,6 +36,7 @@ mod vocab;
 
 pub use decoder::Decoder;
 pub use encoder::{Encoder, Encodings};
+pub use evaluate::{evaluate, evaluate_with_threads, EvalStats, SampleEval};
 pub use heuristic::HeuristicBaseline;
 pub use input::{build_input, build_input_opts, candidate_texts, InputOptions, ItemTokens, ModelInput};
 pub use model::{ModelConfig, ValueNetModel};

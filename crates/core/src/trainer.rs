@@ -1,5 +1,21 @@
 //! Training: teacher forcing with Adam and the paper's three learning-rate
 //! groups (encoder / decoder / connection parameters, Section V-C).
+//!
+//! The forward/backward pass of every sample in a gradient-accumulation
+//! batch is independent (each builds its own [`Graph`] against the shared,
+//! read-only parameter store), so batches fan out over
+//! [`valuenet_par::par_map`]. Determinism is preserved by construction:
+//!
+//! * shuffling uses a dedicated RNG (`seed + 1`) touched only between
+//!   epochs;
+//! * dropout uses a *per-sample* RNG derived from `(seed, epoch, sample
+//!   index)`, so the noise a sample sees is a pure function of the
+//!   configuration — not of which worker ran it first;
+//! * per-sample gradients are summed **in sample order** before the Adam
+//!   step, so f32 accumulation order is canonical.
+//!
+//! As a result `epoch_losses` and the final weights are bit-identical for
+//! any `threads` setting, including the inline `threads = 1` path.
 
 use crate::input::{build_input_opts, ModelInput};
 use crate::model::{ModelConfig, ValueNetModel};
@@ -29,6 +45,10 @@ pub struct TrainConfig {
     pub lr_connection: f32,
     /// Gradient-accumulation batch size (paper: 20).
     pub batch_size: usize,
+    /// Worker threads for the in-batch fan-out (`0` = the process-wide
+    /// default, see [`valuenet_par::resolve_threads`]). Any value produces
+    /// bit-identical results; it only changes wall-clock time.
+    pub threads: usize,
     /// RNG seed (shuffling, dropout).
     pub seed: u64,
     /// Print progress to stderr.
@@ -46,6 +66,7 @@ impl Default for TrainConfig {
             lr_decoder: 2e-3,
             lr_connection: 2e-3,
             batch_size: 16,
+            threads: 0,
             seed: 1,
             verbose: false,
             cand_cfg: CandidateConfig::default(),
@@ -67,6 +88,19 @@ pub struct TrainReport {
 struct PreparedSample {
     input: ModelInput,
     actions: Vec<Action>,
+}
+
+/// Derives the dropout-RNG seed of one `(epoch, sample)` pass from the
+/// configured seed: a SplitMix64-style finaliser over the three inputs, so
+/// every pass gets an independent stream that does not depend on execution
+/// order or thread count.
+fn sample_seed(seed: u64, epoch: usize, index: usize) -> u64 {
+    let mut z = seed
+        ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (index as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Builds the vocabulary: training questions, every schema's names, and the
@@ -192,38 +226,45 @@ pub fn train(
     );
 
     let mut model = model;
-    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(1));
+    // Shuffle-only RNG: dropout draws from per-sample streams (below), so
+    // the epoch ordering is the sole consumer of this generator.
+    let mut shuffle_rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(1));
     let mut order: Vec<usize> = (0..prepared.len()).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
-        order.shuffle(&mut rng);
+        order.shuffle(&mut shuffle_rng);
         let mut epoch_loss = 0.0;
-        let mut batch_grads: Vec<(ParamId, Tensor)> = Vec::new();
-        let mut in_batch = 0;
-        for (step, &i) in order.iter().enumerate() {
-            let sample = &prepared[i];
-            let mut g = Graph::new();
-            let loss = model.loss(&mut g, &sample.input, &sample.actions, Some(&mut rng));
-            epoch_loss += g.value(loss).scalar_value();
-            let grads = g.backward(loss);
-            for (id, grad) in model.params.collect_grads(&grads) {
-                match batch_grads.iter_mut().find(|(pid, _)| *pid == id) {
-                    Some((_, acc)) => acc.add_assign(&grad),
-                    None => batch_grads.push((id, grad)),
-                }
-            }
-            in_batch += 1;
-            if in_batch >= cfg.batch_size || step + 1 == order.len() {
-                // Average over the batch before the Adam step.
-                let scale = 1.0 / in_batch as f32;
-                for (_, grad) in &mut batch_grads {
-                    for x in grad.as_mut_slice() {
-                        *x *= scale;
+        for batch in order.chunks(cfg.batch_size.max(1)) {
+            // Fan the independent per-sample passes out over the workers;
+            // par_map returns results in batch order regardless of timing.
+            let passes = valuenet_par::par_map(batch, cfg.threads, |_, &i| {
+                let sample = &prepared[i];
+                let mut g = Graph::new();
+                let mut rng = SmallRng::seed_from_u64(sample_seed(cfg.seed, epoch, i));
+                let loss = model.loss(&mut g, &sample.input, &sample.actions, Some(&mut rng));
+                let loss_value = g.value(loss).scalar_value();
+                let grads = g.backward(loss);
+                (loss_value, model.params.collect_grads(&grads))
+            });
+            // Reduce in sample order so f32 sums are canonical.
+            let mut batch_grads: Vec<(ParamId, Tensor)> = Vec::new();
+            for (loss_value, grads) in passes {
+                epoch_loss += loss_value;
+                for (id, grad) in grads {
+                    match batch_grads.iter_mut().find(|(pid, _)| *pid == id) {
+                        Some((_, acc)) => acc.add_assign(&grad),
+                        None => batch_grads.push((id, grad)),
                     }
                 }
-                opt.step_collected(&mut model.params, std::mem::take(&mut batch_grads));
-                in_batch = 0;
             }
+            // Average over the batch before the Adam step.
+            let scale = 1.0 / batch.len() as f32;
+            for (_, grad) in &mut batch_grads {
+                for x in grad.as_mut_slice() {
+                    *x *= scale;
+                }
+            }
+            opt.step_collected(&mut model.params, batch_grads);
         }
         let mean = epoch_loss / prepared.len().max(1) as f32;
         epoch_losses.push(mean);

@@ -1,0 +1,40 @@
+//! The parallel engine must be invisible in the results: training and
+//! evaluation give bit-identical outputs for any worker count.
+
+use valuenet_core::{evaluate_with_threads, train, ModelConfig, TrainConfig, ValueMode};
+use valuenet_dataset::{generate, CorpusConfig};
+
+#[test]
+fn training_and_eval_are_identical_across_thread_counts() {
+    let corpus = generate(&CorpusConfig {
+        seed: 11,
+        train_size: 40,
+        dev_size: 16,
+        rows_per_table: 10,
+        ..CorpusConfig::default()
+    });
+    let cfg = |threads| TrainConfig { epochs: 2, threads, ..Default::default() };
+
+    let (pipe1, rep1) = train(&corpus, ValueMode::Light, ModelConfig::tiny(), &cfg(1));
+    let (pipe4, rep4) = train(&corpus, ValueMode::Light, ModelConfig::tiny(), &cfg(4));
+
+    // Epoch losses are f32 sums; bit equality proves the reduction order is
+    // canonical, not merely "close".
+    assert_eq!(rep1.epoch_losses.len(), rep4.epoch_losses.len());
+    for (a, b) in rep1.epoch_losses.iter().zip(&rep4.epoch_losses) {
+        assert_eq!(a.to_bits(), b.to_bits(), "epoch losses diverged: {a} vs {b}");
+    }
+    // And the final weights agree exactly.
+    assert_eq!(pipe1.model.to_json(), pipe4.model.to_json(), "trained weights diverged");
+
+    // The evaluation sweep: same per-sample outcomes for any worker count.
+    let s1 = evaluate_with_threads(&pipe1, &corpus, &corpus.dev, 1);
+    let s4 = evaluate_with_threads(&pipe4, &corpus, &corpus.dev, 4);
+    assert_eq!(s1.samples.len(), s4.samples.len());
+    for (a, b) in s1.samples.iter().zip(&s4.samples) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.outcome, b.outcome, "outcome diverged at sample {}", a.index);
+        assert_eq!(a.exact, b.exact, "exact-match diverged at sample {}", a.index);
+    }
+    assert_eq!(s1.execution_accuracy(), s4.execution_accuracy());
+}

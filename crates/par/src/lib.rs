@@ -1,0 +1,167 @@
+//! Deterministic data parallelism on scoped threads.
+//!
+//! The engine fans work out over a fixed worker count and guarantees that the
+//! *observable result is independent of thread count and scheduling*:
+//!
+//! * [`par_map`] preserves input order — the output at index `i` is always
+//!   `f(&items[i])`, regardless of which worker computed it.
+//! * [`par_map_reduce`] reduces the mapped values **sequentially in input
+//!   order** on the calling thread. Floating-point addition is not
+//!   associative, so a tree- or arrival-order reduction would make sums
+//!   depend on scheduling; folding in a canonical order makes parallel runs
+//!   bit-identical to sequential ones.
+//!
+//! Workers are plain [`std::thread::scope`] threads claiming fixed
+//! contiguous chunks (no work stealing, no queues, no extra dependencies).
+//! With `threads <= 1` or tiny inputs the closure runs inline on the caller,
+//! so the sequential path *is* the parallel path with one worker.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Thread count configured for the process; 0 means "not set, use auto".
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count used when callers pass
+/// `threads = 0` to the fan-out functions. `0` restores auto-detection.
+pub fn set_threads(threads: usize) {
+    CONFIGURED_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// Resolves an effective worker count: an explicit request wins, then the
+/// process-wide setting, then the machine's available parallelism.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    let configured = CONFIGURED_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` workers (0 = default, see
+/// [`resolve_threads`]), returning outputs in input order.
+///
+/// Panics in `f` propagate to the caller.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len()).max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    // Fixed contiguous chunks: worker w takes [w*chunk, (w+1)*chunk). The
+    // partition depends only on len and thread count, never on timing.
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<U>> = Vec::new();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(w, slice)| {
+                let base = w * chunk;
+                scope.spawn(move || {
+                    slice.iter().enumerate().map(|(i, item)| f(base + i, item)).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        chunks = handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect();
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Maps `f` over `items` in parallel, then folds the results **sequentially
+/// in input order** with `reduce`, starting from `init`.
+///
+/// Because the reduction order is canonical, the result is bit-identical for
+/// any thread count (including 1), even for non-associative operations such
+/// as floating-point addition.
+pub fn par_map_reduce<T, U, A, F, R>(items: &[T], threads: usize, f: F, init: A, mut reduce: R) -> A
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+    R: FnMut(A, U) -> A,
+{
+    let mapped = par_map(items, threads, f);
+    let mut acc = init;
+    for v in mapped {
+        acc = reduce(acc, v);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..103).collect();
+        for threads in [1, 2, 3, 4, 7] {
+            let out = par_map(&items, threads, |i, &x| {
+                assert_eq!(i, x, "index must match position");
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn reduction_is_bit_identical_across_thread_counts() {
+        // Values chosen so that f32 summation order matters.
+        let items: Vec<f32> = (0..1000).map(|i| (i as f32).sin() * 1e3 + 1e-3).collect();
+        let reference =
+            par_map_reduce(&items, 1, |_, &x| x * 1.000_1, 0.0f32, |acc, v| acc + v);
+        for threads in [2, 3, 4, 8] {
+            let sum =
+                par_map_reduce(&items, threads, |_, &x| x * 1.000_1, 0.0f32, |acc, v| acc + v);
+            assert_eq!(sum.to_bits(), reference.to_bits(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn handles_edge_sizes() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[5u8], 4, |_, &x| x + 1), vec![6]);
+        // More threads than items.
+        let two = [1u8, 2];
+        assert_eq!(par_map(&two, 16, |_, &x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn configured_default_is_used() {
+        set_threads(3);
+        assert_eq!(resolve_threads(0), 3);
+        assert_eq!(resolve_threads(5), 5);
+        set_threads(0);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..64).collect();
+        par_map(&items, 4, |_, &x| {
+            if x == 63 {
+                panic!("worker boom");
+            }
+            x
+        });
+    }
+}

@@ -510,11 +510,13 @@ impl Graph {
                 }
             }
             Op::Matmul(a, b) => {
+                // dL/dA = G·Bᵀ and dL/dB = Aᵀ·G, via the transposed-operand
+                // kernels so neither transpose is materialised.
                 if self.nodes[a.0].needs_grad {
-                    add_to(grads, *a, g.matmul(&self.nodes[b.0].value.transpose()));
+                    add_to(grads, *a, g.matmul_transposed_b(&self.nodes[b.0].value));
                 }
                 if self.nodes[b.0].needs_grad {
-                    add_to(grads, *b, self.nodes[a.0].value.transpose().matmul(g));
+                    add_to(grads, *b, self.nodes[a.0].value.matmul_transposed_a(g));
                 }
             }
             Op::Transpose(a) => {

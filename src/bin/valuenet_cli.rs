@@ -3,21 +3,24 @@
 //!
 //! ```text
 //! valuenet-cli train --out model.json [--mode light|full] [--train 2000]
-//!                    [--dev 300] [--epochs 8] [--seed 42]
-//! valuenet-cli eval  --model model.json
+//!                    [--dev 300] [--epochs 8] [--seed 42] [--threads N]
+//! valuenet-cli eval  --model model.json [--threads N]
 //! valuenet-cli ask   --model model.json --db student_pets "How many pets ...?"
 //! valuenet-cli repl  --model model.json --db student_pets
 //! valuenet-cli dbs   [--seed 42]
 //! ```
+//!
+//! `--threads N` caps the worker threads used by training and evaluation
+//! (default: all available cores). Results are bit-identical for any value —
+//! the flag only changes wall-clock time.
 
 use std::io::{BufRead, Write};
 use valuenet::core::{
-    train, ModelConfig, Pipeline, TrainConfig, ValueMode, ValueNetModel,
+    evaluate_with_threads, train, ModelConfig, Pipeline, TrainConfig, ValueMode, ValueNetModel,
 };
 use valuenet::dataset::{generate, Corpus, CorpusConfig};
-use valuenet::eval::{execution_accuracy, ExecOutcome};
+use valuenet::eval::ExecOutcome;
 use valuenet::preprocess::StatisticalNer;
-use valuenet::sql::parse_select;
 
 /// Everything needed to reload a trained pipeline: weights, the trained
 /// NER, the mode, and the corpus configuration (seed ⇒ identical DBs).
@@ -82,6 +85,7 @@ fn cmd_train(args: &[String]) {
     let tc = TrainConfig {
         epochs: arg_usize(args, "--epochs", 8),
         verbose: true,
+        threads: arg_usize(args, "--threads", 0),
         ..Default::default()
     };
     eprintln!("training ValueNet ({mode_name} mode, {} epochs)...", tc.epochs);
@@ -105,23 +109,15 @@ fn cmd_train(args: &[String]) {
 
 fn cmd_eval(args: &[String]) {
     let path = arg(args, "--model").unwrap_or_else(|| fatal("--model is required"));
+    let threads = arg_usize(args, "--threads", 0);
     let (pipeline, corpus) = load_bundle(&path);
-    let mut correct = 0;
-    let mut failed_exec = 0;
-    for s in &corpus.dev {
-        let db = corpus.db(s);
-        let gold = parse_select(&s.sql).expect("gold parses");
-        let gold_values = match pipeline.mode {
-            ValueMode::Light => Some(s.values.as_slice()),
-            _ => None,
-        };
-        let pred = pipeline.translate(db, &s.question, gold_values);
-        match pred.sql.as_ref().map(|sql| execution_accuracy(db, sql, &gold)) {
-            Some(ExecOutcome::Correct) => correct += 1,
-            Some(ExecOutcome::PredictionFailed) | None => failed_exec += 1,
-            _ => {}
-        }
-    }
+    let stats = evaluate_with_threads(&pipeline, &corpus, &corpus.dev, threads);
+    let correct = stats.samples.iter().filter(|s| s.outcome.is_correct()).count();
+    let failed_exec = stats
+        .samples
+        .iter()
+        .filter(|s| s.outcome == ExecOutcome::PredictionFailed)
+        .count();
     println!(
         "dev execution accuracy: {correct}/{} = {:.1}% ({failed_exec} failed to execute)",
         corpus.dev.len(),
@@ -207,6 +203,11 @@ fn cmd_dbs(args: &[String]) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Make --threads the process-wide default so every fan-out (training,
+    // evaluation) respects it even where no explicit count is plumbed.
+    if let Some(t) = arg(&args, "--threads").and_then(|v| v.parse().ok()) {
+        valuenet::par::set_threads(t);
+    }
     match args.first().map(String::as_str) {
         Some("train") => cmd_train(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
@@ -216,8 +217,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: valuenet-cli <train|eval|ask|repl|dbs> [options]\n\
-                 \x20 train --out model.json [--mode light|full] [--train N] [--dev N] [--epochs N] [--seed N]\n\
-                 \x20 eval  --model model.json\n\
+                 \x20 train --out model.json [--mode light|full] [--train N] [--dev N] [--epochs N] [--seed N] [--threads N]\n\
+                 \x20 eval  --model model.json [--threads N]\n\
                  \x20 ask   --model model.json --db <db_id> \"question\"\n\
                  \x20 repl  --model model.json --db <db_id>\n\
                  \x20 dbs   [--seed N]"

@@ -5,6 +5,9 @@
 //!
 //! - [`tensor`] / [`nn`]: from-scratch autodiff and neural-network layers
 //!   (the substitute for the paper's PyTorch + pretrained BERT stack).
+//! - [`par`]: deterministic scoped-thread data parallelism — training and
+//!   evaluation fan out over workers with results bit-identical to a
+//!   sequential run (see `DESIGN.md`, "Threading & determinism model").
 //! - [`schema`]: database schema model, schema graph and Steiner-tree join
 //!   resolution with primary-/foreign-key `ON` clauses.
 //! - [`sql`] / [`storage`] / [`exec`]: SQL front-end, in-memory database with
@@ -26,6 +29,7 @@
 
 pub use valuenet_core as core;
 pub use valuenet_dataset as dataset;
+pub use valuenet_par as par;
 pub use valuenet_eval as eval;
 pub use valuenet_exec as exec;
 pub use valuenet_nn as nn;

@@ -187,7 +187,7 @@ fn arb_query() -> impl Strategy<Value = (SemQl, Vec<ResolvedValue>)> {
                 select.distinct = distinct;
                 let q = QueryR {
                     select,
-                    order: order.clone().map(|(desc, agg)| Order { desc, agg }),
+                    order: order.map(|(desc, agg)| Order { desc, agg }),
                     superlative: None,
                     filter: filter_tree,
                 };

@@ -1,0 +1,244 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the benchmarking surface it uses: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is a calibrated wall-clock loop (warm-up, then the median of
+//! several timed batches) printed as a one-line report per benchmark — no
+//! HTML reports, statistics engine, or saved baselines. `--test` (or any
+//! `--exact`/libtest-style invocation from `cargo test`) runs each routine
+//! once so benches double as smoke tests.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(60);
+const MEASURE: Duration = Duration::from_millis(240);
+const SAMPLES: usize = 5;
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--test` → run each
+    /// routine once; a bare argument filters benchmarks by substring).
+    pub fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "--exact" | "--list" => test_mode = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter, ran: 0 }
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.selected(id) {
+            let mut b = Bencher { test_mode: self.test_mode, measured: None };
+            routine(&mut b);
+            report(id, &b);
+            self.ran += 1;
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Prints the closing line of the run.
+    pub fn final_summary(&self) {
+        println!("\nbenchmarks complete: {} run", self.ran);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        if self.criterion.selected(&full) {
+            let mut b = Bencher { test_mode: self.criterion.test_mode, measured: None };
+            routine(&mut b, input);
+            report(&full, &b);
+            self.criterion.ran += 1;
+        }
+        self
+    }
+
+    /// Benchmarks `routine` under `name` within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.selected(&full) {
+            let mut b = Bencher { test_mode: self.criterion.test_mode, measured: None };
+            let mut routine = routine;
+            routine(&mut b);
+            report(&full, &b);
+            self.criterion.ran += 1;
+        }
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; ours are streamed).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Just the parameter as the identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Runs and times one routine.
+pub struct Bencher {
+    test_mode: bool,
+    measured: Option<f64>,
+}
+
+impl Bencher {
+    /// Calibrates and measures `routine`, recording nanoseconds/iteration.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            self.measured = Some(f64::NAN);
+            return;
+        }
+        // Calibration: double the batch size until one batch fills the
+        // warm-up window, which also warms caches and branch predictors.
+        let mut batch = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= WARMUP || batch >= 1 << 30 {
+                break elapsed.as_secs_f64() / batch as f64;
+            }
+            batch *= 2;
+        };
+        // Measurement: several batches sized to split the measurement
+        // window, reported as the median (robust to scheduler noise).
+        let sample_iters =
+            ((MEASURE.as_secs_f64() / SAMPLES as f64 / per_iter).ceil() as u64).max(1);
+        let mut samples = [0f64; SAMPLES];
+        for s in &mut samples {
+            let start = Instant::now();
+            for _ in 0..sample_iters {
+                black_box(routine());
+            }
+            *s = start.elapsed().as_secs_f64() / sample_iters as f64;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.measured = Some(samples[SAMPLES / 2] * 1e9);
+    }
+}
+
+fn report(id: &str, b: &Bencher) {
+    match b.measured {
+        Some(ns) if ns.is_nan() => println!("{id:<48} ok (test mode)"),
+        Some(ns) => println!("{id:<48} time: [{}]", format_ns(ns)),
+        None => println!("{id:<48} (no measurement)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 64).0, "f/64");
+        assert_eq!(BenchmarkId::from_parameter(128).0, "128");
+    }
+
+    #[test]
+    fn formats_are_scaled() {
+        assert_eq!(format_ns(12.34), "12.3 ns");
+        assert_eq!(format_ns(12_340.0), "12.34 µs");
+        assert_eq!(format_ns(12_340_000.0), "12.34 ms");
+    }
+}
