@@ -18,7 +18,12 @@ use valuenet_dataset::{generate, CorpusConfig};
 
 #[derive(serde::Serialize)]
 struct Scaling {
-    threads: Vec<usize>,
+    /// Worker counts as requested on the command line / config.
+    requested_threads: Vec<usize>,
+    /// What `resolve_threads` actually granted after clamping to the
+    /// machine's cores — on a one-core container every request collapses
+    /// to 1, which explains flat "scaling" curves.
+    effective_threads: Vec<usize>,
     millis: Vec<f64>,
     speedup_at_4: f64,
 }
@@ -36,7 +41,12 @@ fn env_usize(name: &str, default: usize) -> usize {
 
 fn scaling(threads: &[usize], millis: Vec<f64>) -> Scaling {
     let speedup_at_4 = millis[0] / millis[millis.len() - 1].max(1e-9);
-    Scaling { threads: threads.to_vec(), millis, speedup_at_4 }
+    Scaling {
+        requested_threads: threads.to_vec(),
+        effective_threads: threads.iter().map(|&t| valuenet_par::resolve_threads(t)).collect(),
+        millis,
+        speedup_at_4,
+    }
 }
 
 fn main() {
@@ -58,7 +68,8 @@ fn main() {
             t.elapsed().as_secs_f64() * 1e3
         };
         let per_epoch = (run(3) - run(1)) / 2.0;
-        eprintln!("training epoch, {threads} thread(s): {per_epoch:.1} ms");
+        let effective = valuenet_par::resolve_threads(threads);
+        eprintln!("training epoch, {threads} requested ({effective} effective): {per_epoch:.1} ms");
         train_ms.push(per_epoch);
     }
 
@@ -74,7 +85,8 @@ fn main() {
         let stats = evaluate_with_threads(&pipeline, &corpus, &corpus.dev, threads);
         let ms = t.elapsed().as_secs_f64() * 1e3;
         eprintln!(
-            "eval sweep, {threads} thread(s): {ms:.1} ms (accuracy {:.3})",
+            "eval sweep, {threads} requested ({} effective): {ms:.1} ms (accuracy {:.3})",
+            valuenet_par::resolve_threads(threads),
             stats.execution_accuracy()
         );
         eval_ms.push(ms);

@@ -327,12 +327,18 @@ impl<'a> Env<'a> {
         let schema = self.db.schema();
         match &c.table {
             Some(q) => {
+                // Aliases take precedence: a physical table name only
+                // addresses an entry when no effective name matches, so an
+                // alias can never be shadowed by another table's physical
+                // name (found by differential fuzzing against the oracle).
                 let entry = self
                     .entries
                     .iter()
-                    .find(|e| {
-                        e.name.eq_ignore_ascii_case(q)
-                            || schema.table(e.table).name.eq_ignore_ascii_case(q)
+                    .find(|e| e.name.eq_ignore_ascii_case(q))
+                    .or_else(|| {
+                        self.entries
+                            .iter()
+                            .find(|e| schema.table(e.table).name.eq_ignore_ascii_case(q))
                     })
                     .ok_or_else(|| ExecError::UnknownTable(q.clone()))?;
                 let col = schema

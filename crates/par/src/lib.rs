@@ -28,17 +28,29 @@ pub fn set_threads(threads: usize) {
     CONFIGURED_THREADS.store(threads, Ordering::Relaxed);
 }
 
-/// Resolves an effective worker count: an explicit request wins, then the
-/// process-wide setting, then the machine's available parallelism.
-pub fn resolve_threads(requested: usize) -> usize {
-    if requested > 0 {
-        return requested;
-    }
-    let configured = CONFIGURED_THREADS.load(Ordering::Relaxed);
-    if configured > 0 {
-        return configured;
-    }
+/// Number of cores the scheduler will actually give us; 1 when unknown.
+pub fn available_cores() -> usize {
     std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Resolves an effective worker count: an explicit request wins, then the
+/// process-wide setting, then the machine's available parallelism. The
+/// result is clamped to [`available_cores`] — oversubscribing a container
+/// that exposes fewer cores only adds scheduling overhead, and on a
+/// one-core box `--threads 4` would otherwise report fake "parallel" runs.
+pub fn resolve_threads(requested: usize) -> usize {
+    let cores = available_cores();
+    let chosen = if requested > 0 {
+        requested
+    } else {
+        let configured = CONFIGURED_THREADS.load(Ordering::Relaxed);
+        if configured > 0 {
+            configured
+        } else {
+            cores
+        }
+    };
+    chosen.min(cores).max(1)
 }
 
 /// Maps `f` over `items` on up to `threads` workers (0 = default, see
@@ -146,11 +158,22 @@ mod tests {
 
     #[test]
     fn configured_default_is_used() {
+        let cores = available_cores();
         set_threads(3);
-        assert_eq!(resolve_threads(0), 3);
-        assert_eq!(resolve_threads(5), 5);
+        assert_eq!(resolve_threads(0), 3.min(cores));
+        assert_eq!(resolve_threads(5), 5.min(cores));
         set_threads(0);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn resolved_threads_never_exceed_available_cores() {
+        let cores = available_cores();
+        for requested in [0, 1, 2, cores, cores + 1, 1024] {
+            let effective = resolve_threads(requested);
+            assert!(effective >= 1);
+            assert!(effective <= cores, "requested {requested} resolved to {effective} > {cores}");
+        }
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Tokenizer and NER edge cases: empty input, unicode identifiers, quoted
+//! multi-word literals, and numeric-looking strings. These pin down the
+//! behaviours the fuzz generator and the value-candidate pipeline rely on.
+
+use valuenet_preprocess::{
+    preprocess, tokenize_question, CandidateConfig, HeuristicNer, Ner, ValueKind,
+};
+use valuenet_schema::{ColumnType, SchemaBuilder};
+use valuenet_storage::Database;
+
+fn extract(q: &str) -> Vec<valuenet_preprocess::ExtractedValue> {
+    let tokens = tokenize_question(q);
+    HeuristicNer.extract(q, &tokens)
+}
+
+fn demo_db() -> Database {
+    let schema = SchemaBuilder::new("d")
+        .table("student", &[("stu_id", ColumnType::Number), ("name", ColumnType::Text)])
+        .build();
+    let mut db = Database::new(schema);
+    let s = db.schema().table_by_name("student").unwrap();
+    db.insert(s, vec![1.into(), "Zürich".into()]);
+    db.rebuild_index();
+    db
+}
+
+#[test]
+fn empty_question_yields_no_tokens_values_or_candidates() {
+    assert!(tokenize_question("").is_empty());
+    assert!(extract("").is_empty());
+    // Whitespace and bare punctuation are equally empty.
+    assert!(tokenize_question(" \t\n  ?!.,;  ").is_empty());
+    assert!(extract(" \t\n  ?!.,;  ").is_empty());
+    // The full pipeline must not panic or invent candidates on empty input.
+    let db = demo_db();
+    let pre = preprocess("", &db, &HeuristicNer::new(), &CandidateConfig::default());
+    assert!(pre.tokens.is_empty());
+    assert!(pre.candidates.is_empty());
+}
+
+#[test]
+fn unicode_identifiers_tokenize_as_single_words() {
+    let toks = tokenize_question("Étudiants från Zürich whose name is Müller-Lüdenscheidt");
+    let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    assert!(texts.contains(&"Étudiants"), "{texts:?}");
+    assert!(texts.contains(&"Zürich"), "{texts:?}");
+    // Internal hyphens join alphanumeric runs, for unicode words too.
+    assert!(texts.contains(&"Müller-Lüdenscheidt"), "{texts:?}");
+    // Unicode capitalisation drives the capitalized-run heuristic.
+    let z = toks.iter().find(|t| t.text == "Zürich").unwrap();
+    assert!(z.is_capitalized());
+    assert_eq!(z.lower, "zürich");
+    let vals = extract("students from Zürich");
+    assert!(
+        vals.iter().any(|v| v.text == "Zürich" && v.kind == ValueKind::Capitalized),
+        "{vals:?}"
+    );
+}
+
+#[test]
+fn curly_and_straight_quotes_capture_multiword_literals() {
+    for q in [
+        "albums called 'Goodbye Yellow Brick Road' please",
+        "albums called \"Goodbye Yellow Brick Road\" please",
+        "albums called \u{201c}Goodbye Yellow Brick Road\u{201d} please",
+    ] {
+        let toks = tokenize_question(q);
+        let quoted: Vec<_> = toks.iter().filter(|t| t.quoted).collect();
+        assert_eq!(quoted.len(), 1, "{q}: {toks:?}");
+        assert_eq!(quoted[0].text, "Goodbye Yellow Brick Road");
+        let vals = extract(q);
+        assert!(
+            vals.iter()
+                .any(|v| v.text == "Goodbye Yellow Brick Road" && v.kind == ValueKind::Quoted),
+            "{vals:?}"
+        );
+    }
+}
+
+#[test]
+fn quoted_literal_is_not_reparsed_as_number_or_capitalized_run() {
+    let vals = extract("rooms with code '42' in New York");
+    // The quoted span keeps its Quoted kind and does not also surface as a
+    // Number; the capitalized run outside the quotes still does.
+    assert!(vals.iter().any(|v| v.text == "42" && v.kind == ValueKind::Quoted), "{vals:?}");
+    assert!(!vals.iter().any(|v| v.text == "42" && v.kind == ValueKind::Number), "{vals:?}");
+    assert!(
+        vals.iter().any(|v| v.text == "New York" && v.kind == ValueKind::Capitalized),
+        "{vals:?}"
+    );
+}
+
+#[test]
+fn numeric_looking_strings_keep_their_shape() {
+    // Dates, times and decimals stay single tokens and extract as numbers.
+    let vals = extract("flights on 2010-08-09 at 9:30 weighing 4.5");
+    for text in ["2010-08-09", "9:30", "4.5"] {
+        assert!(
+            vals.iter().any(|v| v.text == text && v.kind == ValueKind::Number),
+            "{text}: {vals:?}"
+        );
+    }
+    // Dotted version-like strings hold together rather than splitting.
+    let toks = tokenize_question("release 1.2.3 is out");
+    assert!(toks.iter().any(|t| t.text == "1.2.3" && t.is_numeric()), "{toks:?}");
+    // A trailing dot is sentence punctuation, not part of the number.
+    let toks = tokenize_question("older than 20.");
+    assert!(toks.iter().any(|t| t.text == "20"), "{toks:?}");
+    assert!(!toks.iter().any(|t| t.text == "20."), "{toks:?}");
+    // Ordinal suffix forms are Ordinal, not Number.
+    let vals = extract("the 9th flight");
+    assert!(vals.iter().any(|v| v.text == "9th" && v.kind == ValueKind::Ordinal), "{vals:?}");
+    assert!(!vals.iter().any(|v| v.kind == ValueKind::Number), "{vals:?}");
+    // is_numeric is strict: digits and dots only.
+    let toks = tokenize_question("on 2010-08-09 take A340-300 to 20");
+    let get = |s: &str| toks.iter().find(|t| t.text == s).unwrap();
+    assert!(get("20").is_numeric());
+    assert!(!get("2010-08-09").is_numeric());
+    assert!(!get("A340-300").is_numeric());
+}

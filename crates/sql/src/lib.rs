@@ -38,3 +38,4 @@ pub use ast::{
 };
 pub use lexer::{tokenize, LexError, Token};
 pub use parser::{parse_select, ParseError};
+pub use printer::{check_round_trip, RoundTripError};

@@ -174,17 +174,76 @@ impl fmt::Display for SelectStmt {
     }
 }
 
+/// Failure modes of the parse → print → parse identity check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoundTripError {
+    /// The input SQL did not parse.
+    Parse {
+        /// The offending SQL.
+        sql: String,
+        /// The parser's error.
+        error: crate::ParseError,
+    },
+    /// The printed form of a parsed statement did not parse back.
+    Reparse {
+        /// The printer's output.
+        printed: String,
+        /// The parser's error.
+        error: crate::ParseError,
+    },
+    /// Parsing the printed form produced a different AST.
+    AstChanged {
+        /// The original SQL.
+        sql: String,
+        /// The printer's output.
+        printed: String,
+    },
+}
+
+impl fmt::Display for RoundTripError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoundTripError::Parse { sql, error } => write!(f, "parse of {sql:?} failed: {error}"),
+            RoundTripError::Reparse { printed, error } => {
+                write!(f, "reparse of printed form {printed:?} failed: {error}")
+            }
+            RoundTripError::AstChanged { sql, printed } => {
+                write!(f, "round trip changed the AST of {sql:?} (printed as {printed:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoundTripError {}
+
+/// Checks that parse → print → parse is the identity on `sql`, returning the
+/// parsed statement on success.
+///
+/// This is the `Result` form of the printer's core guarantee; callers that
+/// feed generated or untrusted SQL (the fuzz harness, corpus tests) use it
+/// instead of unwrap/panic helpers.
+pub fn check_round_trip(sql: &str) -> Result<SelectStmt, RoundTripError> {
+    let q1 = crate::parse_select(sql)
+        .map_err(|error| RoundTripError::Parse { sql: sql.to_string(), error })?;
+    let printed = q1.to_string();
+    let q2 = crate::parse_select(&printed)
+        .map_err(|error| RoundTripError::Reparse { printed: printed.clone(), error })?;
+    if q1 != q2 {
+        return Err(RoundTripError::AstChanged { sql: sql.to_string(), printed });
+    }
+    Ok(q1)
+}
+
 #[cfg(test)]
 mod tests {
-    use crate::parse_select;
+    use super::RoundTripError;
+    use crate::{check_round_trip, parse_select};
 
     /// Parse → print → parse must be the identity on the AST.
     fn round_trip(sql: &str) {
-        let q1 = parse_select(sql).unwrap_or_else(|e| panic!("first parse of {sql}: {e}"));
-        let printed = q1.to_string();
-        let q2 = parse_select(&printed)
-            .unwrap_or_else(|e| panic!("reparse of {printed}: {e}"));
-        assert_eq!(q1, q2, "round trip changed AST for: {sql}\nprinted: {printed}");
+        if let Err(e) = check_round_trip(sql) {
+            panic!("{e}");
+        }
     }
 
     #[test]
@@ -216,6 +275,14 @@ mod tests {
         let q = parse_select("SELECT x FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap();
         let s = q.to_string();
         assert!(s.contains("(a = 1 OR b = 2) AND"), "printed: {s}");
+    }
+
+    #[test]
+    fn check_round_trip_reports_parse_errors() {
+        match check_round_trip("SELECT FROM WHERE") {
+            Err(RoundTripError::Parse { sql, .. }) => assert_eq!(sql, "SELECT FROM WHERE"),
+            other => panic!("expected a Parse error, got {other:?}"),
+        }
     }
 
     #[test]

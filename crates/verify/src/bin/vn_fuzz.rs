@@ -1,0 +1,110 @@
+//! Deterministic differential fuzzer CLI.
+//!
+//! ```text
+//! vn-fuzz [--cases N] [--seed S] [--replay CASE_SEED] [--inject-divergence]
+//!         [--fail-log PATH]
+//! ```
+//!
+//! Runs `N` executor-vs-oracle cases derived from `S` (see
+//! `valuenet_verify::fuzz`). Exits non-zero if any case diverges, printing a
+//! shrunk reproducer per failure; `--replay` re-runs a single case seed (as
+//! printed in a failure report) bit-identically. `--fail-log` additionally
+//! writes every failing seed and report to a file, one block per failure —
+//! CI uploads this as an artifact.
+
+use std::process::ExitCode;
+
+use valuenet_verify::{run_case, run_fuzz, CaseOutcome, FuzzConfig};
+
+fn main() -> ExitCode {
+    let mut cfg = FuzzConfig { cases: 1000, seed: 42, inject_divergence: false };
+    let mut replay: Option<u64> = None;
+    let mut fail_log: Option<String> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut take = |what: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("{arg} requires {what}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--cases" => {
+                cfg.cases = parse_num(&take("a count")) as usize;
+            }
+            "--seed" => {
+                cfg.seed = parse_num(&take("a seed"));
+            }
+            "--replay" => {
+                replay = Some(parse_num(&take("a case seed")));
+            }
+            "--inject-divergence" => cfg.inject_divergence = true,
+            "--fail-log" => fail_log = Some(take("a path")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: vn-fuzz [--cases N] [--seed S] [--replay CASE_SEED] \
+                     [--inject-divergence] [--fail-log PATH]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(seed) = replay {
+        return match run_case(seed, cfg.inject_divergence) {
+            CaseOutcome::Agree { result_rows } => {
+                println!("replay {seed}: executor and oracle agree ({result_rows} rows)");
+                ExitCode::SUCCESS
+            }
+            CaseOutcome::BothErrored => {
+                println!("replay {seed}: both executor and oracle errored (agreement)");
+                ExitCode::SUCCESS
+            }
+            CaseOutcome::Divergence { report, .. } => {
+                println!("replay {seed}: DIVERGENCE\n{report}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let report = run_fuzz(&cfg);
+    println!(
+        "vn-fuzz: {} cases (seed {}): {} agreements, {} both-errored, {} divergences",
+        report.cases,
+        cfg.seed,
+        report.agreements,
+        report.both_errored,
+        report.divergences.len()
+    );
+    for (seed, failure) in &report.divergences {
+        println!("\n=== divergence (replay with: vn-fuzz --replay {seed}) ===\n{failure}");
+    }
+    if let Some(path) = fail_log {
+        if !report.divergences.is_empty() {
+            let mut blob = String::new();
+            for (seed, failure) in &report.divergences {
+                blob.push_str(&format!("=== seed {seed} ===\n{failure}\n"));
+            }
+            if let Err(e) = std::fs::write(&path, blob) {
+                eprintln!("failed to write {path}: {e}");
+            }
+        }
+    }
+    if report.divergences.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_num(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("expected a number, got {s:?}");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,225 @@
+//! Deterministic differential fuzzing.
+//!
+//! Each case is fully determined by a single `u64` seed: the seed drives the
+//! schema/data generator and the SemQL tree generator, and every later step
+//! (action round trip, lowering, printing, both executions, shrinking) is
+//! deterministic. Case seeds are derived from the base seed with a
+//! SplitMix64-style finalizer, so case `i` of `--seed S` is the same on
+//! every machine and `--replay <case seed>` reproduces a failure
+//! bit-identically.
+//!
+//! A case checks the whole chain the paper's Execution Accuracy metric
+//! depends on:
+//!
+//! 1. `ast_to_actions` → `actions_to_ast` must be the identity on the tree;
+//! 2. lowering must succeed (generated schemas are FK-connected, so a join
+//!    tree always exists);
+//! 3. the printed SQL must survive `check_round_trip` and re-parse to the
+//!    lowered statement;
+//! 4. `valuenet_exec::execute` and [`crate::oracle::reference_execute`]
+//!    must either both fail or produce equivalent results under
+//!    [`ResultSet::result_eq`].
+
+use std::fmt::Write as _;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use valuenet_schema::SchemaGraph;
+use valuenet_semql::{actions_to_ast, ast_to_actions, to_sql};
+use valuenet_sql::check_round_trip;
+use valuenet_storage::Datum;
+
+use crate::schema_gen::{describe_database, gen_database};
+use crate::shrink::{shrink_case, Case};
+use crate::tree_gen::gen_semql;
+
+/// Fuzz run parameters.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Number of cases to run.
+    pub cases: usize,
+    /// Base seed for the case-seed stream.
+    pub seed: u64,
+    /// Deterministically corrupt the executor's result (harness self-test:
+    /// every case must then diverge, and `--replay` must reproduce it).
+    pub inject_divergence: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig { cases: 1000, seed: 42, inject_divergence: false }
+    }
+}
+
+/// Outcome of a single case.
+#[derive(Debug, Clone)]
+pub enum CaseOutcome {
+    /// Executor and oracle produced equivalent results.
+    Agree {
+        /// Rows in the (executor's) result.
+        result_rows: usize,
+    },
+    /// Both sides failed to execute the statement — counted separately, but
+    /// not a divergence.
+    BothErrored,
+    /// The chain broke somewhere; `report` describes the *shrunk* case.
+    Divergence {
+        /// The exact case seed (`--replay` input).
+        seed: u64,
+        /// Human-readable failure report, deterministic for a given seed.
+        report: String,
+    },
+}
+
+/// Aggregate statistics of a fuzz run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Cases executed.
+    pub cases: usize,
+    /// Cases where executor and oracle agreed on a result.
+    pub agreements: usize,
+    /// Cases where both sides errored.
+    pub both_errored: usize,
+    /// `(case seed, shrunk report)` for every divergence.
+    pub divergences: Vec<(u64, String)>,
+}
+
+/// Derives the seed of case `index` from the base seed (SplitMix64-style
+/// finalizer, mirroring the trainer's per-sample seeding discipline).
+pub fn case_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `cfg.cases` cases and tallies the outcomes.
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for i in 0..cfg.cases {
+        let seed = case_seed(cfg.seed, i as u64);
+        match run_case(seed, cfg.inject_divergence) {
+            CaseOutcome::Agree { .. } => report.agreements += 1,
+            CaseOutcome::BothErrored => report.both_errored += 1,
+            CaseOutcome::Divergence { seed, report: r } => report.divergences.push((seed, r)),
+        }
+        report.cases += 1;
+    }
+    report
+}
+
+/// Runs one case from its seed. Deterministic: calling this twice with the
+/// same arguments produces identical outcomes (including report text).
+pub fn run_case(seed: u64, inject: bool) -> CaseOutcome {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let db = gen_database(&mut rng);
+    let (tree, values) = gen_semql(&mut rng, &db);
+    let case = Case::from_database(&db, tree, values);
+    match check_case(&case, inject) {
+        Check::Agree { rows } => CaseOutcome::Agree { result_rows: rows },
+        Check::BothErrored => CaseOutcome::BothErrored,
+        Check::Diverged(_) => {
+            let shrunk = shrink_case(case, |c| matches!(check_case(c, inject), Check::Diverged(_)));
+            CaseOutcome::Divergence { seed, report: render_failure(seed, &shrunk, inject) }
+        }
+    }
+}
+
+enum Check {
+    Agree { rows: usize },
+    BothErrored,
+    Diverged(String),
+}
+
+/// Runs the full verification chain on a case.
+fn check_case(case: &Case, inject: bool) -> Check {
+    // 1. Action round trip.
+    let actions = ast_to_actions(&case.tree);
+    match actions_to_ast(&actions) {
+        Ok(back) if back == case.tree => {}
+        Ok(back) => {
+            return Check::Diverged(format!(
+                "action round trip changed the tree:\n  original: {:?}\n  rebuilt:  {back:?}",
+                case.tree
+            ))
+        }
+        Err(e) => {
+            return Check::Diverged(format!(
+                "actions failed to parse back: {e}\n  tree: {:?}\n  actions: {actions:?}",
+                case.tree
+            ))
+        }
+    }
+
+    // 2. Lowering.
+    let db = case.database();
+    let graph = SchemaGraph::new(db.schema());
+    let stmt = match to_sql(&case.tree, db.schema(), &graph, &case.values) {
+        Ok(s) => s,
+        Err(e) => return Check::Diverged(format!("lowering failed: {e}\n  tree: {:?}", case.tree)),
+    };
+
+    // 3. Printer round trip, and print → parse identity on the lowered AST.
+    let sql = stmt.to_string();
+    match check_round_trip(&sql) {
+        Ok(reparsed) if reparsed == stmt => {}
+        Ok(_) => {
+            return Check::Diverged(format!(
+                "printed SQL parsed back to a different statement: {sql}"
+            ))
+        }
+        Err(e) => return Check::Diverged(format!("printer round trip failed: {e}")),
+    }
+
+    // 4. Differential execution.
+    let exec_result = valuenet_exec::execute(&db, &stmt);
+    let oracle_result = crate::oracle::reference_execute(&db, &stmt);
+    match (exec_result, oracle_result) {
+        (Ok(mut exec), Ok(oracle)) => {
+            if inject {
+                // Deterministic corruption for the harness self-test.
+                if exec.rows.is_empty() {
+                    exec.rows.push(vec![Datum::Int(41)]);
+                } else {
+                    exec.rows.pop();
+                }
+            }
+            if exec.ordered != oracle.ordered {
+                return Check::Diverged(format!(
+                    "ordered flags differ (executor {}, oracle {}) for: {sql}",
+                    exec.ordered, oracle.ordered
+                ));
+            }
+            if exec.result_eq(&oracle) {
+                Check::Agree { rows: exec.rows.len() }
+            } else {
+                Check::Diverged(format!(
+                    "results differ for: {sql}\n--- executor ---\n{exec}\n--- oracle ---\n{oracle}"
+                ))
+            }
+        }
+        (Err(_), Err(_)) => Check::BothErrored,
+        (Ok(exec), Err(e)) => Check::Diverged(format!(
+            "oracle failed ({e}) but executor succeeded for: {sql}\n--- executor ---\n{exec}"
+        )),
+        (Err(e), Ok(oracle)) => Check::Diverged(format!(
+            "executor failed ({e}) but oracle succeeded for: {sql}\n--- oracle ---\n{oracle}"
+        )),
+    }
+}
+
+/// Renders a failure report for an (already shrunk) case.
+fn render_failure(seed: u64, case: &Case, inject: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "seed: {seed}");
+    let desc = match check_case(case, inject) {
+        Check::Diverged(d) => d,
+        // Shrinking only accepts mutations that keep the case failing, so
+        // the shrunk case must still diverge; anything else is a harness
+        // bug worth surfacing in the report itself.
+        _ => "shrunk case no longer diverges (shrinker bug)".to_string(),
+    };
+    let _ = writeln!(out, "{desc}");
+    let _ = writeln!(out, "database:\n{}", describe_database(&case.database()));
+    out
+}

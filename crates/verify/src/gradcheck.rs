@@ -1,0 +1,139 @@
+//! Finite-difference gradient checking.
+//!
+//! Compares the analytic gradients produced by `Graph::backward` against
+//! central finite differences of the loss. Differences are formed in `f64`
+//! even though the forward pass is `f32`: with `eps = 1e-2` the secant
+//! error is O(eps²) ≈ 1e-4 relative, while f32 loss round-off contributes
+//! about `1e-7 / eps` ≈ 1e-5 — both comfortably below the `1e-3` gate used
+//! by the test suite. Smaller eps values make the round-off term *worse*,
+//! which is why this checker uses a larger step than an f64-native one
+//! would.
+//!
+//! The relative error metric is `|a − n| / max(|a|, |n|, 1)`: the floor of
+//! 1 in the denominator keeps near-zero gradient pairs (both analytically
+//! and numerically ~0) from being flagged on round-off alone.
+
+use valuenet_nn::ParamStore;
+use valuenet_tensor::{Graph, Var};
+
+/// Knobs for a gradient sweep.
+#[derive(Debug, Clone)]
+pub struct GradCheckConfig {
+    /// Central-difference half step.
+    pub eps: f64,
+    /// Maximum acceptable relative error.
+    pub tolerance: f64,
+    /// Per-parameter cap on checked elements; larger tensors are sampled at
+    /// evenly spaced positions. `usize::MAX` checks everything.
+    pub max_elems_per_param: usize,
+}
+
+impl Default for GradCheckConfig {
+    fn default() -> Self {
+        GradCheckConfig { eps: 1e-2, tolerance: 1e-3, max_elems_per_param: usize::MAX }
+    }
+}
+
+/// Outcome of a sweep: the single worst element over all checked ones.
+#[derive(Debug, Clone)]
+pub struct GradReport {
+    /// Largest relative error observed.
+    pub max_rel_err: f64,
+    /// Name of the parameter holding the worst element.
+    pub worst_param: String,
+    /// Flat (row-major) index of the worst element.
+    pub worst_index: usize,
+    /// Analytic gradient at the worst element.
+    pub analytic: f64,
+    /// Central-difference estimate at the worst element.
+    pub numeric: f64,
+    /// Total number of elements compared.
+    pub checked: usize,
+}
+
+impl GradReport {
+    /// Whether the sweep stayed within `tol`.
+    pub fn within(&self, tol: f64) -> bool {
+        self.max_rel_err < tol
+    }
+}
+
+impl std::fmt::Display for GradReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "max rel err {:.3e} at {}[{}] (analytic {:.6e}, numeric {:.6e}) over {} elements",
+            self.max_rel_err, self.worst_param, self.worst_index, self.analytic, self.numeric,
+            self.checked
+        )
+    }
+}
+
+/// Sweeps every parameter in `store` against central differences of `loss`.
+///
+/// `loss` must be a pure function of the parameter values: it is called once
+/// per perturbation on a fresh [`Graph`] and must rebuild the whole forward
+/// pass from `store` each time (any dropout must use a fixed mask or be
+/// disabled). The store is returned in its original state.
+pub fn grad_check<F>(store: &mut ParamStore, cfg: &GradCheckConfig, mut loss: F) -> GradReport
+where
+    F: FnMut(&mut Graph, &ParamStore) -> Var,
+{
+    // Analytic pass.
+    let mut g = Graph::new();
+    let l = loss(&mut g, store);
+    let grads = g.backward(l);
+
+    let mut report = GradReport {
+        max_rel_err: 0.0,
+        worst_param: String::new(),
+        worst_index: 0,
+        analytic: 0.0,
+        numeric: 0.0,
+        checked: 0,
+    };
+
+    let ids: Vec<_> = store.ids().collect();
+    for id in ids {
+        let (rows, cols) = store.shape(id);
+        let n = rows * cols;
+        let analytic = grads.for_param(id.index());
+        let step = (n / cfg.max_elems_per_param.max(1)).max(1);
+        let mut e = 0;
+        while e < n {
+            let a = analytic.as_ref().map(|t| t.as_slice()[e] as f64).unwrap_or(0.0);
+
+            let mut original = 0.0f32;
+            store.update_in_place(id, |w| {
+                original = w[e];
+                w[e] = (original as f64 + cfg.eps) as f32;
+            });
+            let plus = eval_loss(store, &mut loss);
+            store.update_in_place(id, |w| w[e] = (original as f64 - cfg.eps) as f32);
+            let minus = eval_loss(store, &mut loss);
+            store.update_in_place(id, |w| w[e] = original);
+
+            let num = (plus - minus) / (2.0 * cfg.eps);
+            let rel = (a - num).abs() / a.abs().max(num.abs()).max(1.0);
+            if rel > report.max_rel_err {
+                report.max_rel_err = rel;
+                report.worst_param = store.name(id).to_string();
+                report.worst_index = e;
+                report.analytic = a;
+                report.numeric = num;
+            }
+            report.checked += 1;
+            e += step;
+        }
+    }
+    report
+}
+
+fn eval_loss<F>(store: &ParamStore, loss: &mut F) -> f64
+where
+    F: FnMut(&mut Graph, &ParamStore) -> Var,
+{
+    let mut g = Graph::new();
+    let l = loss(&mut g, store);
+    g.value(l).scalar_value() as f64
+}

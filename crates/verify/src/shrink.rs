@@ -1,0 +1,255 @@
+//! Greedy shrinking of failing fuzz cases.
+//!
+//! A raw divergence usually involves a four-table join, a filter tree and a
+//! dozen rows per table. The shrinker repeatedly tries structural
+//! simplifications — collapse a compound to one side, drop the filter,
+//! replace an `And`/`Or` by either child, drop ordering, remove projections,
+//! remove rows — keeping any mutation under which the case *still fails*,
+//! until no candidate helps (or an evaluation budget runs out). The result
+//! is typically a one-table, one-row reproducer.
+
+use valuenet_schema::DbSchema;
+use valuenet_semql::{Filter, QueryR, ResolvedValue, SemQl, ValueRef};
+use valuenet_storage::{Database, Datum};
+
+/// A self-contained fuzz case: schema + rows (the database is rebuilt on
+/// demand, since row sets are what the shrinker mutates) and the SemQL tree
+/// with its resolved values.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// The generated schema.
+    pub schema: DbSchema,
+    /// Rows per table, in schema order.
+    pub rows: Vec<Vec<Vec<Datum>>>,
+    /// The SemQL tree under test.
+    pub tree: SemQl,
+    /// Values referenced by the tree's `V` pointers.
+    pub values: Vec<ResolvedValue>,
+}
+
+impl Case {
+    /// Captures a database into a mutable case.
+    pub fn from_database(db: &Database, tree: SemQl, values: Vec<ResolvedValue>) -> Self {
+        let schema = db.schema().clone();
+        let rows = (0..schema.tables.len())
+            .map(|ti| db.rows(valuenet_schema::TableId(ti)).to_vec())
+            .collect();
+        Case { schema, rows, tree, values }
+    }
+
+    /// Materialises the database (with its index rebuilt).
+    pub fn database(&self) -> Database {
+        Database::with_rows(self.schema.clone(), self.rows.clone())
+    }
+}
+
+/// Evaluation budget: upper bound on `still_fails` calls per shrink.
+const MAX_EVALS: usize = 200;
+
+/// Greedily minimises `case` under the predicate `still_fails`.
+///
+/// The predicate must return `true` for the input case; every accepted
+/// mutation preserves it. Deterministic: candidates are tried in a fixed
+/// order, so the same failing case always shrinks to the same reproducer.
+pub fn shrink_case<F>(case: Case, mut still_fails: F) -> Case
+where
+    F: FnMut(&Case) -> bool,
+{
+    let mut current = case;
+    let mut evals = 0;
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&current) {
+            if evals >= MAX_EVALS {
+                return current;
+            }
+            evals += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+/// All single-step simplifications of a case, structural tree mutations
+/// first, then row reductions.
+fn candidates(case: &Case) -> Vec<Case> {
+    let mut out = Vec::new();
+
+    // Collapse a compound to either operand.
+    if let SemQl::Union(a, b) | SemQl::Intersect(a, b) | SemQl::Except(a, b) = &case.tree {
+        out.push(with_tree(case, SemQl::Single(a.clone())));
+        out.push(with_tree(case, SemQl::Single(b.clone())));
+    }
+
+    for qi in 0..query_count(&case.tree) {
+        let q = query_ref(&case.tree, qi);
+        if let Some(filter) = &q.filter {
+            // Drop the whole filter, then try replacing each And/Or node by
+            // either of its children.
+            out.push(mutate_query(case, qi, |q| q.filter = None));
+            for variant in filter_variants(filter) {
+                out.push(mutate_query(case, qi, move |q| q.filter = Some(variant)));
+            }
+        }
+        if q.order.is_some() {
+            out.push(mutate_query(case, qi, |q| q.order = None));
+        }
+        if q.superlative.is_some() {
+            out.push(mutate_query(case, qi, |q| q.superlative = None));
+        }
+        if q.select.distinct {
+            out.push(mutate_query(case, qi, |q| q.select.distinct = false));
+        }
+        // Removing projections is only arity-safe outside compounds.
+        if matches!(case.tree, SemQl::Single(_)) && q.select.aggs.len() > 1 {
+            for ai in 0..q.select.aggs.len() {
+                out.push(mutate_query(case, qi, move |q| {
+                    q.select.aggs.remove(ai);
+                }));
+            }
+        }
+    }
+
+    // Row reductions: empty a table, halve it, then peel single rows.
+    for ti in 0..case.rows.len() {
+        let n = case.rows[ti].len();
+        if n == 0 {
+            continue;
+        }
+        out.push(with_rows(case, ti, Vec::new()));
+        if n >= 2 {
+            out.push(with_rows(case, ti, case.rows[ti][..n / 2].to_vec()));
+            out.push(with_rows(case, ti, case.rows[ti][n / 2..].to_vec()));
+        }
+        if n <= 6 {
+            for ri in 0..n {
+                let mut rows = case.rows[ti].clone();
+                rows.remove(ri);
+                out.push(with_rows(case, ti, rows));
+            }
+        }
+    }
+
+    out
+}
+
+fn with_tree(case: &Case, mut tree: SemQl) -> Case {
+    let values = renumber_values(&mut tree, &case.values);
+    Case { schema: case.schema.clone(), rows: case.rows.clone(), tree, values }
+}
+
+fn with_rows(case: &Case, table: usize, rows: Vec<Vec<Datum>>) -> Case {
+    let mut next = case.clone();
+    next.rows[table] = rows;
+    next
+}
+
+fn mutate_query(case: &Case, qi: usize, f: impl FnOnce(&mut QueryR)) -> Case {
+    let mut tree = case.tree.clone();
+    f(query_mut(&mut tree, qi));
+    with_tree(case, tree)
+}
+
+fn query_count(tree: &SemQl) -> usize {
+    match tree {
+        SemQl::Single(_) => 1,
+        _ => 2,
+    }
+}
+
+fn query_ref(tree: &SemQl, i: usize) -> &QueryR {
+    match tree {
+        SemQl::Single(q) => q,
+        SemQl::Union(a, b) | SemQl::Intersect(a, b) | SemQl::Except(a, b) => {
+            if i == 0 {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+fn query_mut(tree: &mut SemQl, i: usize) -> &mut QueryR {
+    match tree {
+        SemQl::Single(q) => q,
+        SemQl::Union(a, b) | SemQl::Intersect(a, b) | SemQl::Except(a, b) => {
+            if i == 0 {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+/// One-step simplifications of a filter tree: each `And`/`Or` node replaced
+/// by either child, recursively.
+fn filter_variants(f: &Filter) -> Vec<Filter> {
+    match f {
+        Filter::And(a, b) => {
+            let mut out = vec![(**a).clone(), (**b).clone()];
+            out.extend(filter_variants(a).into_iter().map(|v| Filter::And(Box::new(v), b.clone())));
+            out.extend(filter_variants(b).into_iter().map(|v| Filter::And(a.clone(), Box::new(v))));
+            out
+        }
+        Filter::Or(a, b) => {
+            let mut out = vec![(**a).clone(), (**b).clone()];
+            out.extend(filter_variants(a).into_iter().map(|v| Filter::Or(Box::new(v), b.clone())));
+            out.extend(filter_variants(b).into_iter().map(|v| Filter::Or(a.clone(), Box::new(v))));
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Rewrites every [`ValueRef`] in the (possibly pruned) tree to a compact
+/// 0..n numbering and returns the matching value list. Traversal order
+/// mirrors `SemQl::value_refs` so the mapping is total and deterministic.
+fn renumber_values(tree: &mut SemQl, old: &[ResolvedValue]) -> Vec<ResolvedValue> {
+    let mut values = Vec::new();
+    let mut remap = |r: &mut ValueRef| {
+        let v = old[r.0].clone();
+        r.0 = values.len();
+        values.push(v);
+    };
+    match tree {
+        SemQl::Single(q) => walk_query(q, &mut remap),
+        SemQl::Union(a, b) | SemQl::Intersect(a, b) | SemQl::Except(a, b) => {
+            walk_query(a, &mut remap);
+            walk_query(b, &mut remap);
+        }
+    }
+    values
+}
+
+fn walk_query(q: &mut QueryR, f: &mut impl FnMut(&mut ValueRef)) {
+    if let Some(s) = &mut q.superlative {
+        f(&mut s.limit);
+    }
+    if let Some(fl) = &mut q.filter {
+        walk_filter(fl, f);
+    }
+}
+
+fn walk_filter(fl: &mut Filter, f: &mut impl FnMut(&mut ValueRef)) {
+    match fl {
+        Filter::And(a, b) | Filter::Or(a, b) => {
+            walk_filter(a, f);
+            walk_filter(b, f);
+        }
+        Filter::Cmp { value, .. } => f(value),
+        Filter::Between { low, high, .. } => {
+            f(low);
+            f(high);
+        }
+        Filter::Like { value, .. } => f(value),
+        Filter::CmpNested { query, .. } | Filter::In { query, .. } => walk_query(query, f),
+    }
+}

@@ -1,0 +1,305 @@
+//! Grammar-directed SemQL 2.0 tree generator.
+//!
+//! Samples trees covering every production of the grammar (paper Fig. 2):
+//! compound `Z` roots, 1–5 projections with and without aggregates,
+//! `Order`/`Superlative`, and the full `Filter` family including nested
+//! queries (`op A R`, `in A R`). Filter values are preferentially sampled
+//! from the database content so predicates actually hit rows; a fraction is
+//! drawn uniformly so misses and empty results stay covered.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use valuenet_schema::{ColumnId, ColumnType, DbSchema, TableId};
+use valuenet_semql::{
+    Agg, CmpOp, Filter, Order, QueryR, ResolvedValue, Select, SemQl, Superlative, ValueRef,
+};
+use valuenet_sql::AggFunc;
+use valuenet_storage::{Database, Datum};
+
+use crate::schema_gen::TEXT_POOL;
+
+/// Samples a grammar-valid tree plus the values its `V` pointers resolve to.
+pub fn gen_semql(rng: &mut SmallRng, db: &Database) -> (SemQl, Vec<ResolvedValue>) {
+    let mut gen = Gen { rng, db, values: Vec::new() };
+    let tree = if gen.rng.gen_range(0..100) < 12 {
+        // Compound roots need equal arity on both sides; order/superlative
+        // inside compound operands is excluded, matching the system's own
+        // query distribution (see the sql crate's dialect note).
+        let arity = gen.rng.gen_range(1..=2);
+        let a = gen.gen_query(1, Some(arity));
+        let b = gen.gen_query(1, Some(arity));
+        match gen.rng.gen_range(0..3) {
+            0 => SemQl::Union(Box::new(a), Box::new(b)),
+            1 => SemQl::Intersect(Box::new(a), Box::new(b)),
+            _ => SemQl::Except(Box::new(a), Box::new(b)),
+        }
+    } else {
+        SemQl::Single(Box::new(gen.gen_query(0, None)))
+    };
+    (tree, gen.values)
+}
+
+struct Gen<'a> {
+    rng: &'a mut SmallRng,
+    db: &'a Database,
+    values: Vec<ResolvedValue>,
+}
+
+impl Gen<'_> {
+    fn schema(&self) -> &DbSchema {
+        self.db.schema()
+    }
+
+    /// Samples an `R`. `depth > 0` marks nested or compound-operand
+    /// queries, which stay flat: no order, no superlative, no further
+    /// nesting. `fixed_arity` pins the projection count (compound roots).
+    fn gen_query(&mut self, depth: usize, fixed_arity: Option<usize>) -> QueryR {
+        let n_aggs = fixed_arity.unwrap_or_else(|| match self.rng.gen_range(0..10) {
+            0..=5 => 1,
+            6..=8 => 2,
+            _ => 3,
+        });
+        let mut aggs = Vec::with_capacity(n_aggs);
+        for _ in 0..n_aggs {
+            aggs.push(self.gen_agg(true));
+        }
+        let mut select = Select::new(aggs);
+        select.distinct = self.rng.gen_range(0..10) < 3;
+
+        let filter = {
+            let p = if depth == 0 { 65 } else { 40 };
+            if self.rng.gen_range(0..100) < p {
+                Some(self.gen_filter(depth, 0))
+            } else {
+                None
+            }
+        };
+
+        let (order, superlative) = if depth > 0 {
+            (None, None)
+        } else {
+            match self.rng.gen_range(0..100) {
+                0..=19 => (
+                    Some(Order { desc: self.rng.gen(), agg: self.gen_agg(false) }),
+                    None,
+                ),
+                20..=34 => {
+                    let limit_text = self.rng.gen_range(1..=4).to_string();
+                    let limit = self.new_value(limit_text);
+                    (
+                        None,
+                        Some(Superlative {
+                            most: self.rng.gen(),
+                            limit,
+                            agg: self.gen_agg(false),
+                        }),
+                    )
+                }
+                _ => (None, None),
+            }
+        };
+
+        QueryR { select, order, superlative, filter }
+    }
+
+    /// Samples an `A`: a plain column, `count(*)`, or an aggregated numeric
+    /// column. Sort keys (`allow_star = false`) never use `*`.
+    fn gen_agg(&mut self, allow_star: bool) -> Agg {
+        let table = TableId(self.rng.gen_range(0..self.schema().tables.len()));
+        match self.rng.gen_range(0..10) {
+            0..=5 => Agg::plain(self.any_column(table), table),
+            6 if allow_star => Agg::count_star(table),
+            _ => match self.numeric_column(table) {
+                Some(col) => {
+                    let funcs =
+                        [AggFunc::Max, AggFunc::Min, AggFunc::Sum, AggFunc::Avg, AggFunc::Count];
+                    Agg::with(funcs[self.rng.gen_range(0..funcs.len())], col, table)
+                }
+                None => Agg::plain(self.any_column(table), table),
+            },
+        }
+    }
+
+    /// Samples a filter tree of bounded depth.
+    fn gen_filter(&mut self, query_depth: usize, tree_depth: usize) -> Filter {
+        if tree_depth < 2 && self.rng.gen_range(0..100) < 30 {
+            let a = self.gen_filter(query_depth, tree_depth + 1);
+            let b = self.gen_filter(query_depth, tree_depth + 1);
+            return if self.rng.gen() {
+                Filter::And(Box::new(a), Box::new(b))
+            } else {
+                Filter::Or(Box::new(a), Box::new(b))
+            };
+        }
+        let table = TableId(self.rng.gen_range(0..self.schema().tables.len()));
+        // Nested-query leaves only at the outermost query level.
+        let roll = if query_depth == 0 { self.rng.gen_range(0..100) } else { self.rng.gen_range(0..70) };
+        match roll {
+            // Aggregated comparison → lowers to HAVING.
+            0..=9 => {
+                let agg = if self.rng.gen_range(0..3) == 0 {
+                    Agg::count_star(table)
+                } else {
+                    match self.numeric_column(table) {
+                        Some(col) => {
+                            let funcs = [AggFunc::Max, AggFunc::Min, AggFunc::Sum, AggFunc::Avg];
+                            Agg::with(funcs[self.rng.gen_range(0..funcs.len())], col, table)
+                        }
+                        None => Agg::count_star(table),
+                    }
+                };
+                let value_text = self.rng.gen_range(0..8).to_string();
+                let value = self.new_value(value_text);
+                Filter::Cmp { op: self.gen_cmp_op(), agg, value }
+            }
+            // Plain comparison against a sampled value.
+            10..=44 => {
+                let col = self.any_column(table);
+                let op = if self.schema().column(col).ty.is_textual() {
+                    if self.rng.gen() { CmpOp::Eq } else { CmpOp::Ne }
+                } else {
+                    self.gen_cmp_op()
+                };
+                let text = self.sample_value(table, col);
+                let value = self.new_value(text);
+                Filter::Cmp { op, agg: Agg::plain(col, table), value }
+            }
+            // BETWEEN over a numeric column.
+            45..=54 => match self.numeric_column(table) {
+                Some(col) => {
+                    let lo = self.rng.gen_range(0..5);
+                    let hi = lo + self.rng.gen_range(0..6);
+                    let low = self.new_value(lo.to_string());
+                    let high = self.new_value(hi.to_string());
+                    Filter::Between { agg: Agg::plain(col, table), low, high }
+                }
+                None => self.gen_filter(query_depth, 2),
+            },
+            // LIKE over a text column (full values and fragments).
+            55..=64 => match self.text_column(table) {
+                Some(col) => {
+                    let pool = TEXT_POOL[self.rng.gen_range(0..TEXT_POOL.len())];
+                    let text = if self.rng.gen() {
+                        pool.to_string()
+                    } else {
+                        pool.chars().take(2).collect()
+                    };
+                    let value = self.new_value(text);
+                    Filter::Like {
+                        agg: Agg::plain(col, table),
+                        value,
+                        negated: self.rng.gen_range(0..4) == 0,
+                    }
+                }
+                None => self.gen_filter(query_depth, 2),
+            },
+            // `in A R` / `not_in A R`: membership in a nested single-column
+            // projection.
+            65..=79 => {
+                let col = self.any_column(table);
+                let inner_table = TableId(self.rng.gen_range(0..self.schema().tables.len()));
+                let inner_col = self.any_column(inner_table);
+                let query =
+                    QueryR::select_only(Select::new(vec![Agg::plain(inner_col, inner_table)]));
+                Filter::In {
+                    agg: Agg::plain(col, table),
+                    query: Box::new(query),
+                    negated: self.rng.gen_range(0..3) == 0,
+                }
+            }
+            // `op A R`: comparison against a nested scalar aggregate.
+            _ => {
+                let col = match self.numeric_column(table) {
+                    Some(c) => c,
+                    None => return self.gen_filter(query_depth, 2),
+                };
+                let inner_table = TableId(self.rng.gen_range(0..self.schema().tables.len()));
+                let inner_col = match self.numeric_column(inner_table) {
+                    Some(c) => c,
+                    None => return self.gen_filter(query_depth, 2),
+                };
+                let funcs = [AggFunc::Max, AggFunc::Min, AggFunc::Sum, AggFunc::Avg];
+                let inner = QueryR::select_only(Select::new(vec![Agg::with(
+                    funcs[self.rng.gen_range(0..funcs.len())],
+                    inner_col,
+                    inner_table,
+                )]));
+                Filter::CmpNested {
+                    op: self.gen_cmp_op(),
+                    agg: Agg::plain(col, table),
+                    query: Box::new(inner),
+                }
+            }
+        }
+    }
+
+    fn gen_cmp_op(&mut self) -> CmpOp {
+        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Gt, CmpOp::Le, CmpOp::Ge];
+        ops[self.rng.gen_range(0..ops.len())]
+    }
+
+    /// Registers a resolved value and returns its pointer.
+    fn new_value(&mut self, text: String) -> ValueRef {
+        let r = ValueRef(self.values.len());
+        self.values.push(ResolvedValue::new(text));
+        r
+    }
+
+    /// A random real column of the table.
+    fn any_column(&mut self, table: TableId) -> ColumnId {
+        let n = self.schema().table(table).columns.len();
+        let i = self.rng.gen_range(0..n);
+        self.schema().table(table).columns[i]
+    }
+
+    fn typed_column(&mut self, table: TableId, pred: impl Fn(ColumnType) -> bool) -> Option<ColumnId> {
+        let cols: Vec<ColumnId> = self
+            .schema()
+            .table(table)
+            .columns
+            .iter()
+            .copied()
+            .filter(|&c| pred(self.schema().column(c).ty))
+            .collect();
+        if cols.is_empty() {
+            None
+        } else {
+            Some(cols[self.rng.gen_range(0..cols.len())])
+        }
+    }
+
+    fn numeric_column(&mut self, table: TableId) -> Option<ColumnId> {
+        self.typed_column(table, |ty| ty == ColumnType::Number)
+    }
+
+    fn text_column(&mut self, table: TableId) -> Option<ColumnId> {
+        self.typed_column(table, |ty| ty.is_textual())
+    }
+
+    /// A comparison value for `column`: four times out of five an actual
+    /// cell value (so predicates hit), otherwise a fresh uniform draw.
+    fn sample_value(&mut self, table: TableId, column: ColumnId) -> String {
+        let rows = self.db.rows(table);
+        let pos = self
+            .schema()
+            .table(table)
+            .columns
+            .iter()
+            .position(|&c| c == column)
+            .expect("column belongs to table");
+        if !rows.is_empty() && self.rng.gen_range(0..5) != 0 {
+            let row = &rows[self.rng.gen_range(0..rows.len())];
+            match &row[pos] {
+                Datum::Int(i) => return i.to_string(),
+                Datum::Float(f) => return f.to_string(),
+                Datum::Text(s) => return s.clone(),
+                Datum::Null => {}
+            }
+        }
+        if self.schema().column(column).ty.is_textual() {
+            TEXT_POOL[self.rng.gen_range(0..TEXT_POOL.len())].to_string()
+        } else {
+            self.rng.gen_range(0..10).to_string()
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Integration tests for the differential fuzz harness itself.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use valuenet_verify::{
+    case_seed, gen_database, gen_semql, run_case, run_fuzz, CaseOutcome, FuzzConfig,
+};
+
+#[test]
+fn fuzz_smoke_has_no_divergences() {
+    let report = run_fuzz(&FuzzConfig { cases: 300, seed: 42, inject_divergence: false });
+    assert_eq!(report.cases, 300);
+    assert!(
+        report.divergences.is_empty(),
+        "executor and oracle diverged:\n{}",
+        report.divergences[0].1
+    );
+    // The generator must mostly produce executable queries; a run where
+    // everything errors would silently test nothing.
+    assert!(report.agreements > 250, "only {} agreements", report.agreements);
+}
+
+#[test]
+fn case_seeds_are_spread_and_deterministic() {
+    let a: Vec<u64> = (0..50).map(|i| case_seed(42, i)).collect();
+    let b: Vec<u64> = (0..50).map(|i| case_seed(42, i)).collect();
+    assert_eq!(a, b);
+    let mut uniq = a.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    assert_eq!(uniq.len(), a.len(), "case seeds collide");
+    assert_ne!(case_seed(42, 0), case_seed(43, 0), "base seed must matter");
+}
+
+#[test]
+fn injected_divergence_is_caught_and_replays_bit_identically() {
+    let seed = case_seed(7, 0);
+    let first = run_case(seed, true);
+    let CaseOutcome::Divergence { seed: s1, report: r1 } = first else {
+        panic!("injected corruption must diverge, got {first:?}");
+    };
+    assert_eq!(s1, seed);
+    // Replaying the same case seed reproduces the failure byte for byte —
+    // the property `vn-fuzz --replay` relies on.
+    let CaseOutcome::Divergence { seed: s2, report: r2 } = run_case(seed, true) else {
+        panic!("replay lost the divergence");
+    };
+    assert_eq!(s1, s2);
+    assert_eq!(r1, r2, "replayed report differs from the original");
+}
+
+#[test]
+fn injected_divergence_reports_are_shrunk() {
+    // Every injected failure must come back with a reproducer: a seed line,
+    // a divergence description and a database dump.
+    let report = run_fuzz(&FuzzConfig { cases: 5, seed: 7, inject_divergence: true });
+    assert_eq!(report.divergences.len(), 5);
+    for (seed, failure) in &report.divergences {
+        assert!(failure.contains(&format!("seed: {seed}")), "missing seed line:\n{failure}");
+        assert!(failure.contains("database:"), "missing database dump:\n{failure}");
+        assert!(!failure.contains("shrinker bug"), "shrinker broke the case:\n{failure}");
+    }
+}
+
+#[test]
+fn generated_databases_are_schema_consistent() {
+    for i in 0..30 {
+        let mut rng = SmallRng::seed_from_u64(case_seed(9, i));
+        let db = gen_database(&mut rng);
+        let schema = db.schema();
+        assert!(!schema.tables.is_empty());
+        for (ti, table) in schema.tables.iter().enumerate() {
+            for row in db.rows(valuenet_schema::TableId(ti)) {
+                assert_eq!(row.len(), table.columns.len(), "row arity mismatch in {}", table.name);
+            }
+        }
+        // Every generated tree must reference values consistently.
+        let (tree, values) = gen_semql(&mut rng, &db);
+        for r in tree.value_refs() {
+            assert!(r.0 < values.len(), "dangling ValueRef {:?}", r);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Finite-difference gradient checks for every `valuenet-nn` module and for
+//! the full encoder–decoder loss.
+//!
+//! Each test builds a tiny module with deterministic weights, feeds a fixed
+//! input, and sweeps the analytic gradients of a scalar loss against central
+//! differences (`valuenet_verify::grad_check`). The loss is `Σ y²` so that
+//! every output element contributes a parameter-dependent gradient.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use valuenet_nn::{
+    BiLstm, Embedding, FeedForward, LayerNorm, Linear, Lstm, MultiHeadAttention, ParamStore,
+    TransformerBlock,
+};
+use valuenet_tensor::{Graph, Tensor, Var};
+use valuenet_verify::{grad_check, GradCheckConfig};
+
+const TOL: f64 = 1e-3;
+
+/// Deterministic input tensor with values in roughly [-0.5, 0.5].
+fn fixed_input(rows: usize, cols: usize) -> Tensor {
+    let data: Vec<f32> = (0..rows * cols).map(|i| ((i * 7 % 13) as f32) / 13.0 - 0.5).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// `Σ y²` — a scalar loss with a non-trivial dependence on every output.
+fn square_sum(g: &mut Graph, y: Var) -> Var {
+    let sq = g.mul(y, y);
+    g.sum_all(sq)
+}
+
+#[test]
+fn linear_gradients_match_finite_differences() {
+    let mut ps = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let layer = Linear::new(&mut ps, &mut rng, "lin", 0, 3, 2);
+    let x = fixed_input(4, 3);
+    let report = grad_check(&mut ps, &GradCheckConfig::default(), |g, ps| {
+        let xv = g.input(x.clone());
+        let y = layer.forward(g, ps, xv);
+        square_sum(g, y)
+    });
+    assert!(report.within(TOL), "linear: {report}");
+}
+
+#[test]
+fn embedding_gradients_match_finite_differences() {
+    let mut ps = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(2);
+    let emb = Embedding::new(&mut ps, &mut rng, "emb", 0, 5, 3);
+    let report = grad_check(&mut ps, &GradCheckConfig::default(), |g, ps| {
+        let y = emb.forward(g, ps, &[0, 2, 4, 2]);
+        square_sum(g, y)
+    });
+    assert!(report.within(TOL), "embedding: {report}");
+}
+
+#[test]
+fn lstm_gradients_match_finite_differences() {
+    let mut ps = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let lstm = Lstm::new(&mut ps, &mut rng, "lstm", 0, 3, 4);
+    let xs = fixed_input(5, 3);
+    let report = grad_check(&mut ps, &GradCheckConfig::default(), |g, ps| {
+        let xv = g.input(xs.clone());
+        let (hs, _) = lstm.run(g, ps, xv);
+        square_sum(g, hs)
+    });
+    assert!(report.within(TOL), "lstm: {report}");
+}
+
+#[test]
+fn bilstm_gradients_match_finite_differences() {
+    let mut ps = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(4);
+    let bi = BiLstm::new(&mut ps, &mut rng, "bi", 0, 3, 2);
+    let xs = fixed_input(4, 3);
+    let report = grad_check(&mut ps, &GradCheckConfig::default(), |g, ps| {
+        let xv = g.input(xs.clone());
+        let summary = bi.summarize(g, ps, xv);
+        square_sum(g, summary)
+    });
+    assert!(report.within(TOL), "bilstm: {report}");
+}
+
+#[test]
+fn attention_gradients_match_finite_differences() {
+    let mut ps = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(5);
+    let attn = MultiHeadAttention::new(&mut ps, &mut rng, "attn", 0, 4, 2);
+    let x = fixed_input(3, 4);
+    // Additive mask forbidding one attention edge, as padding masks do.
+    let mut mask = Tensor::zeros(3, 3);
+    mask.set(0, 2, -1e9);
+    let report = grad_check(&mut ps, &GradCheckConfig::default(), |g, ps| {
+        let xv = g.input(x.clone());
+        let mv = g.input(mask.clone());
+        let y = attn.forward(g, ps, xv, Some(mv));
+        square_sum(g, y)
+    });
+    assert!(report.within(TOL), "attention: {report}");
+}
+
+#[test]
+fn layer_norm_gradients_match_finite_differences() {
+    let mut ps = ParamStore::new();
+    let ln = LayerNorm::new(&mut ps, "ln", 0, 4);
+    let x = fixed_input(3, 4);
+    let report = grad_check(&mut ps, &GradCheckConfig::default(), |g, ps| {
+        let xv = g.input(x.clone());
+        let y = ln.forward(g, ps, xv);
+        square_sum(g, y)
+    });
+    assert!(report.within(TOL), "layer_norm: {report}");
+}
+
+#[test]
+fn feed_forward_gradients_match_finite_differences() {
+    let mut ps = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(6);
+    let ffn = FeedForward::new(&mut ps, &mut rng, "ffn", 0, 3, 5);
+    let x = fixed_input(4, 3);
+    // ReLU makes the loss nonsmooth at zero pre-activations, where the
+    // secant is a biased gradient estimate at any step size. Xavier weights
+    // on 3 inputs bound |w·x| by ~1.3, so a ±1.5 bias pins every unit
+    // firmly inside one ReLU branch: most active, unit 4 inactive (checking
+    // the zero branch), and no perturbation can cross the kink.
+    for id in ps.ids().collect::<Vec<_>>() {
+        if ps.name(id).ends_with("up.b") {
+            ps.update_in_place(id, |w| {
+                w.iter_mut().enumerate().for_each(|(i, v)| *v = if i == 4 { -1.5 } else { 1.5 });
+            });
+        }
+    }
+    let cfg = GradCheckConfig::default();
+    let report = grad_check(&mut ps, &cfg, |g, ps| {
+        let xv = g.input(x.clone());
+        let y = ffn.forward(g, ps, xv);
+        square_sum(g, y)
+    });
+    assert!(report.within(TOL), "feed_forward: {report}");
+}
+
+#[test]
+fn transformer_block_gradients_match_finite_differences() {
+    let mut ps = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let block = TransformerBlock::new(&mut ps, &mut rng, "blk", 0, 4, 2, 6);
+    let x = fixed_input(3, 4);
+    let report = grad_check(&mut ps, &GradCheckConfig::default(), |g, ps| {
+        let xv = g.input(x.clone());
+        let y = block.forward(g, ps, xv, None);
+        square_sum(g, y)
+    });
+    assert!(report.within(TOL), "transformer_block: {report}");
+}
+
+mod full_model {
+    use super::TOL;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use valuenet_core::{build_input, Decoder, Encoder, ModelConfig, ModelInput, Vocab};
+    use valuenet_nn::ParamStore;
+    use valuenet_preprocess::{preprocess, CandidateConfig, HeuristicNer};
+    use valuenet_schema::{ColumnType, SchemaBuilder, TableId};
+    use valuenet_semql::{ast_to_actions, Action, Agg, CmpOp, Filter, QueryR, Select, SemQl, ValueRef};
+    use valuenet_storage::Database;
+    use valuenet_verify::{grad_check, GradCheckConfig};
+
+    fn demo_db() -> Database {
+        let schema = SchemaBuilder::new("d")
+            .table(
+                "student",
+                &[
+                    ("stu_id", ColumnType::Number),
+                    ("name", ColumnType::Text),
+                    ("age", ColumnType::Number),
+                    ("home_country", ColumnType::Text),
+                ],
+            )
+            .build();
+        let mut db = Database::new(schema);
+        let s = db.schema().table_by_name("student").unwrap();
+        db.insert(s, vec![1.into(), "Alice".into(), 20.into(), "France".into()]);
+        db.rebuild_index();
+        db
+    }
+
+    fn micro_config() -> ModelConfig {
+        ModelConfig {
+            d_model: 8,
+            summary_hidden: 4,
+            heads: 2,
+            encoder_layers: 1,
+            ffn_inner: 12,
+            action_dim: 6,
+            decoder_hidden: 12,
+            dropout: 0.0,
+            max_decode_steps: 20,
+            beam_width: 1,
+            use_hints: true,
+            encode_value_location: true,
+        }
+    }
+
+    fn demo_input(db: &Database, vocab: &Vocab) -> ModelInput {
+        let q = "How many students are from France?";
+        let pre = preprocess(q, db, &HeuristicNer::new(), &CandidateConfig::default());
+        let country = db.schema().any_column_by_name("home_country").map(|(_, c)| c).unwrap();
+        let cands = vec![("France".to_string(), vec![country])];
+        build_input(db, &pre, &cands, vocab)
+    }
+
+    /// `count(*)` over students from France — a grammar-valid action
+    /// sequence whose C/T/V pointers all lie inside the input's ranges.
+    fn gold_actions(db: &Database) -> Vec<Action> {
+        let country = db.schema().any_column_by_name("home_country").map(|(_, c)| c).unwrap();
+        let tree = SemQl::Single(Box::new(QueryR {
+            select: Select::new(vec![Agg::count_star(TableId(0))]),
+            order: None,
+            superlative: None,
+            filter: Some(Filter::Cmp {
+                op: CmpOp::Eq,
+                agg: Agg::plain(country, TableId(0)),
+                value: ValueRef(0),
+            }),
+        }));
+        ast_to_actions(&tree)
+    }
+
+    #[test]
+    fn encoder_decoder_loss_gradients_match_finite_differences() {
+        let db = demo_db();
+        let vocab = Vocab::build(
+            ["How many students are from France?", "student name age home country france"]
+                .into_iter(),
+        );
+        let model_cfg = micro_config();
+        let mut ps = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let encoder = Encoder::new(&mut ps, &mut rng, &model_cfg, vocab.len());
+        let decoder = Decoder::new(&mut ps, &mut rng, &model_cfg);
+        let input = demo_input(&db, &vocab);
+        let gold = gold_actions(&db);
+
+        // Subsample larger tensors (the full model has thousands of weights
+        // and every probe costs two forward passes) and shrink the step so
+        // perturbations don't cross the encoder FFN's ReLU kinks.
+        let cfg = GradCheckConfig {
+            eps: 2e-3,
+            max_elems_per_param: 4,
+            ..GradCheckConfig::default()
+        };
+        let report = grad_check(&mut ps, &cfg, |g, ps| {
+            let enc = encoder.forward(g, ps, &input, 0.0, None);
+            decoder.loss(g, ps, &enc, &gold)
+        });
+        assert!(report.within(TOL), "encoder-decoder loss: {report}");
+    }
+}
