@@ -1,0 +1,108 @@
+//! Disabled-observability overhead check.
+//!
+//! The whole instrumentation layer is gated on one relaxed atomic load, so
+//! with observability disabled the instrumented [`Tensor::matmul`] must stay
+//! within noise of [`Tensor::matmul_uninstrumented`] (the same kernel with
+//! no gate at all). This bench interleaves rounds of both variants, reports
+//! the best-round times, writes the measured delta to `BENCH_obs.json`
+//! (through the versioned JSONL envelope), and fails if the instrumented
+//! path regresses by more than the assertion bound.
+//!
+//! The bound (25%) is deliberately far above the expected delta (<2%): one
+//! atomic load amortised over a 2·n³-FLOP kernel is measurement noise, and a
+//! shared-CI box can easily jitter single-digit percent. The *recorded*
+//! delta in `BENCH_obs.json` is the trend to watch; the assertion only
+//! catches a broken gate (e.g. the disabled path taking a lock).
+//!
+//! Run with `cargo bench -p valuenet-bench --bench obs_overhead`
+//! (`VN_OBS_BENCH_QUICK=1` shrinks the measurement for smoke runs).
+
+use std::hint::black_box;
+use std::time::Instant;
+use valuenet_obs::json::Json;
+use valuenet_tensor::Tensor;
+
+/// Deterministic pseudo-random tensor (xorshift; no RNG dependency needed).
+fn filled(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut x = seed | 1;
+    let data = (0..rows * cols)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 1000) as f32 / 1000.0 - 0.5
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Best-of-rounds nanoseconds for `iters` calls of `f`.
+fn measure(rounds: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::var("VN_OBS_BENCH_QUICK").map(|v| v != "0").unwrap_or(false);
+    let (rounds, iters, n) = if quick { (3, 20, 48) } else { (7, 60, 96) };
+
+    // The gate must be off: this bench measures the *disabled* path.
+    valuenet_obs::set_enabled(false);
+    let a = filled(n, n, 0xC0FFEE);
+    let b = filled(n, n, 0xBEEF);
+
+    // Warm up both paths, then interleave: measure() alternates complete
+    // rounds so slow drift (thermal, scheduler) hits both variants equally.
+    for _ in 0..5 {
+        black_box(a.matmul(&b));
+        black_box(a.matmul_uninstrumented(&b));
+    }
+    let mut instrumented_ns = f64::INFINITY;
+    let mut uninstrumented_ns = f64::INFINITY;
+    for _ in 0..2 {
+        instrumented_ns =
+            instrumented_ns.min(measure(rounds, iters, || {
+                black_box(black_box(&a).matmul(black_box(&b)));
+            }));
+        uninstrumented_ns =
+            uninstrumented_ns.min(measure(rounds, iters, || {
+                black_box(black_box(&a).matmul_uninstrumented(black_box(&b)));
+            }));
+    }
+
+    let delta = instrumented_ns / uninstrumented_ns - 1.0;
+    println!(
+        "obs_overhead: {n}x{n} matmul, disabled path: instrumented {instrumented_ns:.0} ns, \
+         uninstrumented {uninstrumented_ns:.0} ns, delta {:+.2}%",
+        delta * 100.0
+    );
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("obs_overhead".into())),
+        ("matrix_size", Json::Int(n as i64)),
+        ("instrumented_ns", Json::Num(instrumented_ns)),
+        ("uninstrumented_ns", Json::Num(uninstrumented_ns)),
+        ("delta_fraction", Json::Num(delta)),
+        ("quick", Json::Bool(quick)),
+    ]);
+    // Benches run with cwd = the package dir; anchor the artifact at the
+    // workspace root next to BENCH_parallel.json.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    let mut w = valuenet_obs::JsonlWriter::create(path).expect("can create BENCH_obs.json");
+    w.write(report).expect("report writes");
+    w.finish().expect("report flushes");
+
+    assert!(
+        delta < 0.25,
+        "disabled-observability matmul regressed {:.1}% (> 25%): the enabled() gate is no \
+         longer near-zero-cost",
+        delta * 100.0
+    );
+}

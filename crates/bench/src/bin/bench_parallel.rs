@@ -9,47 +9,51 @@
 //! naturally bounded by the machine's available cores (recorded in the
 //! output, since a single-core container cannot show parallel gains).
 //!
+//! The report goes through the observability JSONL sink
+//! ([`valuenet_obs::JsonlWriter`]), which stamps every record with a
+//! `schema_version` so the perf-trajectory history stays parseable as the
+//! format evolves. `OBS=1` / `OBS_JSONL` / `OBS_CHROME_TRACE` additionally
+//! profile the measured runs themselves.
+//!
 //! Scale via the usual knobs: `VN_TRAIN`, `VN_DEV`, `VN_ROWS` (defaults
 //! here: 96 / 48 / 12).
 
 use std::time::Instant;
 use valuenet_core::{evaluate_with_threads, train, ModelConfig, TrainConfig, ValueMode};
 use valuenet_dataset::{generate, CorpusConfig};
-
-#[derive(serde::Serialize)]
-struct Scaling {
-    /// Worker counts as requested on the command line / config.
-    requested_threads: Vec<usize>,
-    /// What `resolve_threads` actually granted after clamping to the
-    /// machine's cores — on a one-core container every request collapses
-    /// to 1, which explains flat "scaling" curves.
-    effective_threads: Vec<usize>,
-    millis: Vec<f64>,
-    speedup_at_4: f64,
-}
-
-#[derive(serde::Serialize)]
-struct Report {
-    cores: usize,
-    training_epoch: Scaling,
-    eval_sweep: Scaling,
-}
+use valuenet_obs::json::Json;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
-fn scaling(threads: &[usize], millis: Vec<f64>) -> Scaling {
+/// One scaling curve as a JSON object: requested worker counts, what
+/// `resolve_threads` actually granted after clamping to the machine's cores
+/// (on a one-core container every request collapses to 1, which explains
+/// flat "scaling" curves), and the measured times.
+fn scaling(threads: &[usize], millis: Vec<f64>) -> Json {
     let speedup_at_4 = millis[0] / millis[millis.len() - 1].max(1e-9);
-    Scaling {
-        requested_threads: threads.to_vec(),
-        effective_threads: threads.iter().map(|&t| valuenet_par::resolve_threads(t)).collect(),
-        millis,
-        speedup_at_4,
-    }
+    Json::obj(vec![
+        (
+            "requested_threads",
+            Json::Arr(threads.iter().map(|&t| Json::Int(t as i64)).collect()),
+        ),
+        (
+            "effective_threads",
+            Json::Arr(
+                threads
+                    .iter()
+                    .map(|&t| Json::Int(valuenet_par::resolve_threads(t) as i64))
+                    .collect(),
+            ),
+        ),
+        ("millis", Json::Arr(millis.into_iter().map(Json::Num).collect())),
+        ("speedup_at_4", Json::Num(speedup_at_4)),
+    ])
 }
 
 fn main() {
+    valuenet_obs::init_from_env();
     let corpus = generate(&CorpusConfig {
         seed: 11,
         train_size: env_usize("VN_TRAIN", 96),
@@ -92,12 +96,18 @@ fn main() {
         eval_ms.push(ms);
     }
 
-    let report = Report {
-        cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        training_epoch: scaling(&thread_counts, train_ms),
-        eval_sweep: scaling(&thread_counts, eval_ms),
-    };
-    let json = serde_json::to_string(&report).expect("report serialises");
-    std::fs::write("BENCH_parallel.json", &json).expect("can write BENCH_parallel.json");
-    println!("{json}");
+    let report = Json::obj(vec![
+        (
+            "cores",
+            Json::Int(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as i64),
+        ),
+        ("training_epoch", scaling(&thread_counts, train_ms)),
+        ("eval_sweep", scaling(&thread_counts, eval_ms)),
+    ]);
+    let mut w = valuenet_obs::JsonlWriter::create("BENCH_parallel.json")
+        .expect("can create BENCH_parallel.json");
+    w.write(report.clone()).expect("report writes");
+    w.finish().expect("report flushes");
+    println!("{}", report.render());
+    valuenet_obs::finish();
 }

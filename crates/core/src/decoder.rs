@@ -8,6 +8,31 @@ use valuenet_nn::{Embedding, Linear, LstmCell, LstmState, ParamStore};
 use valuenet_semql::{Action, NonTerminal, TransitionSystem, SKETCH_VOCAB};
 use valuenet_tensor::{Graph, Tensor, Var};
 
+// Beam-search statistics (see DESIGN.md, "Observability"): per-step fan-out,
+// pruning pressure, and the distribution of pointer choices the decoder
+// commits to.
+static BEAM_STEPS: valuenet_obs::Counter = valuenet_obs::Counter::new("beam.steps");
+static BEAM_EXPANDED: valuenet_obs::Counter = valuenet_obs::Counter::new("beam.expanded");
+static BEAM_PRUNED: valuenet_obs::Counter = valuenet_obs::Counter::new("beam.pruned");
+static BEAM_COMPLETED: valuenet_obs::Counter = valuenet_obs::Counter::new("beam.completed");
+static BEAM_DEAD_ENDS: valuenet_obs::Counter = valuenet_obs::Counter::new("beam.dead_ends");
+static BEAM_CANDIDATES: valuenet_obs::Histogram =
+    valuenet_obs::Histogram::new("beam.candidates_per_step");
+static CHOICE_SKETCH: valuenet_obs::Counter = valuenet_obs::Counter::new("decode.choice.sketch");
+static CHOICE_COLUMN: valuenet_obs::Counter = valuenet_obs::Counter::new("decode.choice.column");
+static CHOICE_TABLE: valuenet_obs::Counter = valuenet_obs::Counter::new("decode.choice.table");
+static CHOICE_VALUE: valuenet_obs::Counter = valuenet_obs::Counter::new("decode.choice.value");
+
+/// Tallies one committed action into the pointer-choice distribution.
+fn count_choice(a: &Action) {
+    match a {
+        Action::C(_) => CHOICE_COLUMN.add(1),
+        Action::T(_) => CHOICE_TABLE.add(1),
+        Action::V(_) => CHOICE_VALUE.add(1),
+        _ => CHOICE_SKETCH.add(1),
+    }
+}
+
 /// The decoder: an LSTM over action embeddings with attention over the
 /// question encodings, a sketch-action head, and one pointer network each
 /// for columns, tables and value candidates.
@@ -246,6 +271,7 @@ impl Decoder {
         beam_width: usize,
     ) -> Vec<(Vec<Action>, f32)> {
         assert!(beam_width >= 1, "beam width must be at least 1");
+        let _span = valuenet_obs::span("decode.beam");
         struct Hyp {
             ts: TransitionSystem,
             state: LstmState,
@@ -270,6 +296,7 @@ impl Decoder {
             if beams.is_empty() {
                 break;
             }
+            BEAM_STEPS.add(1);
             let mut expansions: Vec<Hyp> = Vec::new();
             for hyp in beams.drain(..) {
                 let frontier = hyp.ts.frontier().expect("incomplete hypotheses only");
@@ -304,6 +331,7 @@ impl Decoder {
                     _ => {
                         let valid = self.valid_sketch(&hyp.ts, has_values);
                         if valid.is_empty() {
+                            BEAM_DEAD_ENDS.add(1);
                             continue; // dead hypothesis
                         }
                         let logits = self.masked_sketch_logits(g, ps, f, &valid);
@@ -316,16 +344,20 @@ impl Decoder {
                     }
                 };
                 let mut ranked = choices;
+                BEAM_CANDIDATES.record(ranked.len() as u64);
                 ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
                 for (action, logp) in ranked.into_iter().take(beam_width) {
                     let mut ts = hyp.ts.clone();
                     if ts.apply(&action).is_err() {
                         continue;
                     }
+                    count_choice(&action);
+                    BEAM_EXPANDED.add(1);
                     let mut actions = hyp.actions.clone();
                     actions.push(action);
                     let score = hyp.score + logp;
                     if ts.is_complete() {
+                        BEAM_COMPLETED.add(1);
                         completed.push((actions, score));
                     } else {
                         let prev_emb = self.action_input(g, ps, enc, &action);
@@ -342,6 +374,7 @@ impl Decoder {
             }
             expansions
                 .sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+            BEAM_PRUNED.add(expansions.len().saturating_sub(beam_width) as u64);
             expansions.truncate(beam_width);
             beams = expansions;
             // Early exit: enough completed hypotheses that beat every open one.
@@ -375,6 +408,7 @@ impl Decoder {
         enc: &Encodings,
         max_steps: usize,
     ) -> Result<Vec<Action>, String> {
+        let _span = valuenet_obs::span("decode.greedy");
         let has_values = enc.values.is_some();
         let num_values = enc.values.map(|v| g.value(v).rows()).unwrap_or(0);
         let mut ts = TransitionSystem::new();
@@ -416,6 +450,7 @@ impl Decoder {
             };
             prev_emb = self.action_input(g, ps, enc, &action);
             ts.apply(&action).map_err(|e| format!("decoder chose invalid action: {e}"))?;
+            count_choice(&action);
             actions.push(action);
         }
         Ok(actions)

@@ -98,7 +98,9 @@ pub fn evaluate_with_threads(
     samples: &[Sample],
     threads: usize,
 ) -> EvalStats {
+    let _span = valuenet_obs::span("eval");
     let samples = valuenet_par::par_map(samples, threads, |index, sample| {
+        let _sample_span = valuenet_obs::span("eval.sample");
         let db = corpus.db(sample);
         let gold = parse_select(&sample.sql).expect("gold SQL parses by construction");
         let gold_values = match pipeline.mode {

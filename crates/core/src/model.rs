@@ -135,6 +135,7 @@ impl ValueNetModel {
         input: &ModelInput,
         dropout_rng: Option<&mut SmallRng>,
     ) -> Encodings {
+        let _span = valuenet_obs::span("model.encode");
         self.encoder.forward(g, &self.params, input, self.config.dropout, dropout_rng)
     }
 

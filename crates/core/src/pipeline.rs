@@ -174,42 +174,52 @@ impl Pipeline {
         question: &str,
         gold_values: Option<&[String]>,
     ) -> Prediction {
+        let _span = valuenet_obs::span("pipeline.translate");
         let mut timings = StageTimings::default();
 
         // Stage 1a: tokenisation (pre-processing).
         let t0 = Instant::now();
-        let tokens = tokenize_question(question);
+        let tokens = {
+            let _s = valuenet_obs::span("pipeline.pre_processing");
+            tokenize_question(question)
+        };
         timings.pre_processing += t0.elapsed();
 
         // Stage 2: value extraction + candidate generation + validation
         // ("Value lookup" in Table II — dominated by database lookups).
         let t0 = Instant::now();
-        let extracted = self.ner.extract(question, &tokens);
-        let candidates = generate_candidates(&extracted, &tokens, db, &self.cand_cfg);
+        let candidates = {
+            let _s = valuenet_obs::span("pipeline.value_lookup");
+            let extracted = self.ner.extract(question, &tokens);
+            generate_candidates(&extracted, &tokens, db, &self.cand_cfg)
+        };
         timings.value_lookup += t0.elapsed();
 
         // Stage 1b: hint classification (needs the candidates for the
         // value-candidate-match class).
         let t0 = Instant::now();
-        let qh = question_hints(&tokens, db);
-        let sh = schema_hints(&tokens, db, &candidates);
-        let pre = Preprocessed {
-            tokens,
-            question_hints: qh,
-            schema_hints: sh,
-            candidates,
+        let pre = {
+            let _s = valuenet_obs::span("pipeline.pre_processing");
+            let qh = question_hints(&tokens, db);
+            let sh = schema_hints(&tokens, db, &candidates);
+            Preprocessed { tokens, question_hints: qh, schema_hints: sh, candidates }
         };
         timings.pre_processing += t0.elapsed();
 
         // Stage 3: encode + decode (greedy, or beam search when the model
         // is configured with a beam width above one).
         let t0 = Instant::now();
-        let cands = assemble_candidates(db, &pre, self.mode, gold_values, false);
-        let input = build_input_opts(db, &pre, &cands, &self.model.vocab, self.model.input_options());
-        let hypotheses: Vec<Vec<Action>> = if self.model.config.beam_width > 1 {
-            self.model.predict_beam(&input).into_iter().map(|(a, _)| a).collect()
-        } else {
-            self.model.predict(&input).into_iter().collect()
+        let (input, hypotheses) = {
+            let _s = valuenet_obs::span("pipeline.encode_decode");
+            let cands = assemble_candidates(db, &pre, self.mode, gold_values, false);
+            let input =
+                build_input_opts(db, &pre, &cands, &self.model.vocab, self.model.input_options());
+            let hypotheses: Vec<Vec<Action>> = if self.model.config.beam_width > 1 {
+                self.model.predict_beam(&input).into_iter().map(|(a, _)| a).collect()
+            } else {
+                self.model.predict(&input).into_iter().collect()
+            };
+            (input, hypotheses)
         };
         timings.encoder_decoder += t0.elapsed();
 
@@ -223,13 +233,20 @@ impl Pipeline {
         let mut chosen: Option<ChosenHypothesis> = None;
         for actions in &hypotheses {
             let t0 = Instant::now();
-            let semql = actions_to_ast(actions).ok();
-            let sql = semql
-                .as_ref()
-                .and_then(|tree| to_sql(tree, db.schema(), &graph, &resolved).ok());
+            let (semql, sql) = {
+                let _s = valuenet_obs::span("pipeline.post_processing");
+                let semql = actions_to_ast(actions).ok();
+                let sql = semql
+                    .as_ref()
+                    .and_then(|tree| to_sql(tree, db.schema(), &graph, &resolved).ok());
+                (semql, sql)
+            };
             timings.post_processing += t0.elapsed();
             let t0 = Instant::now();
-            let result = sql.as_ref().and_then(|stmt| execute(db, stmt).ok());
+            let result = {
+                let _s = valuenet_obs::span("pipeline.execution");
+                sql.as_ref().and_then(|stmt| execute(db, stmt).ok())
+            };
             timings.query_execution += t0.elapsed();
             let executed = result.is_some();
             if let Some(tree) = semql {

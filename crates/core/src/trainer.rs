@@ -187,6 +187,8 @@ pub fn train(
     model_cfg: ModelConfig,
     cfg: &TrainConfig,
 ) -> (Pipeline, TrainReport) {
+    let _span = valuenet_obs::span("train");
+    let prep_span = valuenet_obs::span("train.prepare");
     let vocab = build_vocab(corpus);
     let ner = train_ner(corpus);
     let cand_cfg = cfg.cand_cfg.clone();
@@ -215,6 +217,7 @@ pub fn train(
         );
         prepared.push(PreparedSample { input, actions });
     }
+    drop(prep_span);
 
     let model = ValueNetModel::new(model_cfg, vocab, cfg.seed);
     let mut opt = Adam::new(
@@ -231,18 +234,35 @@ pub fn train(
     let mut shuffle_rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(1));
     let mut order: Vec<usize> = (0..prepared.len()).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    // Per-LR-group learning rates are constant across the run; record them
+    // once so the run report can join them with the per-group grad norms.
+    valuenet_obs::metric("train.lr.encoder", 0, cfg.lr_encoder as f64);
+    valuenet_obs::metric("train.lr.decoder", 0, cfg.lr_decoder as f64);
+    valuenet_obs::metric("train.lr.connection", 0, cfg.lr_connection as f64);
     for epoch in 0..cfg.epochs {
+        let epoch_span = valuenet_obs::span("train.epoch");
+        let epoch_start = std::time::Instant::now();
         order.shuffle(&mut shuffle_rng);
         let mut epoch_loss = 0.0;
+        // Squared L2 grad norm per learning-rate group, summed over batches.
+        let mut group_sq = [0.0f64; 3];
         for batch in order.chunks(cfg.batch_size.max(1)) {
+            let _batch_span = valuenet_obs::span("train.batch");
             // Fan the independent per-sample passes out over the workers;
             // par_map returns results in batch order regardless of timing.
             let passes = valuenet_par::par_map(batch, cfg.threads, |_, &i| {
+                let _sample_span = valuenet_obs::span("train.sample");
                 let sample = &prepared[i];
                 let mut g = Graph::new();
                 let mut rng = SmallRng::seed_from_u64(sample_seed(cfg.seed, epoch, i));
-                let loss = model.loss(&mut g, &sample.input, &sample.actions, Some(&mut rng));
-                let loss_value = g.value(loss).scalar_value();
+                let (loss, loss_value) = {
+                    let _s = valuenet_obs::span("train.forward");
+                    let loss =
+                        model.loss(&mut g, &sample.input, &sample.actions, Some(&mut rng));
+                    let v = g.value(loss).scalar_value();
+                    (loss, v)
+                };
+                let _s = valuenet_obs::span("train.backward");
                 let grads = g.backward(loss);
                 (loss_value, model.params.collect_grads(&grads))
             });
@@ -264,10 +284,27 @@ pub fn train(
                     *x *= scale;
                 }
             }
+            if valuenet_obs::enabled() {
+                for (id, grad) in &batch_grads {
+                    let group = model.params.group(*id).min(2);
+                    group_sq[group] += grad.as_slice().iter().map(|&x| (x as f64) * x as f64).sum::<f64>();
+                }
+            }
             opt.step_collected(&mut model.params, batch_grads);
         }
         let mean = epoch_loss / prepared.len().max(1) as f32;
         epoch_losses.push(mean);
+        drop(epoch_span);
+        let e = epoch as u64;
+        valuenet_obs::metric("train.epoch_loss", e, mean as f64);
+        let secs = epoch_start.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            valuenet_obs::metric("train.examples_per_sec", e, prepared.len() as f64 / secs);
+        }
+        valuenet_obs::metric("train.grad_norm", e, group_sq.iter().sum::<f64>().sqrt());
+        valuenet_obs::metric("train.grad_norm.encoder", e, group_sq[0].sqrt());
+        valuenet_obs::metric("train.grad_norm.decoder", e, group_sq[1].sqrt());
+        valuenet_obs::metric("train.grad_norm.connection", e, group_sq[2].sqrt());
         if cfg.verbose {
             eprintln!("epoch {:>2}/{}: mean loss {mean:.4}", epoch + 1, cfg.epochs);
         }

@@ -40,6 +40,7 @@ pub fn execution_accuracy(
         Ok(rs) => rs,
         Err(_) => return ExecOutcome::PredictionFailed,
     };
+    let _compare = valuenet_obs::span("eval.compare");
     if pred_rs.result_eq(&gold_rs) {
         ExecOutcome::Correct
     } else {

@@ -9,8 +9,13 @@ use valuenet_sql::{
 use valuenet_storage::{like_match, Database, Datum};
 use valuenet_schema::TableId;
 
+static QUERIES: valuenet_obs::Counter = valuenet_obs::Counter::new("exec.queries");
+static ROWS_SCANNED: valuenet_obs::Counter = valuenet_obs::Counter::new("exec.rows_scanned");
+
 /// Executes a query against a database.
 pub fn execute(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, ExecError> {
+    let _span = valuenet_obs::span("exec.execute");
+    QUERIES.add(1);
     let mut left = execute_plain(db, stmt)?;
     if let Some((op, rhs)) = &stmt.compound {
         let right = execute(db, rhs)?;
@@ -74,6 +79,7 @@ fn apply_compound(op: CompoundOp, left: ResultSet, right: ResultSet) -> ResultSe
 fn execute_plain(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, ExecError> {
     let env = Env::build(db, &stmt.core)?;
     let source_rows = env.joined_rows(&stmt.core)?;
+    ROWS_SCANNED.add(source_rows.len() as u64);
     let ev = Evaluator::new(db, &env);
 
     // Filter with WHERE.

@@ -1,0 +1,70 @@
+//! Observability spans across `par_map` fan-out.
+//!
+//! Worker threads keep their own span stacks and flush into the global
+//! registry when the scoped thread exits, so aggregate span statistics must
+//! be identical for every thread count: same paths, same counts, same
+//! deterministic snapshot order. Spans opened inside a worker closure are
+//! roots of that worker's stack — nesting within the closure is preserved.
+
+use std::sync::Mutex;
+use valuenet_obs as obs;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+/// Runs `items` through `par_map` with nested spans per item and returns the
+/// snapshot's `(path, count)` pairs.
+fn spans_for(threads: usize, items: usize) -> Vec<(String, u64)> {
+    obs::reset();
+    let data: Vec<u64> = (0..items as u64).collect();
+    let out = valuenet_par::par_map(&data, threads, |_, &x| {
+        let _item = obs::span("work.item");
+        let inner = {
+            let _inner = obs::span("work.inner");
+            x * 2
+        };
+        if x % 3 == 0 {
+            let _rare = obs::span("work.rare");
+        }
+        inner
+    });
+    assert_eq!(out, data.iter().map(|x| x * 2).collect::<Vec<_>>());
+    obs::snapshot().spans.iter().map(|s| (s.path_string(), s.count)).collect()
+}
+
+#[test]
+fn aggregates_are_identical_across_thread_counts() {
+    let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    obs::set_enabled(true);
+    const ITEMS: usize = 97;
+    let reference = spans_for(1, ITEMS);
+    assert_eq!(
+        reference,
+        vec![
+            ("work.item".to_string(), ITEMS as u64),
+            ("work.item/work.inner".to_string(), ITEMS as u64),
+            ("work.item/work.rare".to_string(), ITEMS.div_ceil(3) as u64),
+        ]
+    );
+    for threads in [2, 3, 4] {
+        assert_eq!(spans_for(threads, ITEMS), reference, "threads = {threads}");
+    }
+    obs::set_enabled(false);
+}
+
+#[test]
+fn worker_flush_happens_without_explicit_calls() {
+    let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    obs::set_enabled(true);
+    obs::reset();
+    static COUNTED: obs::Counter = obs::Counter::new("par.test_items");
+    let data: Vec<u64> = (0..64).collect();
+    valuenet_par::par_map(&data, 4, |_, _| {
+        let _s = obs::span("flush.work");
+        COUNTED.add(1);
+    });
+    // No flush_thread() anywhere: worker TLS destructors must have merged.
+    let snap = obs::snapshot();
+    assert_eq!(snap.span_named("flush.work").map(|s| s.count), Some(64));
+    assert_eq!(snap.counter("par.test_items"), Some(64));
+    obs::set_enabled(false);
+}

@@ -77,12 +77,31 @@ pub struct Preprocessed {
     pub candidates: Vec<ValueCandidate>,
 }
 
+static VALUES_EXTRACTED: valuenet_obs::Counter =
+    valuenet_obs::Counter::new("preprocess.values_extracted");
+static CANDIDATES_KEPT: valuenet_obs::Counter =
+    valuenet_obs::Counter::new("preprocess.candidates_kept");
+
 /// Runs the full pre-processing pipeline for a question against a database.
 pub fn preprocess(question: &str, db: &Database, ner: &dyn Ner, cfg: &CandidateConfig) -> Preprocessed {
-    let tokens = tokenize_question(question);
-    let extracted = ner.extract(question, &tokens);
-    let candidates = generate_candidates(&extracted, &tokens, db, cfg);
-    let question_hints = question_hints(&tokens, db);
-    let schema_hints = schema_hints(&tokens, db, &candidates);
+    let _span = valuenet_obs::span("preprocess");
+    let tokens = {
+        let _s = valuenet_obs::span("preprocess.tokenize");
+        tokenize_question(question)
+    };
+    let extracted = {
+        let _s = valuenet_obs::span("preprocess.ner");
+        ner.extract(question, &tokens)
+    };
+    VALUES_EXTRACTED.add(extracted.len() as u64);
+    let candidates = {
+        let _s = valuenet_obs::span("preprocess.candidates");
+        generate_candidates(&extracted, &tokens, db, cfg)
+    };
+    CANDIDATES_KEPT.add(candidates.len() as u64);
+    let (question_hints, schema_hints) = {
+        let _s = valuenet_obs::span("preprocess.hints");
+        (question_hints(&tokens, db), schema_hints(&tokens, db, &candidates))
+    };
     Preprocessed { tokens, question_hints, schema_hints, candidates }
 }

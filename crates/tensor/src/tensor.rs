@@ -2,6 +2,25 @@
 
 use std::fmt;
 
+// Kernel accounting for the production matmul paths (see `DESIGN.md`,
+// "Observability"): multiply-adds count as 2 FLOPs, bytes are the three
+// operand matrices read/written once. The `tensor.matmul.gflops` line in the
+// summary sink is derived as flops / nanos.
+static MATMUL_CALLS: valuenet_obs::Counter = valuenet_obs::Counter::new("tensor.matmul.calls");
+static MATMUL_FLOPS: valuenet_obs::Counter = valuenet_obs::Counter::new("tensor.matmul.flops");
+static MATMUL_BYTES: valuenet_obs::Counter = valuenet_obs::Counter::new("tensor.matmul.bytes");
+static MATMUL_NANOS: valuenet_obs::Counter = valuenet_obs::Counter::new("tensor.matmul.nanos");
+
+/// Records one `n×k @ k×m` kernel invocation that started at `start_ns`.
+/// Callers only reach this when observability is enabled.
+#[cold]
+fn record_matmul(n: usize, k: usize, m: usize, start_ns: u64) {
+    MATMUL_CALLS.add(1);
+    MATMUL_FLOPS.add(2 * (n as u64) * (k as u64) * (m as u64));
+    MATMUL_BYTES.add(4 * ((n * k) as u64 + (k * m) as u64 + (n * m) as u64));
+    MATMUL_NANOS.add(valuenet_obs::now_ns().saturating_sub(start_ns));
+}
+
 /// A dense row-major matrix of `f32` values.
 ///
 /// All autodiff operations in [`crate::Graph`] produce and consume `Tensor`s.
@@ -150,6 +169,25 @@ impl Tensor {
             "matmul: {}x{} @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        if !valuenet_obs::enabled() {
+            return block_kernel(&self.data, &other.data, self.rows, self.cols, other.cols);
+        }
+        let start = valuenet_obs::now_ns();
+        let out = block_kernel(&self.data, &other.data, self.rows, self.cols, other.cols);
+        record_matmul(self.rows, self.cols, other.cols, start);
+        out
+    }
+
+    /// [`Tensor::matmul`] without the observability check — the baseline for
+    /// the disabled-path overhead benchmark (`benches/obs_overhead.rs`).
+    /// Production code always goes through [`Tensor::matmul`].
+    #[doc(hidden)]
+    pub fn matmul_uninstrumented(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
         block_kernel(&self.data, &other.data, self.rows, self.cols, other.cols)
     }
 
@@ -189,8 +227,15 @@ impl Tensor {
             "matmul_transposed_b: {}x{} @ ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
+        if !valuenet_obs::enabled() {
+            let packed = other.transpose();
+            return block_kernel(&self.data, &packed.data, self.rows, self.cols, other.rows);
+        }
+        let start = valuenet_obs::now_ns();
         let packed = other.transpose();
-        block_kernel(&self.data, &packed.data, self.rows, self.cols, other.rows)
+        let out = block_kernel(&self.data, &packed.data, self.rows, self.cols, other.rows);
+        record_matmul(self.rows, self.cols, other.rows, start);
+        out
     }
 
     /// `selfᵀ @ other` without materialising the transpose.
@@ -206,6 +251,7 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (k, n, m) = (self.rows, self.cols, other.cols);
+        let start = valuenet_obs::enabled().then(valuenet_obs::now_ns);
         let mut out = Tensor::zeros(n, m);
         let a = &self.data;
         let b = &other.data;
@@ -235,6 +281,9 @@ impl Tensor {
                     *o += av * bv;
                 }
             }
+        }
+        if let Some(s) = start {
+            record_matmul(n, k, m, s);
         }
         out
     }
@@ -328,6 +377,12 @@ impl Tensor {
 /// The inner loop keeps the naive kernel's contiguous multiply-accumulate
 /// shape (independent lanes, no reduction chain), which the compiler
 /// auto-vectorises at the baseline target.
+///
+/// `inline(never)`: call overhead is nothing next to the 2·n·k·m-FLOP body,
+/// and one out-of-line copy keeps every `matmul` entry point (instrumented
+/// or not) on the same code — avoiding per-caller layout/alignment skew,
+/// which would otherwise dwarf the effect `benches/obs_overhead.rs` measures.
+#[inline(never)]
 fn block_kernel(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Tensor {
     const MR: usize = 4; // output rows per register block
     const JC: usize = 512; // column tile: MR rows × 512 cols × 4 B = 8 KiB

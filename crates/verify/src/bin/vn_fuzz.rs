@@ -17,6 +17,10 @@ use std::process::ExitCode;
 use valuenet_verify::{run_case, run_fuzz, CaseOutcome, FuzzConfig};
 
 fn main() -> ExitCode {
+    // Per-case spans and the fuzz.* outcome counters flow through
+    // valuenet-obs; OBS=1 prints the span/counter summary, OBS_JSONL streams
+    // per-case timings for CI to validate.
+    valuenet_obs::init_from_env();
     let mut cfg = FuzzConfig { cases: 1000, seed: 42, inject_divergence: false };
     let mut replay: Option<u64> = None;
     let mut fail_log: Option<String> = None;
@@ -56,7 +60,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(seed) = replay {
-        return match run_case(seed, cfg.inject_divergence) {
+        let code = match run_case(seed, cfg.inject_divergence) {
             CaseOutcome::Agree { result_rows } => {
                 println!("replay {seed}: executor and oracle agree ({result_rows} rows)");
                 ExitCode::SUCCESS
@@ -70,6 +74,8 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         };
+        valuenet_obs::finish();
+        return code;
     }
 
     let report = run_fuzz(&cfg);
@@ -95,6 +101,7 @@ fn main() -> ExitCode {
             }
         }
     }
+    valuenet_obs::finish();
     if report.divergences.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -93,15 +93,35 @@ pub fn case_seed(base: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Runs `cfg.cases` cases and tallies the outcomes.
+static FUZZ_AGREEMENTS: valuenet_obs::Counter = valuenet_obs::Counter::new("fuzz.agreements");
+static FUZZ_BOTH_ERRORED: valuenet_obs::Counter =
+    valuenet_obs::Counter::new("fuzz.both_errored");
+static FUZZ_DIVERGENCES: valuenet_obs::Counter = valuenet_obs::Counter::new("fuzz.divergences");
+static FUZZ_RESULT_ROWS: valuenet_obs::Histogram =
+    valuenet_obs::Histogram::new("fuzz.result_rows");
+
+/// Runs `cfg.cases` cases and tallies the outcomes. Each case runs under a
+/// `fuzz.case` span; outcome totals go to the `fuzz.*` counters.
 pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let _span = valuenet_obs::span("fuzz");
     let mut report = FuzzReport::default();
     for i in 0..cfg.cases {
         let seed = case_seed(cfg.seed, i as u64);
+        let _case_span = valuenet_obs::span("fuzz.case");
         match run_case(seed, cfg.inject_divergence) {
-            CaseOutcome::Agree { .. } => report.agreements += 1,
-            CaseOutcome::BothErrored => report.both_errored += 1,
-            CaseOutcome::Divergence { seed, report: r } => report.divergences.push((seed, r)),
+            CaseOutcome::Agree { result_rows } => {
+                FUZZ_AGREEMENTS.add(1);
+                FUZZ_RESULT_ROWS.record(result_rows as u64);
+                report.agreements += 1;
+            }
+            CaseOutcome::BothErrored => {
+                FUZZ_BOTH_ERRORED.add(1);
+                report.both_errored += 1;
+            }
+            CaseOutcome::Divergence { seed, report: r } => {
+                FUZZ_DIVERGENCES.add(1);
+                report.divergences.push((seed, r));
+            }
         }
         report.cases += 1;
     }

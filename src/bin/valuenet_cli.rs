@@ -208,6 +208,9 @@ fn main() {
     if let Some(t) = arg(&args, "--threads").and_then(|v| v.parse().ok()) {
         valuenet::par::set_threads(t);
     }
+    // Observability is opt-in via environment: OBS=1 prints a span/counter
+    // summary on exit; OBS_JSONL / OBS_CHROME_TRACE stream or trace the run.
+    valuenet::obs::init_from_env();
     match args.first().map(String::as_str) {
         Some("train") => cmd_train(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
@@ -226,4 +229,5 @@ fn main() {
             std::process::exit(2);
         }
     }
+    valuenet::obs::finish();
 }

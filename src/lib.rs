@@ -24,6 +24,9 @@
 //!   and the end-to-end pipeline for both *ValueNet* and *ValueNet light*.
 //! - [`eval`]: Execution Accuracy, Exact-Matching Accuracy, difficulty
 //!   grouping and error analysis.
+//! - [`obs`]: zero-dependency tracing, metrics and profiling — hierarchical
+//!   spans, counters/histograms, and summary/JSONL/Chrome-trace sinks (see
+//!   `DESIGN.md`, "Observability").
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -33,6 +36,7 @@ pub use valuenet_par as par;
 pub use valuenet_eval as eval;
 pub use valuenet_exec as exec;
 pub use valuenet_nn as nn;
+pub use valuenet_obs as obs;
 pub use valuenet_preprocess as preprocess;
 pub use valuenet_schema as schema;
 pub use valuenet_semql as semql;
