@@ -31,25 +31,32 @@ fn env_usize(name: &str, default: usize) -> usize {
 /// `resolve_threads` actually granted after clamping to the machine's cores
 /// (on a one-core container every request collapses to 1, which explains
 /// flat "scaling" curves), and the measured times.
+///
+/// When every request collapses to a single effective worker the host cannot
+/// express parallelism at all: the record then says so explicitly
+/// (`parallelism_available: false`) and omits `speedup_at_4` — a "speedup"
+/// of 1.0 measured on one core is noise, not signal, and downstream
+/// trajectory tooling must not average it into real scaling numbers.
 fn scaling(threads: &[usize], millis: Vec<f64>) -> Json {
-    let speedup_at_4 = millis[0] / millis[millis.len() - 1].max(1e-9);
-    Json::obj(vec![
+    let effective: Vec<usize> = threads.iter().map(|&t| valuenet_par::resolve_threads(t)).collect();
+    let parallelism_available = effective.iter().any(|&t| t > 1);
+    let mut fields = vec![
         (
             "requested_threads",
             Json::Arr(threads.iter().map(|&t| Json::Int(t as i64)).collect()),
         ),
         (
             "effective_threads",
-            Json::Arr(
-                threads
-                    .iter()
-                    .map(|&t| Json::Int(valuenet_par::resolve_threads(t) as i64))
-                    .collect(),
-            ),
+            Json::Arr(effective.iter().map(|&t| Json::Int(t as i64)).collect()),
         ),
-        ("millis", Json::Arr(millis.into_iter().map(Json::Num).collect())),
-        ("speedup_at_4", Json::Num(speedup_at_4)),
-    ])
+        ("parallelism_available", Json::Bool(parallelism_available)),
+    ];
+    if parallelism_available {
+        let speedup_at_4 = millis[0] / millis[millis.len() - 1].max(1e-9);
+        fields.push(("speedup_at_4", Json::Num(speedup_at_4)));
+    }
+    fields.push(("millis", Json::Arr(millis.into_iter().map(Json::Num).collect())));
+    Json::obj(fields)
 }
 
 fn main() {

@@ -1,0 +1,247 @@
+//! Allocation-free execution benchmark, written to `BENCH_speed.json`.
+//!
+//! Measures the tentpole of the graph-execution rework twice each — once
+//! with the old allocator behaviour and once with the new one — in the same
+//! process, so every record carries its own baseline:
+//!
+//! * **training** — marginal cost of one epoch (3-epoch run minus 1-epoch
+//!   run, halved, which subtracts corpus preprocessing and model setup).
+//!   Baseline arm: buffer pool off, kernel fusion off. Current arm: both on,
+//!   plus the per-worker recycled `Graph` in the trainer.
+//! * **inference** — beam-width-4 decoding over prebuilt model inputs.
+//!   Baseline arm: pool/fusion off through the per-hypothesis
+//!   `predict_beam_unbatched`. Current arm: pool/fusion on through the
+//!   batched `predict_beam` (one LSTM + attention step per beam step).
+//!
+//! Both arms also report the buffer pool's process-wide counters (the stats
+//! keep counting with recycling disabled, so the baseline arm still shows
+//! its bytes allocated). The report goes through the observability JSONL
+//! sink ([`valuenet_obs::JsonlWriter`]): a `meta` line first, then one
+//! `{"type":"bench"}` record per measurement, all stamped with
+//! `schema_version` — `vn-obs-check BENCH_speed.json` validates the file in
+//! CI's perf-smoke job.
+//!
+//! Scale via `--quick` (CI-sized corpus) and the usual `VN_TRAIN` /
+//! `VN_DEV` / `VN_ROWS` knobs. `OBS=1` profiles the measured runs.
+
+use std::time::Instant;
+use valuenet_core::{
+    assemble_candidates, build_input_opts, train, ModelConfig, ModelInput, TrainConfig, ValueMode,
+};
+use valuenet_dataset::{generate, Corpus, CorpusConfig};
+use valuenet_obs::json::Json;
+use valuenet_preprocess::preprocess;
+use valuenet_tensor::pool;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Switches both allocation-related toggles together: the tensor buffer
+/// pool and kernel fusion. `false` reproduces the pre-rework execution
+/// behaviour (every op clones, every buffer is malloc'd and freed).
+fn set_current_mode(on: bool) {
+    pool::set_enabled(on);
+    valuenet_tensor::set_fusion_enabled(on);
+    // Buffers cached from the other arm would let a disabled pool still see
+    // stale state (or an enabled one start half-warm and skew the hit rate).
+    pool::clear_thread_local();
+}
+
+struct TrainArm {
+    per_epoch_ms: f64,
+    samples_per_sec: f64,
+    pool_per_epoch: pool::PoolStats,
+}
+
+/// Marginal per-epoch cost and per-epoch pool deltas for one arm.
+///
+/// The timing is the best of three (3-epoch minus 1-epoch)/2 marginals —
+/// the minimum is the standard robust estimator for wall-clock measurements
+/// on a shared machine, where interference only ever adds time. The pool
+/// counters come from the steady-state 3-epoch run divided by 3: marginal
+/// subtraction is wrong for them, because a run that starts with a warm
+/// pool (populated by the previous run) sees *fewer* misses than the cold
+/// 1-epoch run and the difference underflows.
+fn measure_training(corpus: &Corpus, model_cfg: &ModelConfig) -> TrainArm {
+    let run = |epochs: usize| {
+        let cfg = TrainConfig { epochs, threads: 1, ..Default::default() };
+        let s0 = pool::stats();
+        let t = Instant::now();
+        train(corpus, ValueMode::Light, model_cfg.clone(), &cfg);
+        (t.elapsed().as_secs_f64() * 1e3, pool::stats().since(&s0))
+    };
+    let mut per_epoch_ms = f64::INFINITY;
+    let mut pool_per_epoch = pool::PoolStats::default();
+    for _ in 0..3 {
+        let (ms1, _) = run(1);
+        let (ms3, st3) = run(3);
+        per_epoch_ms = per_epoch_ms.min((ms3 - ms1) / 2.0);
+        pool_per_epoch = pool::PoolStats {
+            hits: st3.hits / 3,
+            misses: st3.misses / 3,
+            returns: st3.returns / 3,
+            alloc_bytes: st3.alloc_bytes / 3,
+            recycled_bytes: st3.recycled_bytes / 3,
+        };
+    }
+    TrainArm {
+        per_epoch_ms,
+        samples_per_sec: corpus.train.len() as f64 / (per_epoch_ms / 1e3).max(1e-9),
+        pool_per_epoch,
+    }
+}
+
+fn pool_json(s: &pool::PoolStats) -> Json {
+    Json::obj(vec![
+        ("hit_rate", Json::Num(s.hit_rate())),
+        ("hits", Json::Int(s.hits as i64)),
+        ("misses", Json::Int(s.misses as i64)),
+        ("alloc_bytes", Json::Int(s.alloc_bytes as i64)),
+        ("recycled_bytes", Json::Int(s.recycled_bytes as i64)),
+    ])
+}
+
+fn main() {
+    valuenet_obs::init_from_env();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (dt, dd, dr) = if quick { (48, 24, 8) } else { (96, 48, 12) };
+    let corpus = generate(&CorpusConfig {
+        seed: 11,
+        train_size: env_usize("VN_TRAIN", dt),
+        dev_size: env_usize("VN_DEV", dd),
+        rows_per_table: env_usize("VN_ROWS", dr),
+        ..CorpusConfig::default()
+    });
+    let mut model_cfg = ModelConfig::tiny();
+    model_cfg.beam_width = 4;
+
+    // --- Training: samples/sec, baseline vs current ---------------------
+    set_current_mode(false);
+    let base = measure_training(&corpus, &model_cfg);
+    eprintln!(
+        "training baseline: {:.1} ms/epoch ({:.1} samples/s, {} MiB allocated/epoch)",
+        base.per_epoch_ms,
+        base.samples_per_sec,
+        base.pool_per_epoch.alloc_bytes >> 20
+    );
+    set_current_mode(true);
+    let cur = measure_training(&corpus, &model_cfg);
+    eprintln!(
+        "training current:  {:.1} ms/epoch ({:.1} samples/s, pool hit rate {:.3})",
+        cur.per_epoch_ms,
+        cur.samples_per_sec,
+        cur.pool_per_epoch.hit_rate()
+    );
+    let train_speedup = cur.samples_per_sec / base.samples_per_sec.max(1e-9);
+    let training = Json::obj(vec![
+        ("type", Json::Str("bench".into())),
+        ("name", Json::Str("training".into())),
+        ("train_samples", Json::Int(corpus.train.len() as i64)),
+        ("baseline_samples_per_sec", Json::Num(base.samples_per_sec)),
+        ("samples_per_sec", Json::Num(cur.samples_per_sec)),
+        ("speedup", Json::Num(train_speedup)),
+        ("baseline_pool", pool_json(&base.pool_per_epoch)),
+        ("pool", pool_json(&cur.pool_per_epoch)),
+    ]);
+
+    // --- Inference: beam-width-4 queries/sec, baseline vs current -------
+    // One trained pipeline serves both arms; inputs are prebuilt so the
+    // measurement isolates encode + beam decode.
+    set_current_mode(true);
+    let (pipeline, _) = train(
+        &corpus,
+        ValueMode::Light,
+        model_cfg,
+        &TrainConfig { epochs: 2, threads: 1, ..Default::default() },
+    );
+    let inputs: Vec<ModelInput> = corpus
+        .dev
+        .iter()
+        .map(|s| {
+            let db = corpus.db(s);
+            let pre = preprocess(&s.question, db, &pipeline.ner, &pipeline.cand_cfg);
+            let cands = assemble_candidates(db, &pre, ValueMode::Light, Some(&s.values), false);
+            build_input_opts(db, &pre, &cands, &pipeline.model.vocab, pipeline.model.input_options())
+        })
+        .collect();
+    let reps = if quick { 1 } else { 3 };
+
+    // Best-of-3 sweeps per arm, for the same reason as the training minimum.
+    set_current_mode(false);
+    let s0 = pool::stats();
+    let mut base_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..reps {
+            for input in &inputs {
+                std::hint::black_box(pipeline.model.predict_beam_unbatched(input));
+            }
+        }
+        base_secs = base_secs.min(t.elapsed().as_secs_f64());
+    }
+    let base_pool = pool::stats().since(&s0);
+    let base_qps = (reps * inputs.len()) as f64 / base_secs.max(1e-9);
+    eprintln!("inference baseline (unbatched, pool/fusion off): {base_qps:.1} queries/s");
+
+    set_current_mode(true);
+    let s0 = pool::stats();
+    let mut cur_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..reps {
+            for input in &inputs {
+                std::hint::black_box(pipeline.model.predict_beam(input));
+            }
+        }
+        cur_secs = cur_secs.min(t.elapsed().as_secs_f64());
+    }
+    let cur_pool = pool::stats().since(&s0);
+    let cur_qps = (reps * inputs.len()) as f64 / cur_secs.max(1e-9);
+    eprintln!("inference current  (batched, pool/fusion on):    {cur_qps:.1} queries/s");
+
+    // Stderr-only diagnostic: encode-only cost per arm, to show how much of
+    // a query is encoding (shared shape work) versus beam decoding.
+    for (label, mode) in [("off", false), ("on", true)] {
+        set_current_mode(mode);
+        let t = Instant::now();
+        for input in &inputs {
+            let mut g = valuenet_tensor::Graph::new();
+            std::hint::black_box(pipeline.model.encode(&mut g, input, None));
+        }
+        let us = t.elapsed().as_secs_f64() * 1e6 / inputs.len() as f64;
+        eprintln!("encode-only (rework {label}): {us:.0} µs/query");
+    }
+    let infer_speedup = cur_qps / base_qps.max(1e-9);
+    let inference = Json::obj(vec![
+        ("type", Json::Str("bench".into())),
+        ("name", Json::Str("inference_beam4".into())),
+        ("queries", Json::Int((reps * inputs.len()) as i64)),
+        ("beam_width", Json::Int(4)),
+        ("baseline_queries_per_sec", Json::Num(base_qps)),
+        ("queries_per_sec", Json::Num(cur_qps)),
+        ("speedup", Json::Num(infer_speedup)),
+        ("baseline_pool", pool_json(&base_pool)),
+        ("pool", pool_json(&cur_pool)),
+    ]);
+
+    let mut w =
+        valuenet_obs::JsonlWriter::create("BENCH_speed.json").expect("can create BENCH_speed.json");
+    w.write(Json::obj(vec![
+        ("type", Json::Str("meta".into())),
+        ("bench", Json::Str("speed".into())),
+        ("quick", Json::Bool(quick)),
+    ]))
+    .expect("meta writes");
+    w.write(training.clone()).expect("training record writes");
+    w.write(inference.clone()).expect("inference record writes");
+    w.finish().expect("report flushes");
+    println!("{}", training.render());
+    println!("{}", inference.render());
+    eprintln!(
+        "speedups: training {train_speedup:.2}x, beam-4 inference {infer_speedup:.2}x"
+    );
+    valuenet_obs::finish();
+    // Leave the process in the default (pooled, fused) configuration.
+    set_current_mode(true);
+}

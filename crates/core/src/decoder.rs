@@ -23,6 +23,31 @@ static CHOICE_COLUMN: valuenet_obs::Counter = valuenet_obs::Counter::new("decode
 static CHOICE_TABLE: valuenet_obs::Counter = valuenet_obs::Counter::new("decode.choice.table");
 static CHOICE_VALUE: valuenet_obs::Counter = valuenet_obs::Counter::new("decode.choice.value");
 
+/// One live beam hypothesis (shared by the batched and unbatched search).
+struct BeamHyp {
+    ts: TransitionSystem,
+    state: LstmState,
+    prev_emb: Var,
+    prev_ctx: Var,
+    actions: Vec<Action>,
+    score: f32,
+}
+
+/// Ranks completed hypotheses by *length-normalised* score (mean
+/// log-probability per action). Raw sums shrink monotonically with
+/// derivation length, so ranking on them systematically prefers short
+/// hypotheses — long correct derivations lose to short wrong ones, and beam
+/// search can score below greedy decoding.
+fn rank_completed(
+    mut completed: Vec<(Vec<Action>, f32)>,
+    beam_width: usize,
+) -> Vec<(Vec<Action>, f32)> {
+    let norm = |(actions, score): &(Vec<Action>, f32)| score / actions.len().max(1) as f32;
+    completed.sort_by(|a, b| norm(b).partial_cmp(&norm(a)).unwrap_or(std::cmp::Ordering::Equal));
+    completed.truncate(beam_width);
+    completed
+}
+
 /// Tallies one committed action into the pointer-choice distribution.
 fn count_choice(a: &Action) {
     match a {
@@ -93,8 +118,14 @@ impl Decoder {
         LstmState { h, c }
     }
 
-    /// One LSTM + attention step. Returns the new state, the feature vector
-    /// `[1, hidden + d]`, and the attention context.
+    /// One LSTM + attention step. Returns the new state and the feature
+    /// matrix `[B, hidden + d]`.
+    ///
+    /// Row-batched: `B` stacked hypotheses produce exactly the rows that `B`
+    /// separate `[1, ·]` calls would (the LSTM cell and the fused attention
+    /// both compute each output row independently in a fixed order), which
+    /// is what lets [`Decoder::decode_beam`] step a whole beam through one
+    /// blocked matmul per gate.
     fn step(
         &self,
         g: &mut Graph,
@@ -106,12 +137,10 @@ impl Decoder {
     ) -> (LstmState, Var) {
         let x = g.concat_cols(&[prev_emb, prev_ctx]);
         let state = self.cell.step(g, ps, x, state);
-        // Attention over the question encodings.
+        // Fused attention over the question encodings (score + scale +
+        // softmax in one node; context as one matmul with the same rows).
         let q = self.attn_q.forward(g, ps, state.h);
-        let kt = g.transpose(enc.question);
-        let raw = g.matmul(q, kt);
-        let scores = g.scale(raw, 1.0 / (self.d as f32).sqrt());
-        let attn = g.softmax_rows(scores);
+        let attn = g.attn_softmax(q, enc.question, 1.0 / (self.d as f32).sqrt(), None);
         let ctx = g.matmul(attn, enc.question);
         let f = g.concat_cols(&[state.h, ctx]);
         (state, f)
@@ -186,8 +215,7 @@ impl Decoder {
             NonTerminal::V => self.ptr_val.forward(g, ps, f),
             other => unreachable!("pointer_scores on {other:?}"),
         };
-        let t = g.transpose(items);
-        let raw = g.matmul(proj, t);
+        let raw = g.matmul_transposed_b(proj, items);
         g.scale(raw, 1.0 / (self.d as f32).sqrt())
     }
 
@@ -215,21 +243,18 @@ impl Decoder {
                 NonTerminal::C => {
                     let Action::C(i) = action else { panic!("expected C, got {action:?}") };
                     let scores = self.pointer_scores(g, ps, f, enc.columns, NonTerminal::C);
-                    let lp = g.log_softmax_rows(scores);
-                    g.nll_loss(lp, &[*i])
+                    g.log_softmax_nll(scores, &[*i])
                 }
                 NonTerminal::T => {
                     let Action::T(i) = action else { panic!("expected T, got {action:?}") };
                     let scores = self.pointer_scores(g, ps, f, enc.tables, NonTerminal::T);
-                    let lp = g.log_softmax_rows(scores);
-                    g.nll_loss(lp, &[*i])
+                    g.log_softmax_nll(scores, &[*i])
                 }
                 NonTerminal::V => {
                     let Action::V(i) = action else { panic!("expected V, got {action:?}") };
                     let values = enc.values.expect("gold V action without candidates");
                     let scores = self.pointer_scores(g, ps, f, values, NonTerminal::V);
-                    let lp = g.log_softmax_rows(scores);
-                    g.nll_loss(lp, &[*i])
+                    g.log_softmax_nll(scores, &[*i])
                 }
                 _ => {
                     let idx = action
@@ -238,8 +263,7 @@ impl Decoder {
                     let valid = self.valid_sketch(&ts, has_values);
                     debug_assert!(valid.contains(&idx), "gold action masked out: {action:?}");
                     let logits = self.masked_sketch_logits(g, ps, f, &valid);
-                    let lp = g.log_softmax_rows(logits);
-                    g.nll_loss(lp, &[idx])
+                    g.log_softmax_nll(logits, &[idx])
                 }
             };
             losses.push(loss);
@@ -262,6 +286,13 @@ impl Decoder {
     /// with beam search); combined with execution-guided selection in the
     /// pipeline it also realises a piece of the paper's future work — using
     /// the database to discard candidates that cannot execute.
+    ///
+    /// All live hypotheses advance through **one** batched LSTM + attention
+    /// step per search step (rows stacked with `concat_rows`), so the per-gate
+    /// matmuls are `[B, ·]` blocked kernels instead of `B` separate matvecs.
+    /// Every output row is computed independently in a fixed order, so the
+    /// result is bit-identical to [`Decoder::decode_beam_unbatched`] (covered
+    /// by `tests/beam_search.rs`).
     pub fn decode_beam(
         &self,
         g: &mut Graph,
@@ -272,18 +303,10 @@ impl Decoder {
     ) -> Vec<(Vec<Action>, f32)> {
         assert!(beam_width >= 1, "beam width must be at least 1");
         let _span = valuenet_obs::span("decode.beam");
-        struct Hyp {
-            ts: TransitionSystem,
-            state: LstmState,
-            prev_emb: Var,
-            prev_ctx: Var,
-            actions: Vec<Action>,
-            score: f32,
-        }
         let has_values = enc.values.is_some();
         let start = self.action_emb.forward(g, ps, &[0]);
         let init = self.init_state(g, ps, enc);
-        let mut beams = vec![Hyp {
+        let mut beams = vec![BeamHyp {
             ts: TransitionSystem::new(),
             state: init,
             prev_emb: start,
@@ -297,7 +320,186 @@ impl Decoder {
                 break;
             }
             BEAM_STEPS.add(1);
-            let mut expansions: Vec<Hyp> = Vec::new();
+            // Stack every live hypothesis and run one step for the whole beam.
+            let b = beams.len();
+            let (state_all, f_all) = {
+                let embs: Vec<Var> = beams.iter().map(|h| h.prev_emb).collect();
+                let ctxs: Vec<Var> = beams.iter().map(|h| h.prev_ctx).collect();
+                let hs: Vec<Var> = beams.iter().map(|h| h.state.h).collect();
+                let cs: Vec<Var> = beams.iter().map(|h| h.state.c).collect();
+                let prev_emb = g.concat_rows(&embs);
+                let prev_ctx = g.concat_rows(&ctxs);
+                let state = LstmState { h: g.concat_rows(&hs), c: g.concat_rows(&cs) };
+                self.step(g, ps, enc, prev_emb, prev_ctx, state)
+            };
+            let hidden = g.value(state_all.h).cols();
+            let ctx_all = g.slice_cols(f_all, hidden, hidden + self.d);
+            // Group rows by frontier kind so each pointer head and the sketch
+            // head run once over their subset of rows. Sketch dead ends drop
+            // out here (no legal action left).
+            let mut ptr_rows: [Vec<usize>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+            let mut sketch_rows: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (idx, hyp) in beams.iter().enumerate() {
+                match hyp.ts.frontier().expect("incomplete hypotheses only") {
+                    NonTerminal::C => ptr_rows[0].push(idx),
+                    NonTerminal::T => ptr_rows[1].push(idx),
+                    NonTerminal::V => ptr_rows[2].push(idx),
+                    _ => {
+                        let valid = self.valid_sketch(&hyp.ts, has_values);
+                        if valid.is_empty() {
+                            BEAM_DEAD_ENDS.add(1);
+                        } else {
+                            sketch_rows.push((idx, valid));
+                        }
+                    }
+                }
+            }
+            // Log-probabilities over the legal actions, per hypothesis; `None`
+            // marks a dead end.
+            let mut choices: Vec<Option<Vec<(Action, f32)>>> = (0..b).map(|_| None).collect();
+            for (k, rows) in ptr_rows.iter().enumerate() {
+                if rows.is_empty() {
+                    continue;
+                }
+                let which = [NonTerminal::C, NonTerminal::T, NonTerminal::V][k];
+                let items = match which {
+                    NonTerminal::C => enc.columns,
+                    NonTerminal::T => enc.tables,
+                    _ => enc.values.expect("masking guarantees candidates"),
+                };
+                let f_k = g.gather_rows(f_all, rows);
+                let scores = self.pointer_scores(g, ps, f_k, items, which);
+                let lp = g.log_softmax_rows(scores);
+                for (j, &idx) in rows.iter().enumerate() {
+                    let row = g.value(lp).row(j);
+                    choices[idx] = Some(
+                        row.iter()
+                            .enumerate()
+                            .map(|(i, &p)| {
+                                let a = match which {
+                                    NonTerminal::C => Action::C(i),
+                                    NonTerminal::T => Action::T(i),
+                                    _ => Action::V(i),
+                                };
+                                (a, p)
+                            })
+                            .collect(),
+                    );
+                }
+            }
+            if !sketch_rows.is_empty() {
+                let rows: Vec<usize> = sketch_rows.iter().map(|&(idx, _)| idx).collect();
+                let f_s = g.gather_rows(f_all, &rows);
+                let logits = self.sketch_head.forward(g, ps, f_s);
+                let mut mask = Tensor::full(sketch_rows.len(), SKETCH_VOCAB, -1e9);
+                for (j, (_, valid)) in sketch_rows.iter().enumerate() {
+                    for &i in valid {
+                        mask.set(j, i, 0.0);
+                    }
+                }
+                let m = g.input(mask);
+                let masked = g.add(logits, m);
+                let lp = g.log_softmax_rows(masked);
+                for (j, (idx, valid)) in sketch_rows.iter().enumerate() {
+                    let row = g.value(lp).row(j);
+                    choices[*idx] = Some(
+                        valid.iter().map(|&i| (Action::from_sketch_index(i), row[i])).collect(),
+                    );
+                }
+            }
+            // Expand each live hypothesis exactly like the unbatched search;
+            // per-hypothesis state rows are sliced out of the batch lazily
+            // (only survivors into the next step need them).
+            let mut state_rows: Vec<Option<(Var, Var, Var)>> = (0..b).map(|_| None).collect();
+            let mut expansions: Vec<BeamHyp> = Vec::new();
+            for (idx, hyp) in beams.drain(..).enumerate() {
+                let Some(mut ranked) = choices[idx].take() else { continue };
+                BEAM_CANDIDATES.record(ranked.len() as u64);
+                ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                for (action, logp) in ranked.into_iter().take(beam_width) {
+                    let mut ts = hyp.ts.clone();
+                    if ts.apply(&action).is_err() {
+                        continue;
+                    }
+                    count_choice(&action);
+                    BEAM_EXPANDED.add(1);
+                    let mut actions = hyp.actions.clone();
+                    actions.push(action);
+                    let score = hyp.score + logp;
+                    if ts.is_complete() {
+                        BEAM_COMPLETED.add(1);
+                        completed.push((actions, score));
+                    } else {
+                        if state_rows[idx].is_none() {
+                            state_rows[idx] = Some((
+                                g.slice_rows(state_all.h, idx, idx + 1),
+                                g.slice_rows(state_all.c, idx, idx + 1),
+                                g.slice_rows(ctx_all, idx, idx + 1),
+                            ));
+                        }
+                        let (h, c, ctx) = state_rows[idx].expect("just inserted");
+                        let prev_emb = self.action_input(g, ps, enc, &action);
+                        expansions.push(BeamHyp {
+                            ts,
+                            state: LstmState { h, c },
+                            prev_emb,
+                            prev_ctx: ctx,
+                            actions,
+                            score,
+                        });
+                    }
+                }
+            }
+            expansions
+                .sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+            BEAM_PRUNED.add(expansions.len().saturating_sub(beam_width) as u64);
+            expansions.truncate(beam_width);
+            beams = expansions;
+            // Early exit: enough completed hypotheses that beat every open one.
+            if completed.len() >= beam_width
+                && beams
+                    .iter()
+                    .all(|h| completed.iter().any(|(_, cs)| *cs >= h.score))
+            {
+                break;
+            }
+        }
+        rank_completed(completed, beam_width)
+    }
+
+    /// Per-hypothesis reference implementation of [`Decoder::decode_beam`].
+    ///
+    /// Steps every hypothesis through its own `[1, ·]` LSTM + attention call.
+    /// Kept as the differential oracle for the batched search (the two must
+    /// agree bit-for-bit) and as the baseline arm of the speed benchmark.
+    pub fn decode_beam_unbatched(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        enc: &Encodings,
+        max_steps: usize,
+        beam_width: usize,
+    ) -> Vec<(Vec<Action>, f32)> {
+        assert!(beam_width >= 1, "beam width must be at least 1");
+        let _span = valuenet_obs::span("decode.beam");
+        let has_values = enc.values.is_some();
+        let start = self.action_emb.forward(g, ps, &[0]);
+        let init = self.init_state(g, ps, enc);
+        let mut beams = vec![BeamHyp {
+            ts: TransitionSystem::new(),
+            state: init,
+            prev_emb: start,
+            prev_ctx: enc.pooled,
+            actions: Vec::new(),
+            score: 0.0,
+        }];
+        let mut completed: Vec<(Vec<Action>, f32)> = Vec::new();
+        for _ in 0..max_steps {
+            if beams.is_empty() {
+                break;
+            }
+            BEAM_STEPS.add(1);
+            let mut expansions: Vec<BeamHyp> = Vec::new();
             for hyp in beams.drain(..) {
                 let frontier = hyp.ts.frontier().expect("incomplete hypotheses only");
                 let (state, f) =
@@ -361,7 +563,7 @@ impl Decoder {
                         completed.push((actions, score));
                     } else {
                         let prev_emb = self.action_input(g, ps, enc, &action);
-                        expansions.push(Hyp {
+                        expansions.push(BeamHyp {
                             ts,
                             state,
                             prev_emb,
@@ -386,15 +588,7 @@ impl Decoder {
                 break;
             }
         }
-        // Rank completions by *length-normalised* score (mean log-probability
-        // per action). Raw sums shrink monotonically with derivation length,
-        // so ranking on them systematically prefers short hypotheses — long
-        // correct derivations lose to short wrong ones, and beam search can
-        // score below greedy decoding.
-        let norm = |(actions, score): &(Vec<Action>, f32)| score / actions.len().max(1) as f32;
-        completed.sort_by(|a, b| norm(b).partial_cmp(&norm(a)).unwrap_or(std::cmp::Ordering::Equal));
-        completed.truncate(beam_width);
-        completed
+        rank_completed(completed, beam_width)
     }
 
     /// Greedy grammar-constrained decoding.

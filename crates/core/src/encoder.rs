@@ -108,6 +108,50 @@ impl Encoder {
         self.item_proj.forward(g, ps, summary)
     }
 
+    /// Summarises every item in one length-bucketed batch per token count.
+    ///
+    /// All schema items (columns, tables, value candidates) share the same
+    /// Bi-LSTM and projection, so instead of one tiny per-item LSTM run this
+    /// stacks every item of equal token length into rows and drives them
+    /// through [`BiLstm::summarize_steps`] — a handful of `[N, ·]` matmuls
+    /// per step instead of hundreds of matvecs per sample. Row `i` of the
+    /// result is bit-identical to `summarize_item(items[i])` (row-wise ops,
+    /// per-row-independent kernels; pinned by `tests/encoder_batch.rs`).
+    ///
+    /// Batching is part of the allocation-free execution rework and follows
+    /// its master toggle: with [`valuenet_tensor::fusion_enabled`] off, each
+    /// item is summarised separately, exactly as the pre-rework encoder did —
+    /// the baseline arm of the speed benchmark.
+    fn summarize_items(&self, g: &mut Graph, ps: &ParamStore, items: &[&[usize]]) -> Vec<Var> {
+        if !valuenet_tensor::fusion_enabled() {
+            return items.iter().map(|ids| self.summarize_item(g, ps, ids)).collect();
+        }
+        // Bucket item indices by token count; BTreeMap keeps bucket order
+        // deterministic (ascending length).
+        let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, ids) in items.iter().enumerate() {
+            assert!(!ids.is_empty(), "summarize_items: empty item");
+            buckets.entry(ids.len()).or_default().push(i);
+        }
+        let mut out: Vec<Option<Var>> = vec![None; items.len()];
+        for (&t_len, members) in &buckets {
+            // Step t of the batch gathers token t of every member item.
+            let steps: Vec<Var> = (0..t_len)
+                .map(|t| {
+                    let ids: Vec<usize> = members.iter().map(|&i| items[i][t]).collect();
+                    self.word_emb.forward(g, ps, &ids)
+                })
+                .collect();
+            let summaries = self.item_lstm.summarize_steps(g, ps, &steps);
+            let projected = self.item_proj.forward(g, ps, summaries);
+            for (row, &i) in members.iter().enumerate() {
+                out[i] = Some(g.slice_rows(projected, row, row + 1));
+            }
+        }
+        out.into_iter().map(|v| v.expect("every item summarised")).collect()
+    }
+
     /// Encodes one input. `dropout_rng` enables training-time dropout.
     pub fn forward(
         &self,
@@ -128,10 +172,22 @@ impl Encoder {
             }
         }
 
-        // Schema items: Bi-LSTM summaries + hint/type embeddings.
+        // Schema items: Bi-LSTM summaries + hint/type embeddings. Columns,
+        // tables and value candidates all share the summariser, so they go
+        // through one length-bucketed batch.
+        let item_ids: Vec<&[usize]> = input
+            .columns
+            .iter()
+            .chain(&input.tables)
+            .chain(&input.values)
+            .map(|item| item.word_ids.as_slice())
+            .collect();
+        let summaries = self.summarize_items(g, ps, &item_ids);
+        let (col_sums, rest) = summaries.split_at(input.columns.len());
+        let (tab_sums, value_rows) = rest.split_at(input.tables.len());
+
         let mut col_rows = Vec::with_capacity(input.columns.len());
-        for (i, item) in input.columns.iter().enumerate() {
-            let base = self.summarize_item(g, ps, &item.word_ids);
+        for (i, &base) in col_sums.iter().enumerate() {
             let hint = self.shint_col_emb.forward(g, ps, &[input.column_hints[i]]);
             let ty = self.ctype_emb.forward(g, ps, &[input.column_types[i]]);
             let a = g.add(base, hint);
@@ -140,23 +196,16 @@ impl Encoder {
         let columns = g.concat_rows(&col_rows);
 
         let mut tab_rows = Vec::with_capacity(input.tables.len());
-        for (i, item) in input.tables.iter().enumerate() {
-            let base = self.summarize_item(g, ps, &item.word_ids);
+        for (i, &base) in tab_sums.iter().enumerate() {
             let hint = self.shint_tab_emb.forward(g, ps, &[input.table_hints[i]]);
             tab_rows.push(g.add(base, hint));
         }
         let tables = g.concat_rows(&tab_rows);
 
-        let value_rows: Vec<Var> = input
-            .values
-            .iter()
-            .map(|item| self.summarize_item(g, ps, &item.word_ids))
-            .collect();
-
         // Joint contextualisation.
         let mut parts = vec![question, columns, tables];
         if !value_rows.is_empty() {
-            parts.push(g.concat_rows(&value_rows));
+            parts.push(g.concat_rows(value_rows));
         }
         let mut joint = g.concat_rows(&parts);
         for block in &self.blocks {

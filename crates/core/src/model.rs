@@ -151,22 +151,59 @@ impl ValueNetModel {
         self.decoder.loss(g, &self.params, &enc, gold_actions)
     }
 
+    /// Runs `f` on a thread-local recycled tape (capacity and, through the
+    /// buffer pool, every tensor from the previous query survive), or on a
+    /// fresh tape when the execution rework is toggled off — the pre-rework
+    /// behaviour the speed benchmark's baseline arm measures.
+    fn with_inference_tape<R>(f: impl FnOnce(&mut Graph) -> R) -> R {
+        if valuenet_tensor::fusion_enabled() {
+            thread_local! {
+                static TAPE: std::cell::RefCell<Graph> = std::cell::RefCell::new(Graph::new());
+            }
+            TAPE.with(|tape| {
+                let mut g = tape.borrow_mut();
+                g.reset();
+                f(&mut g)
+            })
+        } else {
+            f(&mut Graph::new())
+        }
+    }
+
     /// Greedy grammar-constrained prediction.
     ///
     /// # Errors
     /// Propagates decoding failures (step-budget exhaustion).
     pub fn predict(&self, input: &ModelInput) -> Result<Vec<Action>, String> {
-        let mut g = Graph::new();
-        let enc = self.encode(&mut g, input, None);
-        self.decoder.decode_greedy(&mut g, &self.params, &enc, self.config.max_decode_steps)
+        Self::with_inference_tape(|g| {
+            let enc = self.encode(g, input, None);
+            self.decoder.decode_greedy(g, &self.params, &enc, self.config.max_decode_steps)
+        })
     }
 
     /// Beam-search prediction: up to `config.beam_width` completed action
     /// sequences, best first, with their summed log-probabilities.
     pub fn predict_beam(&self, input: &ModelInput) -> Vec<(Vec<Action>, f32)> {
+        Self::with_inference_tape(|g| {
+            let enc = self.encode(g, input, None);
+            self.decoder.decode_beam(
+                g,
+                &self.params,
+                &enc,
+                self.config.max_decode_steps,
+                self.config.beam_width.max(1),
+            )
+        })
+    }
+
+    /// Beam-search prediction through the per-hypothesis reference decoder
+    /// ([`Decoder::decode_beam_unbatched`]). Bit-identical to
+    /// [`ValueNetModel::predict_beam`]; kept as the differential oracle and
+    /// the baseline arm of the speed benchmark.
+    pub fn predict_beam_unbatched(&self, input: &ModelInput) -> Vec<(Vec<Action>, f32)> {
         let mut g = Graph::new();
         let enc = self.encode(&mut g, input, None);
-        self.decoder.decode_beam(
+        self.decoder.decode_beam_unbatched(
             &mut g,
             &self.params,
             &enc,

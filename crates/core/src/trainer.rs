@@ -253,29 +253,52 @@ pub fn train(
             let passes = valuenet_par::par_map(batch, cfg.threads, |_, &i| {
                 let _sample_span = valuenet_obs::span("train.sample");
                 let sample = &prepared[i];
-                let mut g = Graph::new();
-                let mut rng = SmallRng::seed_from_u64(sample_seed(cfg.seed, epoch, i));
-                let (loss, loss_value) = {
-                    let _s = valuenet_obs::span("train.forward");
-                    let loss =
-                        model.loss(&mut g, &sample.input, &sample.actions, Some(&mut rng));
-                    let v = g.value(loss).scalar_value();
-                    (loss, v)
-                };
-                let _s = valuenet_obs::span("train.backward");
-                let grads = g.backward(loss);
-                (loss_value, model.params.collect_grads(&grads))
+                // One tape per worker thread, recycled across samples: the
+                // node vector's capacity (and, via the buffer pool, every
+                // tensor it held) survives from one pass to the next.
+                thread_local! {
+                    static TAPE: std::cell::RefCell<Graph> = std::cell::RefCell::new(Graph::new());
+                }
+                TAPE.with(|tape| {
+                    let mut g = tape.borrow_mut();
+                    g.reset();
+                    let mut rng = SmallRng::seed_from_u64(sample_seed(cfg.seed, epoch, i));
+                    let (loss, loss_value) = {
+                        let _s = valuenet_obs::span("train.forward");
+                        let loss =
+                            model.loss(&mut g, &sample.input, &sample.actions, Some(&mut rng));
+                        let v = g.value(loss).scalar_value();
+                        (loss, v)
+                    };
+                    let _s = valuenet_obs::span("train.backward");
+                    let grads = g.backward(loss);
+                    (loss_value, model.params.collect_grads(&grads))
+                })
             });
-            // Reduce in sample order so f32 sums are canonical.
-            let mut batch_grads: Vec<(ParamId, Tensor)> = Vec::new();
+            // Reduce in sample order so f32 sums are canonical. The slot map
+            // is indexed by `ParamId::index()`, making each accumulation an
+            // O(1) lookup instead of a linear scan over the parameters seen
+            // so far (which made batch reduction quadratic in model size).
+            let mut slots: Vec<Option<(ParamId, Tensor)>> = Vec::new();
+            slots.resize_with(model.params.len(), || None);
+            let mut touched: Vec<usize> = Vec::new();
             for (loss_value, grads) in passes {
                 epoch_loss += loss_value;
                 for (id, grad) in grads {
-                    match batch_grads.iter_mut().find(|(pid, _)| *pid == id) {
+                    match &mut slots[id.index()] {
                         Some((_, acc)) => acc.add_assign(&grad),
-                        None => batch_grads.push((id, grad)),
+                        slot @ None => {
+                            touched.push(id.index());
+                            *slot = Some((id, grad));
+                        }
                     }
                 }
+            }
+            // First-seen order equals the old push order, so the f32 sums —
+            // and therefore training — are unchanged.
+            let mut batch_grads: Vec<(ParamId, Tensor)> = Vec::with_capacity(touched.len());
+            for idx in touched {
+                batch_grads.push(slots[idx].take().expect("touched slot is filled"));
             }
             // Average over the batch before the Adam step.
             let scale = 1.0 / batch.len() as f32;

@@ -111,6 +111,50 @@ fn beam_width_one_equals_greedy() {
 }
 
 #[test]
+fn batched_beam_matches_unbatched_exactly() {
+    // The batched search stacks all live hypotheses into one LSTM + attention
+    // step. Every kernel involved (matmul, LSTM gates, fused attention,
+    // log-softmax) computes each output row independently in a fixed order,
+    // so batching must not change a single bit: we demand exact f32 equality
+    // of both the action sequences and the scores, across widths and seeds.
+    let mut nonempty = 0;
+    for seed in [3u64, 17, 29, 41] {
+        for width in [1usize, 2, 4] {
+            let (ps, encoder, decoder, input) = setup(seed);
+
+            let mut g = Graph::new();
+            let enc = encoder.forward(&mut g, &ps, &input, 0.0, None);
+            let batched = decoder.decode_beam(&mut g, &ps, &enc, MAX_STEPS, width);
+
+            let mut g = Graph::new();
+            let enc = encoder.forward(&mut g, &ps, &input, 0.0, None);
+            let unbatched = decoder.decode_beam_unbatched(&mut g, &ps, &enc, MAX_STEPS, width);
+
+            assert_eq!(
+                batched.len(),
+                unbatched.len(),
+                "seed {seed} width {width}: completion counts differ"
+            );
+            for (i, (b, u)) in batched.iter().zip(&unbatched).enumerate() {
+                assert_eq!(
+                    b.0, u.0,
+                    "seed {seed} width {width}: hypothesis {i} actions differ"
+                );
+                assert_eq!(
+                    b.1.to_bits(),
+                    u.1.to_bits(),
+                    "seed {seed} width {width}: hypothesis {i} score differs ({} vs {})",
+                    b.1,
+                    u.1
+                );
+            }
+            nonempty += usize::from(!batched.is_empty());
+        }
+    }
+    assert!(nonempty >= 4, "too few runs completed ({nonempty}) — the check is vacuous");
+}
+
+#[test]
 fn completed_hypotheses_are_ranked_by_normalised_score() {
     let mut nonempty = 0;
     for seed in [3u64, 17, 29, 41] {

@@ -57,13 +57,9 @@ impl MultiHeadAttention {
             let qh = g.slice_cols(q, c0, c1);
             let kh = g.slice_cols(k, c0, c1);
             let vh = g.slice_cols(v, c0, c1);
-            let kt = g.transpose(kh);
-            let raw = g.matmul(qh, kt);
-            let mut scores = g.scale(raw, scale);
-            if let Some(m) = mask {
-                scores = g.add(scores, m);
-            }
-            let attn = g.softmax_rows(scores);
+            // Fused score+scale+mask+softmax; the context stays a separate
+            // matmul because keys and values are different projections.
+            let attn = g.attn_softmax(qh, kh, scale, mask);
             head_outs.push(g.matmul(attn, vh));
         }
         let cat = g.concat_cols(&head_outs);
@@ -120,10 +116,9 @@ impl FeedForward {
         }
     }
 
-    /// Applies the network row-wise.
+    /// Applies the network row-wise (up-projection and ReLU fused).
     pub fn forward(&self, g: &mut Graph, ps: &ParamStore, x: Var) -> Var {
-        let u = self.up.forward(g, ps, x);
-        let r = g.relu(u);
+        let r = self.up.forward_act(g, ps, x, valuenet_tensor::Activation::Relu);
         self.down.forward(g, ps, r)
     }
 }

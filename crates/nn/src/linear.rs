@@ -2,7 +2,7 @@
 
 use crate::{Initializer, ParamId, ParamStore};
 use rand::Rng;
-use valuenet_tensor::{Graph, Var};
+use valuenet_tensor::{Activation, Graph, Var};
 
 /// A dense affine layer `y = x W + b` (bias optional).
 pub struct Linear {
@@ -48,16 +48,17 @@ impl Linear {
 
     /// Applies the layer to `x` of shape `[n, in_dim]`.
     pub fn forward(&self, g: &mut Graph, ps: &ParamStore, x: Var) -> Var {
+        self.forward_act(g, ps, x, Activation::None)
+    }
+
+    /// Applies the layer followed by `act`, as one fused
+    /// [`Graph::matmul_bias_act`] node (matmul, bias broadcast and
+    /// activation in a single pass over the output).
+    pub fn forward_act(&self, g: &mut Graph, ps: &ParamStore, x: Var, act: Activation) -> Var {
         debug_assert_eq!(g.value(x).cols(), self.in_dim, "Linear: input dim mismatch");
         let w = ps.var(g, self.w);
-        let y = g.matmul(x, w);
-        match self.b {
-            Some(b) => {
-                let b = ps.var(g, b);
-                g.add_broadcast_row(y, b)
-            }
-            None => y,
-        }
+        let b = self.b.map(|b| ps.var(g, b));
+        g.matmul_bias_act(x, w, b, act)
     }
 
     /// Input dimensionality.

@@ -8,7 +8,9 @@ use crate::{Initializer, ParamId, ParamStore};
 use rand::Rng;
 use valuenet_tensor::{Graph, Tensor, Var};
 
-/// Hidden and cell state of an LSTM, each of shape `[1, hidden]`.
+/// Hidden and cell state of an LSTM, each of shape `[B, hidden]` — one row
+/// per batch element (`B = 1` for the sequential encoders; the batched beam
+/// decoder stacks all live hypotheses into one state).
 #[derive(Clone, Copy)]
 pub struct LstmState {
     /// Hidden state `h`.
@@ -70,14 +72,28 @@ impl LstmCell {
 
     /// A zero initial state.
     pub fn zero_state(&self, g: &mut Graph) -> LstmState {
-        let h = g.input(Tensor::zeros(1, self.hidden));
-        let c = g.input(Tensor::zeros(1, self.hidden));
+        self.zero_state_n(g, 1)
+    }
+
+    /// A zero initial state for a batch of `n` independent sequences.
+    pub fn zero_state_n(&self, g: &mut Graph, n: usize) -> LstmState {
+        let h = g.input(Tensor::zeros(n, self.hidden));
+        let c = g.input(Tensor::zeros(n, self.hidden));
         LstmState { h, c }
     }
 
-    /// One step: consumes `x` of shape `[1, in_dim]` and the previous state.
+    /// One step: consumes `x` of shape `[B, in_dim]` and the previous
+    /// `[B, hidden]` state. Every op in the cell is row-wise, so a batch of
+    /// `B` rows produces exactly the per-row results of `B` separate calls
+    /// (the blocked matmul kernel accumulates each output row independently
+    /// in a fixed order) — the batched beam decoder relies on this.
     pub fn step(&self, g: &mut Graph, ps: &ParamStore, x: Var, state: LstmState) -> LstmState {
-        debug_assert_eq!(g.value(x).shape(), (1, self.in_dim), "LstmCell: bad input shape");
+        debug_assert_eq!(g.value(x).cols(), self.in_dim, "LstmCell: bad input width");
+        debug_assert_eq!(
+            g.value(x).rows(),
+            g.value(state.h).rows(),
+            "LstmCell: input/state batch mismatch"
+        );
         let wx = ps.var(g, self.wx);
         let wh = ps.var(g, self.wh);
         let b = ps.var(g, self.b);
@@ -85,20 +101,7 @@ impl LstmCell {
         let zh = g.matmul(state.h, wh);
         let z0 = g.add(zx, zh);
         let z = g.add_broadcast_row(z0, b);
-        let h = self.hidden;
-        let i_g = g.slice_cols(z, 0, h);
-        let f_g = g.slice_cols(z, h, 2 * h);
-        let g_g = g.slice_cols(z, 2 * h, 3 * h);
-        let o_g = g.slice_cols(z, 3 * h, 4 * h);
-        let i = g.sigmoid(i_g);
-        let f = g.sigmoid(f_g);
-        let cand = g.tanh(g_g);
-        let o = g.sigmoid(o_g);
-        let fc = g.mul(f, state.c);
-        let ic = g.mul(i, cand);
-        let c = g.add(fc, ic);
-        let tc = g.tanh(c);
-        let h_out = g.mul(o, tc);
+        let (h_out, c) = g.lstm_gates(z, state.c);
         LstmState { h: h_out, c }
     }
 }
@@ -203,6 +206,28 @@ impl BiLstm {
     /// Convenience: just the `[1, 2*hidden]` summary of a sequence.
     pub fn summarize(&self, g: &mut Graph, ps: &ParamStore, xs: Var) -> Var {
         self.run(g, ps, xs).1
+    }
+
+    /// Row-batched summary of `N` equal-length sequences.
+    ///
+    /// `xs[t]` holds time step `t` for every sequence, shape `[N, in_dim]`.
+    /// Returns the `[N, 2*hidden]` summaries — row `i` is bit-identical to
+    /// `summarize` over sequence `i` alone, because every op in
+    /// [`LstmCell::step`] is row-wise and the matmul kernels accumulate each
+    /// output row independently in a fixed order. The batched encoder's
+    /// length-bucketed item summariser relies on this.
+    pub fn summarize_steps(&self, g: &mut Graph, ps: &ParamStore, xs: &[Var]) -> Var {
+        assert!(!xs.is_empty(), "BiLstm::summarize_steps on empty sequence");
+        let n = g.value(xs[0]).rows();
+        let mut state_f = self.fwd.zero_state_n(g, n);
+        for &x in xs {
+            state_f = self.fwd.step(g, ps, x, state_f);
+        }
+        let mut state_b = self.bwd.zero_state_n(g, n);
+        for &x in xs.iter().rev() {
+            state_b = self.bwd.step(g, ps, x, state_b);
+        }
+        g.concat_cols(&[state_f.h, state_b.h])
     }
 }
 

@@ -65,7 +65,7 @@ fn main() -> ExitCode {
                     failed = true;
                 }
             }
-            Some("counter") | Some("histogram") | Some("metric") => counters += 1,
+            Some("counter") | Some("histogram") | Some("metric") | Some("bench") => counters += 1,
             Some(other) => {
                 eprintln!("vn-obs-check: {path}:{}: unknown type {other:?}", lineno + 1);
                 failed = true;

@@ -5,8 +5,57 @@
 //! valid reverse topological order, because operands must exist before the
 //! operation that consumes them) and accumulates gradients into a
 //! [`Gradients`] structure keyed by node and by parameter id.
+//!
+//! Every op builds its output in a single pass into a buffer drawn from the
+//! thread-local pool ([`crate::pool`]) — nothing clones its input just to
+//! overwrite it. The three hottest op compositions additionally have fused
+//! single-node variants ([`Graph::matmul_bias_act`], [`Graph::attn_softmax`],
+//! [`Graph::log_softmax_nll`]); each falls back to recording the equivalent
+//! unfused chain when fusion is off ([`set_fusion_enabled`]), and both paths
+//! are bit-identical in values and gradients (pinned by proptest in
+//! `tests/fused_kernels.rs`).
 
 use crate::Tensor;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+// Invocation counts for the fused kernels; the FLOP/byte accounting itself
+// is inherited from the `tensor.matmul.*` counters because the fused paths
+// run the same instrumented matmul kernels internally.
+static FUSED_MATMUL_BIAS_ACT: valuenet_obs::Counter =
+    valuenet_obs::Counter::new("tensor.fused.matmul_bias_act");
+static FUSED_ATTN_SOFTMAX: valuenet_obs::Counter =
+    valuenet_obs::Counter::new("tensor.fused.attn_softmax");
+static FUSED_LOG_SOFTMAX_NLL: valuenet_obs::Counter =
+    valuenet_obs::Counter::new("tensor.fused.log_softmax_nll");
+static FUSED_LSTM_GATES: valuenet_obs::Counter =
+    valuenet_obs::Counter::new("tensor.fused.lstm_gates");
+
+static FUSION: AtomicBool = AtomicBool::new(true);
+
+/// Globally toggles kernel fusion. When off, the fused entry points record
+/// the equivalent unfused op chains — the baseline arm of `bench_speed` and
+/// the oracle the proptests compare against.
+pub fn set_fusion_enabled(on: bool) {
+    FUSION.store(on, Ordering::Relaxed);
+}
+
+/// Whether fused kernels are currently recorded (the default).
+pub fn fusion_enabled() -> bool {
+    FUSION.load(Ordering::Relaxed)
+}
+
+/// Activation fused into [`Graph::matmul_bias_act`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity — just the (bias-shifted) matmul.
+    None,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Rectified linear unit.
+    Relu,
+}
 
 /// Handle to a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,6 +74,7 @@ enum Op {
     MulBroadcastRow(Var, Var),
     Scale(Var, f32),
     Matmul(Var, Var),
+    MatmulTransposedB(Var, Var),
     Transpose(Var),
     Tanh(Var),
     Sigmoid(Var),
@@ -46,6 +96,21 @@ enum Op {
     Dropout(Var, Vec<f32>),
     /// Per-row layer normalisation (no affine; compose gain/bias separately).
     LayerNormRows(Var, f32),
+    /// Fused `act(a @ w + bias)` with optional row-broadcast bias.
+    MatmulBiasAct(Var, Var, Option<Var>, Activation),
+    /// Fused attention weights `softmax_rows(scale·(q @ keysᵀ) + mask)`.
+    AttnSoftmax { q: Var, keys: Var, scale: f32, mask: Option<Var> },
+    /// Fused `nll_loss(log_softmax_rows(x), targets)`; the per-row
+    /// log-sum-exp is cached so backward never materialises the
+    /// `rows × classes` log-probability matrix.
+    LogSoftmaxNll { x: Var, targets: Vec<usize>, lse: Vec<f32> },
+    /// Fused LSTM cell update `c = σ(z_f)·c_prev + σ(z_i)·tanh(z_g)` over
+    /// gate pre-activations `z = [i|f|g|o]` of shape `[B, 4h]`. Gate values
+    /// are recomputed in backward (deterministic, so bit-identical to the
+    /// cached intermediates of the unfused chain).
+    LstmCellGate { z: Var, c_prev: Var },
+    /// Fused LSTM output gate `h = σ(z_o) · tanh(c)`.
+    LstmOutGate { z: Var, c: Var },
 }
 
 struct Node {
@@ -58,7 +123,10 @@ struct Node {
 /// Gradients produced by [`Graph::backward`].
 pub struct Gradients {
     by_node: Vec<Option<Tensor>>,
-    params: Vec<(usize, usize)>, // (param_id, node index)
+    /// `(param_id, node index)` pairs, sorted by id (stably, so nodes of one
+    /// id keep tape order) — [`Gradients::for_param`] binary-searches here
+    /// instead of scanning every registration.
+    params: Vec<(usize, usize)>,
 }
 
 impl Gradients {
@@ -70,12 +138,14 @@ impl Gradients {
     /// Gradient for the parameter registered under `param_id`.
     ///
     /// If the same parameter was used through several [`Graph::param`] nodes,
-    /// their gradients are summed.
+    /// their gradients are summed (in tape order, so the accumulation is
+    /// deterministic).
     pub fn for_param(&self, param_id: usize) -> Option<Tensor> {
+        let start = self.params.partition_point(|&(pid, _)| pid < param_id);
         let mut acc: Option<Tensor> = None;
-        for &(pid, node) in &self.params {
+        for &(pid, node) in &self.params[start..] {
             if pid != param_id {
-                continue;
+                break;
             }
             if let Some(g) = &self.by_node[node] {
                 match &mut acc {
@@ -106,6 +176,15 @@ impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
         Graph { nodes: Vec::new() }
+    }
+
+    /// Clears the tape for reuse, keeping the node vector's capacity.
+    ///
+    /// Dropping the recorded nodes files every forward buffer back into the
+    /// thread-local pool — this call is the per-sample recycle point for a
+    /// long-lived graph (see `trainer.rs`).
+    pub fn reset(&mut self) {
+        self.nodes.clear();
     }
 
     /// Number of recorded nodes.
@@ -155,13 +234,11 @@ impl Graph {
         let (ta, tb) = (self.value(a), self.value(b));
         assert_eq!(tb.rows(), 1, "add_broadcast_row: rhs must be a row vector");
         assert_eq!(ta.cols(), tb.cols(), "add_broadcast_row: column mismatch");
-        let mut out = ta.clone();
-        for r in 0..out.rows() {
-            for c in 0..out.cols() {
-                let v = out.get(r, c) + tb.get(0, c);
-                out.set(r, c, v);
-            }
+        let mut data = crate::pool::take(ta.len());
+        for r in 0..ta.rows() {
+            data.extend(ta.row(r).iter().zip(tb.row(0)).map(|(&x, &y)| x + y));
         }
+        let out = Tensor::from_vec(ta.rows(), ta.cols(), data);
         let ng = self.any_needs_grad(&[a, b]);
         self.push(out, Op::AddBroadcastRow(a, b), ng, None)
     }
@@ -185,13 +262,11 @@ impl Graph {
         let (ta, tb) = (self.value(a), self.value(b));
         assert_eq!(tb.rows(), 1, "mul_broadcast_row: rhs must be a row vector");
         assert_eq!(ta.cols(), tb.cols(), "mul_broadcast_row: column mismatch");
-        let mut out = ta.clone();
-        for r in 0..out.rows() {
-            for c in 0..out.cols() {
-                let v = out.get(r, c) * tb.get(0, c);
-                out.set(r, c, v);
-            }
+        let mut data = crate::pool::take(ta.len());
+        for r in 0..ta.rows() {
+            data.extend(ta.row(r).iter().zip(tb.row(0)).map(|(&x, &y)| x * y));
         }
+        let out = Tensor::from_vec(ta.rows(), ta.cols(), data);
         let ng = self.any_needs_grad(&[a, b]);
         self.push(out, Op::MulBroadcastRow(a, b), ng, None)
     }
@@ -208,6 +283,19 @@ impl Graph {
         let v = self.value(a).matmul(self.value(b));
         let ng = self.any_needs_grad(&[a, b]);
         self.push(v, Op::Matmul(a, b), ng, None)
+    }
+
+    /// `A·Bᵀ` without materialising a transpose node. Bit-identical to
+    /// `transpose` followed by `matmul` (every kernel involved folds each
+    /// output element over the shared dimension in the same ascending
+    /// order), but the tape holds one node instead of two, and for narrow
+    /// left operands the kernel reads `B`'s rows directly instead of
+    /// packing a transposed copy — the pattern of per-step pointer scores
+    /// against a fixed item matrix.
+    pub fn matmul_transposed_b(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul_transposed_b(self.value(b));
+        let ng = self.any_needs_grad(&[a, b]);
+        self.push(v, Op::MatmulTransposedB(a, b), ng, None)
     }
 
     /// Transpose.
@@ -241,10 +329,22 @@ impl Graph {
     /// Numerically stable softmax applied independently to each row.
     pub fn softmax_rows(&mut self, a: Var) -> Var {
         let t = self.value(a);
-        let mut out = t.clone();
-        for r in 0..out.rows() {
-            softmax_row(out.row_mut(r));
+        let mut data = crate::pool::take(t.len());
+        for r in 0..t.rows() {
+            let src = t.row(r);
+            let max = src.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let start = data.len();
+            let mut sum = 0.0;
+            for &x in src {
+                let e = (x - max).exp();
+                sum += e;
+                data.push(e);
+            }
+            for x in &mut data[start..] {
+                *x /= sum;
+            }
         }
+        let out = Tensor::from_vec(t.rows(), t.cols(), data);
         let ng = self.any_needs_grad(&[a]);
         self.push(out, Op::SoftmaxRows(a), ng, None)
     }
@@ -252,15 +352,14 @@ impl Graph {
     /// Numerically stable log-softmax applied independently to each row.
     pub fn log_softmax_rows(&mut self, a: Var) -> Var {
         let t = self.value(a);
-        let mut out = t.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let lse = max + row.iter().map(|x| (x - max).exp()).sum::<f32>().ln();
-            for x in row.iter_mut() {
-                *x -= lse;
-            }
+        let mut data = crate::pool::take(t.len());
+        for r in 0..t.rows() {
+            let src = t.row(r);
+            let max = src.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let lse = max + src.iter().map(|x| (x - max).exp()).sum::<f32>().ln();
+            data.extend(src.iter().map(|&x| x - lse));
         }
+        let out = Tensor::from_vec(t.rows(), t.cols(), data);
         let ng = self.any_needs_grad(&[a]);
         self.push(out, Op::LogSoftmaxRows(a), ng, None)
     }
@@ -270,16 +369,16 @@ impl Graph {
         assert!(!parts.is_empty(), "concat_cols: no operands");
         let rows = self.value(parts[0]).rows();
         let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
-        let mut out = Tensor::zeros(rows, total);
-        let mut off = 0;
         for &p in parts {
-            let t = self.value(p);
-            assert_eq!(t.rows(), rows, "concat_cols: row mismatch");
-            for r in 0..rows {
-                out.row_mut(r)[off..off + t.cols()].copy_from_slice(t.row(r));
-            }
-            off += t.cols();
+            assert_eq!(self.value(p).rows(), rows, "concat_cols: row mismatch");
         }
+        let mut data = crate::pool::take(rows * total);
+        for r in 0..rows {
+            for &p in parts {
+                data.extend_from_slice(self.value(p).row(r));
+            }
+        }
+        let out = Tensor::from_vec(rows, total, data);
         let ng = self.any_needs_grad(parts);
         self.push(out, Op::ConcatCols(parts.to_vec()), ng, None)
     }
@@ -289,16 +388,13 @@ impl Graph {
         assert!(!parts.is_empty(), "concat_rows: no operands");
         let cols = self.value(parts[0]).cols();
         let total: usize = parts.iter().map(|&p| self.value(p).rows()).sum();
-        let mut out = Tensor::zeros(total, cols);
-        let mut off = 0;
+        let mut data = crate::pool::take(total * cols);
         for &p in parts {
             let t = self.value(p);
             assert_eq!(t.cols(), cols, "concat_rows: column mismatch");
-            for r in 0..t.rows() {
-                out.row_mut(off + r).copy_from_slice(t.row(r));
-            }
-            off += t.rows();
+            data.extend_from_slice(t.as_slice());
         }
+        let out = Tensor::from_vec(total, cols, data);
         let ng = self.any_needs_grad(parts);
         self.push(out, Op::ConcatRows(parts.to_vec()), ng, None)
     }
@@ -307,10 +403,11 @@ impl Graph {
     pub fn slice_cols(&mut self, a: Var, c0: usize, c1: usize) -> Var {
         let t = self.value(a);
         assert!(c0 < c1 && c1 <= t.cols(), "slice_cols: bad range {c0}..{c1}");
-        let mut out = Tensor::zeros(t.rows(), c1 - c0);
+        let mut data = crate::pool::take(t.rows() * (c1 - c0));
         for r in 0..t.rows() {
-            out.row_mut(r).copy_from_slice(&t.row(r)[c0..c1]);
+            data.extend_from_slice(&t.row(r)[c0..c1]);
         }
+        let out = Tensor::from_vec(t.rows(), c1 - c0, data);
         let ng = self.any_needs_grad(&[a]);
         self.push(out, Op::SliceCols(a, c0, c1), ng, None)
     }
@@ -319,10 +416,9 @@ impl Graph {
     pub fn slice_rows(&mut self, a: Var, r0: usize, r1: usize) -> Var {
         let t = self.value(a);
         assert!(r0 < r1 && r1 <= t.rows(), "slice_rows: bad range {r0}..{r1}");
-        let mut out = Tensor::zeros(r1 - r0, t.cols());
-        for r in r0..r1 {
-            out.row_mut(r - r0).copy_from_slice(t.row(r));
-        }
+        let mut data = crate::pool::take((r1 - r0) * t.cols());
+        data.extend_from_slice(&t.as_slice()[r0 * t.cols()..r1 * t.cols()]);
+        let out = Tensor::from_vec(r1 - r0, t.cols(), data);
         let ng = self.any_needs_grad(&[a]);
         self.push(out, Op::SliceRows(a, r0, r1), ng, None)
     }
@@ -345,11 +441,12 @@ impl Graph {
     /// Gathers rows `indices` from `table` (embedding lookup).
     pub fn gather_rows(&mut self, table: Var, indices: &[usize]) -> Var {
         let t = self.value(table);
-        let mut out = Tensor::zeros(indices.len(), t.cols());
-        for (i, &idx) in indices.iter().enumerate() {
+        let mut data = crate::pool::take(indices.len() * t.cols());
+        for &idx in indices {
             assert!(idx < t.rows(), "gather_rows: index {idx} out of {} rows", t.rows());
-            out.row_mut(i).copy_from_slice(t.row(idx));
+            data.extend_from_slice(t.row(idx));
         }
+        let out = Tensor::from_vec(indices.len(), t.cols(), data);
         let ng = self.any_needs_grad(&[table]);
         self.push(out, Op::Gather(table, indices.to_vec()), ng, None)
     }
@@ -375,10 +472,9 @@ impl Graph {
     pub fn dropout(&mut self, a: Var, mask: Vec<f32>) -> Var {
         let t = self.value(a);
         assert_eq!(mask.len(), t.len(), "dropout: mask length mismatch");
-        let mut out = t.clone();
-        for (x, &m) in out.as_mut_slice().iter_mut().zip(&mask) {
-            *x *= m;
-        }
+        let mut data = crate::pool::take(t.len());
+        data.extend(t.as_slice().iter().zip(&mask).map(|(&x, &m)| x * m));
+        let out = Tensor::from_vec(t.rows(), t.cols(), data);
         let ng = self.any_needs_grad(&[a]);
         self.push(out, Op::Dropout(a, mask), ng, None)
     }
@@ -386,19 +482,197 @@ impl Graph {
     /// Per-row layer normalisation (zero mean, unit variance, no affine).
     pub fn layer_norm_rows(&mut self, a: Var, eps: f32) -> Var {
         let t = self.value(a);
-        let mut out = t.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            let n = row.len() as f32;
-            let mean = row.iter().sum::<f32>() / n;
-            let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        let mut data = crate::pool::take(t.len());
+        for r in 0..t.rows() {
+            let src = t.row(r);
+            let n = src.len() as f32;
+            let mean = src.iter().sum::<f32>() / n;
+            let var = src.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
             let inv = 1.0 / (var + eps).sqrt();
-            for x in row.iter_mut() {
-                *x = (*x - mean) * inv;
-            }
+            data.extend(src.iter().map(|&x| (x - mean) * inv));
         }
+        let out = Tensor::from_vec(t.rows(), t.cols(), data);
         let ng = self.any_needs_grad(&[a]);
         self.push(out, Op::LayerNormRows(a, eps), ng, None)
+    }
+
+    /// Fused `act(a @ w + bias)` — one node instead of the three-node
+    /// matmul / add_broadcast_row / activation chain, so the bias-shifted
+    /// pre-activation never materialises. With fusion off
+    /// ([`set_fusion_enabled`]) the unfused composition is recorded instead;
+    /// both paths are bit-identical in values and gradients.
+    pub fn matmul_bias_act(&mut self, a: Var, w: Var, bias: Option<Var>, act: Activation) -> Var {
+        if !fusion_enabled() {
+            let mut y = self.matmul(a, w);
+            if let Some(b) = bias {
+                y = self.add_broadcast_row(y, b);
+            }
+            return match act {
+                Activation::None => y,
+                Activation::Tanh => self.tanh(y),
+                Activation::Sigmoid => self.sigmoid(y),
+                Activation::Relu => self.relu(y),
+            };
+        }
+        FUSED_MATMUL_BIAS_ACT.add(1);
+        let mut out = self.value(a).matmul(self.value(w));
+        if let Some(b) = bias {
+            let tb = self.value(b);
+            assert_eq!(tb.rows(), 1, "matmul_bias_act: bias must be a row vector");
+            assert_eq!(out.cols(), tb.cols(), "matmul_bias_act: bias column mismatch");
+            for r in 0..out.rows() {
+                for (x, &bv) in out.row_mut(r).iter_mut().zip(tb.row(0)) {
+                    *x += bv;
+                }
+            }
+        }
+        match act {
+            Activation::None => {}
+            Activation::Tanh => out.as_mut_slice().iter_mut().for_each(|x| *x = x.tanh()),
+            Activation::Sigmoid => {
+                out.as_mut_slice().iter_mut().for_each(|x| *x = 1.0 / (1.0 + (-*x).exp()))
+            }
+            Activation::Relu => out.as_mut_slice().iter_mut().for_each(|x| *x = x.max(0.0)),
+        }
+        let ng = match bias {
+            Some(b) => self.any_needs_grad(&[a, w, b]),
+            None => self.any_needs_grad(&[a, w]),
+        };
+        self.push(out, Op::MatmulBiasAct(a, w, bias, act), ng, None)
+    }
+
+    /// Fused scaled dot-product attention weights:
+    /// `softmax_rows(scale · (q @ keysᵀ) + mask)` as one node. The transpose
+    /// is never a tape node (the kernel packs `keysᵀ` internally) and the
+    /// raw/scaled score matrices never materialise. `mask`, when present,
+    /// must match the score shape (`q.rows × keys.rows`; 0 / −1e9 entries).
+    /// The context vector is a separate [`Graph::matmul`] with the value
+    /// rows, so callers whose keys differ from their values fuse equally.
+    pub fn attn_softmax(&mut self, q: Var, keys: Var, scale: f32, mask: Option<Var>) -> Var {
+        if !fusion_enabled() {
+            let kt = self.transpose(keys);
+            let raw = self.matmul(q, kt);
+            let mut s = self.scale(raw, scale);
+            if let Some(m) = mask {
+                s = self.add(s, m);
+            }
+            return self.softmax_rows(s);
+        }
+        FUSED_ATTN_SOFTMAX.add(1);
+        let mut out = self.value(q).matmul_transposed_b(self.value(keys));
+        for x in out.as_mut_slice() {
+            *x *= scale;
+        }
+        if let Some(m) = mask {
+            let tm = self.value(m);
+            assert_eq!(out.shape(), tm.shape(), "attn_softmax: mask shape mismatch");
+            for (x, &mv) in out.as_mut_slice().iter_mut().zip(tm.as_slice()) {
+                *x += mv;
+            }
+        }
+        for r in 0..out.rows() {
+            softmax_row(out.row_mut(r));
+        }
+        let ng = match mask {
+            Some(m) => self.any_needs_grad(&[q, keys, m]),
+            None => self.any_needs_grad(&[q, keys]),
+        };
+        self.push(out, Op::AttnSoftmax { q, keys, scale, mask }, ng, None)
+    }
+
+    /// Fused `nll_loss(log_softmax_rows(x), targets)` as a single scalar
+    /// node. Only the per-row log-sum-exp is kept for backward — the
+    /// `rows × classes` log-probability matrix of the unfused pair is never
+    /// allocated.
+    pub fn log_softmax_nll(&mut self, x: Var, targets: &[usize]) -> Var {
+        if !fusion_enabled() {
+            let lp = self.log_softmax_rows(x);
+            return self.nll_loss(lp, targets);
+        }
+        FUSED_LOG_SOFTMAX_NLL.add(1);
+        let t = self.value(x);
+        assert_eq!(
+            t.rows(),
+            targets.len(),
+            "log_softmax_nll: {} rows vs {} targets",
+            t.rows(),
+            targets.len()
+        );
+        let mut lse = Vec::with_capacity(t.rows());
+        let mut loss = 0.0f32;
+        for (r, &c) in targets.iter().enumerate() {
+            assert!(c < t.cols(), "log_softmax_nll: target {c} out of {} classes", t.cols());
+            let row = t.row(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let l = max + row.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
+            loss -= row[c] - l;
+            lse.push(l);
+        }
+        let v = Tensor::scalar(loss / targets.len() as f32);
+        let ng = self.any_needs_grad(&[x]);
+        self.push(v, Op::LogSoftmaxNll { x, targets: targets.to_vec(), lse }, ng, None)
+    }
+
+    /// Fused LSTM gate math: consumes the gate pre-activations
+    /// `z = [i|f|g|o]` (`[B, 4h]`) and the previous cell state (`[B, h]`),
+    /// returns `(h, c)` — two nodes instead of the thirteen-node
+    /// slice/activate/multiply/add chain, with no intermediate gate tensors
+    /// on the tape. With fusion off the unfused chain is recorded instead;
+    /// values and gradients are bit-identical either way (gates are
+    /// recomputed in backward with the same scalar expressions the unfused
+    /// ops use; pinned by proptest in `tests/fused_kernels.rs`).
+    pub fn lstm_gates(&mut self, z: Var, c_prev: Var) -> (Var, Var) {
+        let h = self.value(c_prev).cols();
+        let rows = self.value(c_prev).rows();
+        assert_eq!(self.value(z).cols(), 4 * h, "lstm_gates: z must be [B, 4h]");
+        assert_eq!(self.value(z).rows(), rows, "lstm_gates: batch mismatch");
+        if !fusion_enabled() {
+            let i_g = self.slice_cols(z, 0, h);
+            let f_g = self.slice_cols(z, h, 2 * h);
+            let g_g = self.slice_cols(z, 2 * h, 3 * h);
+            let o_g = self.slice_cols(z, 3 * h, 4 * h);
+            let i = self.sigmoid(i_g);
+            let f = self.sigmoid(f_g);
+            let cand = self.tanh(g_g);
+            let o = self.sigmoid(o_g);
+            let fc = self.mul(f, c_prev);
+            let ic = self.mul(i, cand);
+            let c = self.add(fc, ic);
+            let tc = self.tanh(c);
+            let h_out = self.mul(o, tc);
+            return (h_out, c);
+        }
+        FUSED_LSTM_GATES.add(1);
+        let ng = self.any_needs_grad(&[z, c_prev]);
+        let mut c_data = crate::pool::take(rows * h);
+        {
+            let (tz, tc_prev) = (self.value(z), self.value(c_prev));
+            for r in 0..rows {
+                let zr = tz.row(r);
+                let cp = tc_prev.row(r);
+                for j in 0..h {
+                    let i = sigmoid(zr[j]);
+                    let f = sigmoid(zr[h + j]);
+                    let g_ = zr[2 * h + j].tanh();
+                    // Same grouping as the unfused add(mul, mul).
+                    c_data.push(f * cp[j] + i * g_);
+                }
+            }
+        }
+        let c = self.push(Tensor::from_vec(rows, h, c_data), Op::LstmCellGate { z, c_prev }, ng, None);
+        let mut h_data = crate::pool::take(rows * h);
+        {
+            let (tz, tc) = (self.value(z), self.value(c));
+            for r in 0..rows {
+                let zr = tz.row(r);
+                let cr = tc.row(r);
+                for j in 0..h {
+                    h_data.push(sigmoid(zr[3 * h + j]) * cr[j].tanh());
+                }
+            }
+        }
+        let h_out = self.push(Tensor::from_vec(rows, h, h_data), Op::LstmOutGate { z, c }, ng, None);
+        (h_out, c)
     }
 
     /// Runs the backward pass from `loss` (which must be `1 × 1`) and returns
@@ -422,12 +696,16 @@ impl Graph {
             grads[i] = Some(g);
         }
 
-        let params = self
+        let mut params: Vec<(usize, usize)> = self
             .nodes
             .iter()
             .enumerate()
             .filter_map(|(i, n)| n.param_id.map(|pid| (pid, i)))
             .collect();
+        // Stable sort: `for_param` binary-searches by id, and same-id nodes
+        // keep tape order so repeated-registration sums accumulate in the
+        // same order as before.
+        params.sort_by_key(|&(pid, _)| pid);
         Gradients { by_node: grads, params }
     }
 
@@ -519,6 +797,15 @@ impl Graph {
                     add_to(grads, *b, self.nodes[a.0].value.matmul_transposed_a(g));
                 }
             }
+            Op::MatmulTransposedB(a, b) => {
+                // Y = A·Bᵀ, so dL/dA = G·B and dL/dB = Gᵀ·A.
+                if self.nodes[a.0].needs_grad {
+                    add_to(grads, *a, g.matmul(&self.nodes[b.0].value));
+                }
+                if self.nodes[b.0].needs_grad {
+                    add_to(grads, *b, g.matmul_transposed_a(&self.nodes[a.0].value));
+                }
+            }
             Op::Transpose(a) => {
                 if self.nodes[a.0].needs_grad {
                     add_to(grads, *a, g.transpose());
@@ -574,11 +861,11 @@ impl Graph {
                 for &p in parts {
                     let cols = self.nodes[p.0].value.cols();
                     if self.nodes[p.0].needs_grad {
-                        let mut gp = Tensor::zeros(g.rows(), cols);
+                        let mut data = crate::pool::take(g.rows() * cols);
                         for r in 0..g.rows() {
-                            gp.row_mut(r).copy_from_slice(&g.row(r)[off..off + cols]);
+                            data.extend_from_slice(&g.row(r)[off..off + cols]);
                         }
-                        add_to(grads, p, gp);
+                        add_to(grads, p, Tensor::from_vec(g.rows(), cols, data));
                     }
                     off += cols;
                 }
@@ -588,11 +875,11 @@ impl Graph {
                 for &p in parts {
                     let rows = self.nodes[p.0].value.rows();
                     if self.nodes[p.0].needs_grad {
-                        let mut gp = Tensor::zeros(rows, g.cols());
-                        for r in 0..rows {
-                            gp.row_mut(r).copy_from_slice(g.row(off + r));
-                        }
-                        add_to(grads, p, gp);
+                        let mut data = crate::pool::take(rows * g.cols());
+                        data.extend_from_slice(
+                            &g.as_slice()[off * g.cols()..(off + rows) * g.cols()],
+                        );
+                        add_to(grads, p, Tensor::from_vec(rows, g.cols(), data));
                     }
                     off += rows;
                 }
@@ -663,6 +950,168 @@ impl Graph {
                     add_to(grads, *a, ga);
                 }
             }
+            Op::MatmulBiasAct(a, w, bias, act) => {
+                // Chain through the activation first: dz = g ⊙ act'(y). All
+                // derivatives are expressed via the stored output y, exactly
+                // as the unfused arms do (for ReLU, y > 0 ⟺ x > 0, so the
+                // gradient matches the pre-activation test bit for bit).
+                let y = &self.nodes[i].value;
+                let dz_owned;
+                let dz: &Tensor = match act {
+                    Activation::None => g,
+                    Activation::Tanh => {
+                        dz_owned = g.zip(y, |gv, yv| gv * (1.0 - yv * yv));
+                        &dz_owned
+                    }
+                    Activation::Sigmoid => {
+                        dz_owned = g.zip(y, |gv, yv| gv * yv * (1.0 - yv));
+                        &dz_owned
+                    }
+                    Activation::Relu => {
+                        dz_owned = g.zip(y, |gv, yv| if yv > 0.0 { gv } else { 0.0 });
+                        &dz_owned
+                    }
+                };
+                if self.nodes[a.0].needs_grad {
+                    add_to(grads, *a, dz.matmul_transposed_b(&self.nodes[w.0].value));
+                }
+                if self.nodes[w.0].needs_grad {
+                    add_to(grads, *w, self.nodes[a.0].value.matmul_transposed_a(dz));
+                }
+                if let Some(b) = bias {
+                    if self.nodes[b.0].needs_grad {
+                        let mut gb = Tensor::zeros(1, dz.cols());
+                        for r in 0..dz.rows() {
+                            for c in 0..dz.cols() {
+                                gb.set(0, c, gb.get(0, c) + dz.get(r, c));
+                            }
+                        }
+                        add_to(grads, *b, gb);
+                    }
+                }
+            }
+            Op::AttnSoftmax { q, keys, scale, mask } => {
+                // Softmax backward per row (yᵣ ⊙ (gᵣ − yᵣ·gᵣ)), identical to
+                // the SoftmaxRows arm; the mask taps it unscaled and the
+                // score gradient additionally chains the 1/√d scale.
+                let y = &self.nodes[i].value;
+                let (rows, cols) = y.shape();
+                let mut gs = Tensor::zeros(rows, cols);
+                for r in 0..rows {
+                    let dot: f32 = y.row(r).iter().zip(g.row(r)).map(|(&yv, &gv)| yv * gv).sum();
+                    for c in 0..cols {
+                        gs.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                    }
+                }
+                if let Some(m) = mask {
+                    if self.nodes[m.0].needs_grad {
+                        add_to(grads, *m, gs.clone());
+                    }
+                }
+                let k = *scale;
+                let gscaled = gs.map(|x| x * k);
+                if self.nodes[q.0].needs_grad {
+                    add_to(grads, *q, gscaled.matmul(&self.nodes[keys.0].value));
+                }
+                if self.nodes[keys.0].needs_grad {
+                    add_to(grads, *keys, gscaled.matmul_transposed_a(&self.nodes[q.0].value));
+                }
+            }
+            Op::LogSoftmaxNll { x, targets, lse } => {
+                if self.nodes[x.0].needs_grad {
+                    let t = &self.nodes[x.0].value;
+                    let gv = g.scalar_value() / targets.len() as f32;
+                    let mut gx = Tensor::zeros(t.rows(), t.cols());
+                    for r in 0..t.rows() {
+                        let l = lse[r];
+                        let src = t.row(r);
+                        let out = gx.row_mut(r);
+                        for (o, &xv) in out.iter_mut().zip(src) {
+                            *o = (xv - l).exp() * gv;
+                        }
+                        out[targets[r]] -= gv;
+                    }
+                    add_to(grads, *x, gx);
+                }
+            }
+            Op::LstmCellGate { z, c_prev } => {
+                // g is dL/dc. Gate values are recomputed from z — the same
+                // scalar expressions as the forward pass, so every factor is
+                // bit-identical to the unfused chain's cached node values,
+                // and each product below mirrors one unfused backward zip
+                // (mul backward, then sigmoid/tanh backward) term for term.
+                let tz = &self.nodes[z.0].value;
+                let tcp = &self.nodes[c_prev.0].value;
+                let (rows, h) = tcp.shape();
+                if self.nodes[z.0].needs_grad {
+                    let mut dz = Tensor::zeros(rows, 4 * h);
+                    for r in 0..rows {
+                        let zr = tz.row(r);
+                        let cp = tcp.row(r);
+                        let gr = g.row(r);
+                        let out = dz.row_mut(r);
+                        for j in 0..h {
+                            let iv = sigmoid(zr[j]);
+                            let fv = sigmoid(zr[h + j]);
+                            let gv_ = zr[2 * h + j].tanh();
+                            let di = gr[j] * gv_;
+                            let df = gr[j] * cp[j];
+                            let dcand = gr[j] * iv;
+                            out[j] = di * iv * (1.0 - iv);
+                            out[h + j] = df * fv * (1.0 - fv);
+                            out[2 * h + j] = dcand * (1.0 - gv_ * gv_);
+                        }
+                    }
+                    add_to(grads, *z, dz);
+                }
+                if self.nodes[c_prev.0].needs_grad {
+                    let mut dcp = Tensor::zeros(rows, h);
+                    for r in 0..rows {
+                        let zr = tz.row(r);
+                        let gr = g.row(r);
+                        let out = dcp.row_mut(r);
+                        for j in 0..h {
+                            out[j] = gr[j] * sigmoid(zr[h + j]);
+                        }
+                    }
+                    add_to(grads, *c_prev, dcp);
+                }
+            }
+            Op::LstmOutGate { z, c } => {
+                // g is dL/dh with h = σ(z_o)·tanh(c).
+                let tz = &self.nodes[z.0].value;
+                let tc = &self.nodes[c.0].value;
+                let (rows, h) = tc.shape();
+                if self.nodes[z.0].needs_grad {
+                    let mut dz = Tensor::zeros(rows, 4 * h);
+                    for r in 0..rows {
+                        let zr = tz.row(r);
+                        let cr = tc.row(r);
+                        let gr = g.row(r);
+                        let out = dz.row_mut(r);
+                        for j in 0..h {
+                            let ov = sigmoid(zr[3 * h + j]);
+                            let do_ = gr[j] * cr[j].tanh();
+                            out[3 * h + j] = do_ * ov * (1.0 - ov);
+                        }
+                    }
+                    add_to(grads, *z, dz);
+                }
+                if self.nodes[c.0].needs_grad {
+                    let mut dc = Tensor::zeros(rows, h);
+                    for r in 0..rows {
+                        let zr = tz.row(r);
+                        let cr = tc.row(r);
+                        let gr = g.row(r);
+                        let out = dc.row_mut(r);
+                        for j in 0..h {
+                            let tcv = cr[j].tanh();
+                            out[j] = gr[j] * sigmoid(zr[3 * h + j]) * (1.0 - tcv * tcv);
+                        }
+                    }
+                    add_to(grads, *c, dc);
+                }
+            }
             Op::LayerNormRows(a, eps) => {
                 if self.nodes[a.0].needs_grad {
                     let x = &self.nodes[a.0].value;
@@ -691,6 +1140,13 @@ impl Graph {
             }
         }
     }
+}
+
+/// The logistic function, written exactly as the [`Graph::sigmoid`] map so
+/// fused and unfused gate math agree bitwise.
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
 }
 
 fn softmax_row(row: &mut [f32]) {
@@ -864,6 +1320,76 @@ mod tests {
             let m = g.mul(d, d);
             g.mean_all(m)
         });
+    }
+
+    #[test]
+    fn grad_fused_matmul_bias_act() {
+        // Numeric check of the fused backward for each smooth activation
+        // (ReLU's kink trips central differences; its equivalence with the
+        // unfused chain is pinned in tests/fused_kernels.rs instead).
+        for act in [Activation::None, Activation::Tanh, Activation::Sigmoid] {
+            gradcheck(sample(3, 4, 20), move |g, p| {
+                let w = g.input(sample(4, 2, 21));
+                let b = g.input(sample(1, 2, 22));
+                let y = g.matmul_bias_act(p, w, Some(b), act);
+                g.sum_all(y)
+            });
+            // Gradient w.r.t. the weight operand.
+            gradcheck(sample(4, 2, 23), move |g, p| {
+                let x = g.input(sample(3, 4, 24));
+                let y = g.matmul_bias_act(x, p, None, act);
+                g.sum_all(y)
+            });
+            // Gradient w.r.t. the bias operand.
+            gradcheck(sample(1, 2, 25), move |g, p| {
+                let x = g.input(sample(3, 4, 26));
+                let w = g.input(sample(4, 2, 27));
+                let y = g.matmul_bias_act(x, w, Some(p), act);
+                g.sum_all(y)
+            });
+        }
+    }
+
+    #[test]
+    fn grad_fused_attn_softmax_query() {
+        gradcheck(sample(2, 3, 30), |g, p| {
+            let keys = g.input(sample(4, 3, 31));
+            let a = g.attn_softmax(p, keys, 0.5, None);
+            let w = g.input(sample(2, 4, 32));
+            let m = g.mul(a, w);
+            g.sum_all(m)
+        });
+    }
+
+    #[test]
+    fn grad_fused_attn_softmax_keys_with_mask() {
+        gradcheck(sample(4, 3, 33), |g, p| {
+            let q = g.input(sample(2, 3, 34));
+            let mask = g.input(sample(2, 4, 35));
+            let a = g.attn_softmax(q, p, 0.7, Some(mask));
+            let w = g.input(sample(2, 4, 36));
+            let m = g.mul(a, w);
+            g.sum_all(m)
+        });
+    }
+
+    #[test]
+    fn grad_fused_log_softmax_nll() {
+        gradcheck(sample(3, 5, 37), |g, p| g.log_softmax_nll(p, &[1, 4, 0]));
+    }
+
+    #[test]
+    fn reset_clears_tape_keeps_usability() {
+        let mut g = Graph::new();
+        let p = g.param(Tensor::row_vector(&[1.0, 2.0]), 0);
+        let _ = g.sum_all(p);
+        assert_eq!(g.len(), 2);
+        g.reset();
+        assert!(g.is_empty());
+        let p = g.param(Tensor::row_vector(&[3.0]), 0);
+        let loss = g.sum_all(p);
+        let grads = g.backward(loss);
+        assert_eq!(grads.for_param(0).unwrap().scalar_value(), 1.0);
     }
 
     #[test]

@@ -29,8 +29,18 @@
 //! assert_eq!(gw.get(1, 0), 2.0);
 //! ```
 
+//! # Allocation behaviour
+//!
+//! Tensor buffers are recycled through a thread-local size-bucketed pool
+//! ([`pool`]); the hottest op compositions have fused single-node variants
+//! ([`Graph::matmul_bias_act`], [`Graph::attn_softmax`],
+//! [`Graph::log_softmax_nll`]) that can be toggled back to their unfused
+//! compositions with [`set_fusion_enabled`] for baseline measurements. See
+//! `DESIGN.md`, "Memory & kernel fusion".
+
 mod graph;
+pub mod pool;
 mod tensor;
 
-pub use graph::{Gradients, Graph, Var};
+pub use graph::{fusion_enabled, set_fusion_enabled, Activation, Gradients, Graph, Var};
 pub use tensor::Tensor;

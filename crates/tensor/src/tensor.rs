@@ -25,27 +25,54 @@ fn record_matmul(n: usize, k: usize, m: usize, start_ns: u64) {
 ///
 /// All autodiff operations in [`crate::Graph`] produce and consume `Tensor`s.
 /// Shape errors are programming errors and panic with a descriptive message.
-#[derive(Clone, PartialEq)]
+///
+/// Buffers come from and return to the thread-local [`crate::pool`]: every
+/// constructor draws its backing `Vec` via [`crate::pool::take`] and `Drop`
+/// files it back with [`crate::pool::give`], so forward and gradient buffers
+/// are recycled across samples without any call-site cooperation. A buffer
+/// can only re-enter circulation after its tensor is dropped, so live
+/// tensors never alias.
+#[derive(PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     rows: usize,
     cols: usize,
 }
 
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut data = crate::pool::take(self.data.len());
+        data.extend_from_slice(&self.data);
+        Tensor { data, rows: self.rows, cols: self.cols }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        crate::pool::give(std::mem::take(&mut self.data));
+    }
+}
+
 impl Tensor {
     /// A `rows × cols` tensor filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { data: vec![0.0; rows * cols], rows, cols }
+        let mut data = crate::pool::take(rows * cols);
+        data.resize(rows * cols, 0.0);
+        Tensor { data, rows, cols }
     }
 
     /// A `rows × cols` tensor filled with `v`.
     pub fn full(rows: usize, cols: usize, v: f32) -> Self {
-        Tensor { data: vec![v; rows * cols], rows, cols }
+        let mut data = crate::pool::take(rows * cols);
+        data.resize(rows * cols, v);
+        Tensor { data, rows, cols }
     }
 
     /// A `1 × 1` tensor holding a single scalar.
     pub fn scalar(v: f32) -> Self {
-        Tensor { data: vec![v], rows: 1, cols: 1 }
+        let mut data = crate::pool::take(1);
+        data.push(v);
+        Tensor { data, rows: 1, cols: 1 }
     }
 
     /// Builds a tensor from a flat row-major buffer.
@@ -66,7 +93,7 @@ impl Tensor {
     pub fn from_rows(rows: &[&[f32]]) -> Self {
         assert!(!rows.is_empty(), "Tensor::from_rows: no rows");
         let cols = rows[0].len();
-        let mut data = Vec::with_capacity(rows.len() * cols);
+        let mut data = crate::pool::take(rows.len() * cols);
         for r in rows {
             assert_eq!(r.len(), cols, "Tensor::from_rows: ragged rows");
             data.extend_from_slice(r);
@@ -76,7 +103,9 @@ impl Tensor {
 
     /// A `1 × n` row vector.
     pub fn row_vector(v: &[f32]) -> Self {
-        Tensor { data: v.to_vec(), rows: 1, cols: v.len() }
+        let mut data = crate::pool::take(v.len());
+        data.extend_from_slice(v);
+        Tensor { data, rows: 1, cols: v.len() }
     }
 
     /// Number of rows.
@@ -216,25 +245,38 @@ impl Tensor {
         out
     }
 
-    /// `self @ otherᵀ`, packing `otherᵀ` once through the tiled
-    /// [`Tensor::transpose`] and running the blocked kernel on the packed
-    /// panel. Callers never build the transpose themselves; the pack is a
-    /// single streaming copy instead of a strided access pattern in the
-    /// multiply. Shapes: `n×k @ (m×k)ᵀ → n×m`.
+    /// `self @ otherᵀ`. Shapes: `n×k @ (m×k)ᵀ → n×m`.
+    ///
+    /// Two regimes, chosen by the left operand's height. Wide (`n >= 8`):
+    /// pack `otherᵀ` once through the tiled [`Tensor::transpose`] and run the
+    /// blocked kernel on the panel — the `k·m`-copy pack amortises over `n`
+    /// reuses. Narrow (`n < 8`, the shape of every backward `dz @ wᵀ` and of
+    /// beam-step attention scores): the pack would cost as much memory
+    /// traffic as the multiply itself, so compute row dots directly via
+    /// [`dot_kernel`] instead. Both regimes fold each output element over
+    /// the shared dimension in ascending order, one add per step, so the
+    /// choice never changes a bit of the result.
+    ///
+    /// The narrow path is part of the allocation-free execution rework and
+    /// follows its master toggle ([`crate::set_fusion_enabled`]); with the
+    /// rework off every shape takes the pre-rework pack-and-block path, so
+    /// the speed benchmark's baseline arm measures the legacy kernel.
     pub fn matmul_transposed_b(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.cols,
             "matmul_transposed_b: {}x{} @ ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        if !valuenet_obs::enabled() {
+        let start = valuenet_obs::enabled().then(valuenet_obs::now_ns);
+        let out = if self.rows < 8 && crate::fusion_enabled() {
+            dot_kernel(&self.data, &other.data, self.rows, self.cols, other.rows)
+        } else {
             let packed = other.transpose();
-            return block_kernel(&self.data, &packed.data, self.rows, self.cols, other.rows);
+            block_kernel(&self.data, &packed.data, self.rows, self.cols, other.rows)
+        };
+        if let Some(s) = start {
+            record_matmul(self.rows, self.cols, other.rows, s);
         }
-        let start = valuenet_obs::now_ns();
-        let packed = other.transpose();
-        let out = block_kernel(&self.data, &packed.data, self.rows, self.cols, other.rows);
-        record_matmul(self.rows, self.cols, other.rows, start);
         out
     }
 
@@ -313,21 +355,17 @@ impl Tensor {
 
     /// Element-wise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
-            rows: self.rows,
-            cols: self.cols,
-        }
+        let mut data = crate::pool::take(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
+        Tensor { data, rows: self.rows, cols: self.cols }
     }
 
     /// Element-wise binary zip with another tensor of identical shape.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "zip: shape mismatch");
-        Tensor {
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
-            rows: self.rows,
-            cols: self.cols,
-        }
+        let mut data = crate::pool::take(self.data.len());
+        data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
+        Tensor { data, rows: self.rows, cols: self.cols }
     }
 
     /// In-place element-wise accumulation `self += other`.
@@ -382,6 +420,46 @@ impl Tensor {
 /// and one out-of-line copy keeps every `matmul` entry point (instrumented
 /// or not) on the same code — avoiding per-caller layout/alignment skew,
 /// which would otherwise dwarf the effect `benches/obs_overhead.rs` measures.
+/// Narrow-case kernel for [`Tensor::matmul_transposed_b`]: `n×k @ (m×k)ᵀ`
+/// as plain row dots, no transpose pack. Four output columns are produced
+/// per pass — four independent accumulator chains over four contiguous `b`
+/// rows — so the loop has instruction-level parallelism even though each
+/// individual dot is a serial f32 fold. Each output element is a strict
+/// ascending fold over the shared dimension, exactly like the blocked
+/// kernel's per-element accumulation, so the two paths agree bitwise.
+#[inline(never)]
+fn dot_kernel(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Tensor {
+    let mut data = crate::pool::take(n * m);
+    let full_j = m - m % 4;
+    for i in 0..n {
+        let x = &a[i * k..(i + 1) * k];
+        for j in (0..full_j).step_by(4) {
+            let y0 = &b[j * k..(j + 1) * k];
+            let y1 = &b[(j + 1) * k..(j + 2) * k];
+            let y2 = &b[(j + 2) * k..(j + 3) * k];
+            let y3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for l in 0..k {
+                let xv = x[l];
+                s0 += xv * y0[l];
+                s1 += xv * y1[l];
+                s2 += xv * y2[l];
+                s3 += xv * y3[l];
+            }
+            data.extend_from_slice(&[s0, s1, s2, s3]);
+        }
+        for j in full_j..m {
+            let y = &b[j * k..(j + 1) * k];
+            let mut s = 0.0f32;
+            for l in 0..k {
+                s += x[l] * y[l];
+            }
+            data.push(s);
+        }
+    }
+    Tensor { data, rows: n, cols: m }
+}
+
 #[inline(never)]
 fn block_kernel(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Tensor {
     const MR: usize = 4; // output rows per register block
