@@ -108,6 +108,9 @@ fn main() {
             "cores",
             Json::Int(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as i64),
         ),
+        // Detected SIMD feature set, so perf-history comparisons across
+        // machines know which kernel tier produced the numbers.
+        ("simd", Json::Str(valuenet_tensor::simd::detected_level().name().into())),
         ("training_epoch", scaling(&thread_counts, train_ms)),
         ("eval_sweep", scaling(&thread_counts, eval_ms)),
     ]);

@@ -12,6 +12,15 @@
 //!   Baseline arm: pool/fusion off through the per-hypothesis
 //!   `predict_beam_unbatched`. Current arm: pool/fusion on through the
 //!   batched `predict_beam` (one LSTM + attention step per beam step).
+//! * **inference, SIMD tier** — the same batched beam-4 decode three ways:
+//!   pinned to scalar kernels with the packed weight cache off (the exact
+//!   PR-5 execution path), at the detected SIMD level with pre-packed f32
+//!   weights, and with int8 weight-only quantized matmuls. All three arms
+//!   share one trained pipeline, so the speedups isolate kernel + layout.
+//! * **kernel GFLOP/s** — per-shape-bucket matmul throughput for the
+//!   scalar oracle, the runtime-detected SIMD tier, the pre-packed layout
+//!   and the int8 quantized kernel. Buckets mirror the model's hot shapes,
+//!   including the single-row beam-step case.
 //!
 //! Both arms also report the buffer pool's process-wide counters (the stats
 //! keep counting with recycling disabled, so the baseline arm still shows
@@ -31,10 +40,24 @@ use valuenet_core::{
 use valuenet_dataset::{generate, Corpus, CorpusConfig};
 use valuenet_obs::json::Json;
 use valuenet_preprocess::preprocess;
+use valuenet_tensor::packed::{PackedMatrix, QuantizedMatrix};
 use valuenet_tensor::pool;
+use valuenet_tensor::simd::{self, SimdLevel};
+use valuenet_tensor::Tensor;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Deterministic pseudo-random matrix contents in [-1, 1] for the kernel
+/// buckets — seeded by position so every run times identical inputs.
+fn bucket_data(n: usize, salt: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_add(salt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            ((h >> 40) as f32) / 8_388_608.0 * 2.0 - 1.0
+        })
+        .collect()
 }
 
 /// Switches both allocation-related toggles together: the tensor buffer
@@ -225,6 +248,117 @@ fn main() {
         ("pool", pool_json(&cur_pool)),
     ]);
 
+    // --- Inference, SIMD tier: PR-5 path vs SIMD f32 vs int8 ------------
+    // The PR-5 arm keeps pool+fusion on (this PR's baseline is the previous
+    // PR's best path) but pins the kernels to the scalar tier and disables
+    // the packed inference weight cache, reproducing the prior tape
+    // execution exactly. The SIMD arm runs at the detected level with
+    // pre-packed f32 weights (bit-identical results by construction); the
+    // int8 arm swaps in the quantized weights.
+    let detected = simd::detected_level();
+    let measure_beam = |reps: usize| {
+        let mut secs = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            for _ in 0..reps {
+                for input in &inputs {
+                    std::hint::black_box(pipeline.model.predict_beam(input));
+                }
+            }
+            secs = secs.min(t.elapsed().as_secs_f64());
+        }
+        (reps * inputs.len()) as f64 / secs.max(1e-9)
+    };
+
+    set_current_mode(true);
+    simd::set_level(SimdLevel::Scalar);
+    valuenet_nn::set_packed_inference(false);
+    let pr5_qps = measure_beam(reps);
+    eprintln!("inference pr5 path (scalar kernels, tape weights):   {pr5_qps:.1} queries/s");
+
+    simd::set_level(detected);
+    valuenet_nn::set_packed_inference(true);
+    let simd_qps = measure_beam(reps);
+    eprintln!(
+        "inference simd f32 ({}, packed weights):           {simd_qps:.1} queries/s",
+        detected.name()
+    );
+
+    pipeline.model.params.set_quantized(true);
+    let int8_qps = measure_beam(reps);
+    pipeline.model.params.set_quantized(false);
+    eprintln!(
+        "inference int8     ({}, quantized weights):        {int8_qps:.1} queries/s",
+        detected.name()
+    );
+
+    let simd_speedup = simd_qps / pr5_qps.max(1e-9);
+    let int8_speedup = int8_qps / pr5_qps.max(1e-9);
+    let simd_bench = Json::obj(vec![
+        ("type", Json::Str("bench".into())),
+        ("name", Json::Str("inference_beam4_simd".into())),
+        ("simd", Json::Str(detected.name().into())),
+        ("queries", Json::Int((reps * inputs.len()) as i64)),
+        ("beam_width", Json::Int(4)),
+        ("pr5_queries_per_sec", Json::Num(pr5_qps)),
+        ("simd_queries_per_sec", Json::Num(simd_qps)),
+        ("int8_queries_per_sec", Json::Num(int8_qps)),
+        ("simd_speedup", Json::Num(simd_speedup)),
+        ("int8_speedup", Json::Num(int8_speedup)),
+    ]);
+
+    // --- Per-kernel GFLOP/s over the model's hot shape buckets ----------
+    // n×k activations against k×m weights; iteration counts target a fixed
+    // flop volume per bucket so small shapes don't under-sample.
+    let buckets: &[(&str, usize, usize, usize)] = &[
+        ("beam_row_1x64x256", 1, 64, 256),
+        ("beam4_lstm_4x48x192", 4, 48, 192),
+        ("encoder_24x64x64", 24, 64, 64),
+        ("square_48x48x48", 48, 48, 48),
+    ];
+    let target_flops = if quick { 2.0e7 } else { 2.0e8 };
+    let mut kernel_records = Vec::new();
+    for &(label, n, k, m) in buckets {
+        let a = Tensor::from_vec(n, k, bucket_data(n * k, 1));
+        let wmat = Tensor::from_vec(k, m, bucket_data(k * m, 2));
+        let packed = PackedMatrix::from_tensor(&wmat);
+        let quant = QuantizedMatrix::quantize(wmat.as_slice(), k, m, None);
+        let flops_per = (2 * n * k * m) as f64;
+        let iters = ((target_flops / flops_per) as usize).max(20);
+        let time_gflops = |f: &mut dyn FnMut()| {
+            let mut secs = f64::INFINITY;
+            for _ in 0..3 {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                secs = secs.min(t.elapsed().as_secs_f64());
+            }
+            flops_per * iters as f64 / secs.max(1e-12) / 1e9
+        };
+        let scalar_g =
+            time_gflops(&mut || drop(std::hint::black_box(a.matmul_with_level(&wmat, SimdLevel::Scalar))));
+        let simd_g =
+            time_gflops(&mut || drop(std::hint::black_box(a.matmul_with_level(&wmat, detected))));
+        let packed_g = time_gflops(&mut || drop(std::hint::black_box(packed.matmul_at(detected, &a))));
+        let int8_g = time_gflops(&mut || drop(std::hint::black_box(quant.matmul_at(detected, &a))));
+        eprintln!(
+            "kernel {label}: scalar {scalar_g:.2} | simd {simd_g:.2} | packed {packed_g:.2} \
+             | int8 {int8_g:.2} GFLOP/s"
+        );
+        kernel_records.push(Json::obj(vec![
+            ("type", Json::Str("bench".into())),
+            ("name", Json::Str("kernel_gflops".into())),
+            ("shape", Json::Str(label.into())),
+            ("simd", Json::Str(detected.name().into())),
+            ("iters", Json::Int(iters as i64)),
+            ("scalar_gflops", Json::Num(scalar_g)),
+            ("simd_gflops", Json::Num(simd_g)),
+            ("packed_gflops", Json::Num(packed_g)),
+            ("int8_gflops", Json::Num(int8_g)),
+        ]));
+    }
+
     let mut w =
         valuenet_obs::JsonlWriter::create("BENCH_speed.json").expect("can create BENCH_speed.json");
     w.write(Json::obj(vec![
@@ -235,13 +369,21 @@ fn main() {
     .expect("meta writes");
     w.write(training.clone()).expect("training record writes");
     w.write(inference.clone()).expect("inference record writes");
+    w.write(simd_bench.clone()).expect("simd inference record writes");
+    for record in &kernel_records {
+        w.write(record.clone()).expect("kernel record writes");
+    }
     w.finish().expect("report flushes");
     println!("{}", training.render());
     println!("{}", inference.render());
+    println!("{}", simd_bench.render());
     eprintln!(
-        "speedups: training {train_speedup:.2}x, beam-4 inference {infer_speedup:.2}x"
+        "speedups: training {train_speedup:.2}x, beam-4 inference {infer_speedup:.2}x, \
+         simd-vs-pr5 {simd_speedup:.2}x, int8-vs-pr5 {int8_speedup:.2}x"
     );
     valuenet_obs::finish();
-    // Leave the process in the default (pooled, fused) configuration.
+    // Leave the process in the default (pooled, fused, packed) configuration.
     set_current_mode(true);
+    simd::set_level(detected);
+    valuenet_nn::set_packed_inference(true);
 }

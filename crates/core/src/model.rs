@@ -163,6 +163,10 @@ impl ValueNetModel {
             TAPE.with(|tape| {
                 let mut g = tape.borrow_mut();
                 g.reset();
+                // Inference tape: layers may evaluate parameter applications
+                // off-tape against the packed-weight cache (bit-identical on
+                // the f32 path; int8 when the store is set quantized).
+                g.set_inference(true);
                 f(&mut g)
             })
         } else {
@@ -210,6 +214,42 @@ impl ValueNetModel {
             self.config.max_decode_steps,
             self.config.beam_width.max(1),
         )
+    }
+
+    /// Replaces the model's weights with a store restored from a checkpoint,
+    /// after checking that it matches this architecture parameter-for-
+    /// parameter (count, names and shapes).
+    ///
+    /// # Errors
+    /// Describes the first mismatch; the model is left unchanged.
+    pub fn load_params(&mut self, params: ParamStore) -> Result<(), String> {
+        if params.len() != self.params.len() {
+            return Err(format!(
+                "checkpoint has {} parameters, architecture expects {}",
+                params.len(),
+                self.params.len()
+            ));
+        }
+        for (new, old) in params.ids().zip(self.params.ids()) {
+            if params.name(new) != self.params.name(old) {
+                return Err(format!(
+                    "parameter {} is named `{}` in the checkpoint, `{}` in the architecture",
+                    old.index(),
+                    params.name(new),
+                    self.params.name(old)
+                ));
+            }
+            if params.shape(new) != self.params.shape(old) {
+                return Err(format!(
+                    "parameter `{}` has shape {:?} in the checkpoint, {:?} in the architecture",
+                    params.name(new),
+                    params.shape(new),
+                    self.params.shape(old)
+                ));
+            }
+        }
+        self.params = params;
+        Ok(())
     }
 
     /// Serialises config, vocabulary and weights to JSON.

@@ -1,0 +1,297 @@
+//! Versioned model checkpoints.
+//!
+//! A checkpoint is a JSONL file written through the observability envelope
+//! ([`valuenet_obs::JsonlWriter`] stamps every record with `schema_version`),
+//! so the same `vn-obs-check` validator that guards the benchmark artifacts
+//! also accepts checkpoints. Layout:
+//!
+//! ```text
+//! {"schema_version":1,"type":"checkpoint_meta","checkpoint_version":1,"format":"f32","params":N,"weights":W}
+//! {"schema_version":1,"type":"checkpoint_param","name":"...","group":0,"rows":R,"cols":C,"data":[...]}
+//! ...
+//! {"schema_version":1,"type":"checkpoint_end","params":N}
+//! ```
+//!
+//! The `int8` format stores each tensor as a per-tensor `scale` plus integer
+//! codes in `qdata`; loading dequantizes to f32 and *preserves the scale* in
+//! the store, so re-quantizing at inference time reproduces the exact codes
+//! (see `DESIGN.md`, "SIMD & quantization"). The trailing `checkpoint_end`
+//! record guards against truncated files; every failure mode surfaces as a
+//! typed [`CheckpointError`], never a panic.
+
+use crate::{ParamId, ParamStore};
+use std::fmt;
+use valuenet_obs::json::Json;
+use valuenet_obs::JsonlWriter;
+use valuenet_tensor::packed::{quant_scale, quantize_one};
+
+/// Version of the checkpoint record layout. Bump on incompatible change.
+pub const CHECKPOINT_VERSION: i64 = 1;
+
+/// How the weights are stored on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointFormat {
+    /// Full-precision weights (`data` array of f32).
+    F32,
+    /// Per-tensor int8 codes plus a scale (`qdata` + `scale`).
+    Int8,
+}
+
+impl CheckpointFormat {
+    fn tag(self) -> &'static str {
+        match self {
+            CheckpointFormat::F32 => "f32",
+            CheckpointFormat::Int8 => "int8",
+        }
+    }
+}
+
+/// Why a checkpoint failed to save or load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// A line was not valid JSON.
+    Parse(String),
+    /// The file declares a checkpoint version this build cannot read.
+    Version(String),
+    /// The trailing `checkpoint_end` record is missing or inconsistent.
+    Truncated(String),
+    /// A record is structurally invalid (bad shape, missing field, ...).
+    Corrupt(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Parse(m) => write!(f, "checkpoint parse error: {m}"),
+            CheckpointError::Version(m) => write!(f, "checkpoint version mismatch: {m}"),
+            CheckpointError::Truncated(m) => write!(f, "checkpoint truncated: {m}"),
+            CheckpointError::Corrupt(m) => write!(f, "checkpoint corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn meta_record(ps: &ParamStore, format: CheckpointFormat) -> Json {
+    Json::obj(vec![
+        ("type", Json::Str("checkpoint_meta".into())),
+        ("checkpoint_version", Json::Int(CHECKPOINT_VERSION)),
+        ("format", Json::Str(format.tag().into())),
+        ("params", Json::Int(ps.len() as i64)),
+        ("weights", Json::Int(ps.num_weights() as i64)),
+    ])
+}
+
+fn end_record(ps: &ParamStore) -> Json {
+    Json::obj(vec![
+        ("type", Json::Str("checkpoint_end".into())),
+        ("params", Json::Int(ps.len() as i64)),
+    ])
+}
+
+fn param_header(ps: &ParamStore, id: ParamId) -> Vec<(&'static str, Json)> {
+    let (rows, cols) = ps.shape(id);
+    vec![
+        ("type", Json::Str("checkpoint_param".into())),
+        ("name", Json::Str(ps.name(id).into())),
+        ("group", Json::Int(ps.group(id) as i64)),
+        ("rows", Json::Int(rows as i64)),
+        ("cols", Json::Int(cols as i64)),
+    ]
+}
+
+/// Saves every parameter at full precision. `load_checkpoint` restores a
+/// bit-identical store: f32 values survive the JSON round trip exactly
+/// (numbers are rendered with shortest round-trip formatting).
+pub fn save_checkpoint(path: &str, ps: &ParamStore) -> Result<(), CheckpointError> {
+    let mut w = JsonlWriter::create(path)?;
+    w.write(meta_record(ps, CheckpointFormat::F32))?;
+    for id in ps.ids() {
+        let mut rec = param_header(ps, id);
+        rec.push((
+            "data",
+            Json::Arr(ps.data(id).iter().map(|&v| Json::Num(v as f64)).collect()),
+        ));
+        w.write(Json::obj(rec))?;
+    }
+    w.write(end_record(ps))?;
+    w.finish()?;
+    Ok(())
+}
+
+/// Saves every parameter as per-tensor-scaled int8 codes — roughly a quarter
+/// of the f32 artifact. Loading dequantizes and preserves each scale, so the
+/// quantized inference path reproduces the exact saved codes.
+pub fn save_checkpoint_quantized(path: &str, ps: &ParamStore) -> Result<(), CheckpointError> {
+    let mut w = JsonlWriter::create(path)?;
+    w.write(meta_record(ps, CheckpointFormat::Int8))?;
+    for id in ps.ids() {
+        let data = ps.data(id);
+        let scale = ps.qscale(id).unwrap_or_else(|| quant_scale(data));
+        let mut rec = param_header(ps, id);
+        rec.push(("scale", Json::Num(scale as f64)));
+        rec.push((
+            "qdata",
+            Json::Arr(data.iter().map(|&v| Json::Int(quantize_one(v, scale) as i64)).collect()),
+        ));
+        w.write(Json::obj(rec))?;
+    }
+    w.write(end_record(ps))?;
+    w.finish()?;
+    Ok(())
+}
+
+fn get_usize(rec: &Json, key: &str, line: usize) -> Result<usize, CheckpointError> {
+    rec.get(key).and_then(Json::as_f64).map(|v| v as usize).ok_or_else(|| {
+        CheckpointError::Corrupt(format!("line {line}: missing or non-numeric `{key}`"))
+    })
+}
+
+fn get_str<'j>(rec: &'j Json, key: &str, line: usize) -> Result<&'j str, CheckpointError> {
+    rec.get(key).and_then(Json::as_str).ok_or_else(|| {
+        CheckpointError::Corrupt(format!("line {line}: missing or non-string `{key}`"))
+    })
+}
+
+/// Loads a checkpoint written by [`save_checkpoint`] or
+/// [`save_checkpoint_quantized`], returning the restored store and the
+/// on-disk format. Malformed input yields a typed error, never a panic.
+pub fn load_checkpoint(path: &str) -> Result<(ParamStore, CheckpointFormat), CheckpointError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut ps = ParamStore::new();
+    let mut format = None;
+    let mut declared_params = 0usize;
+    let mut ended = false;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if ended {
+            return Err(CheckpointError::Corrupt(format!(
+                "line {lineno}: record after checkpoint_end"
+            )));
+        }
+        let rec = Json::parse(line)
+            .map_err(|e| CheckpointError::Parse(format!("line {lineno}: {e}")))?;
+        let ty = get_str(&rec, "type", lineno)?;
+        match ty {
+            "checkpoint_meta" => {
+                let version = rec
+                    .get("checkpoint_version")
+                    .and_then(Json::as_f64)
+                    .map(|v| v as i64)
+                    .ok_or_else(|| {
+                        CheckpointError::Corrupt(format!(
+                            "line {lineno}: meta record lacks checkpoint_version"
+                        ))
+                    })?;
+                if version != CHECKPOINT_VERSION {
+                    return Err(CheckpointError::Version(format!(
+                        "file has checkpoint_version {version}, this build reads {CHECKPOINT_VERSION}"
+                    )));
+                }
+                format = Some(match get_str(&rec, "format", lineno)? {
+                    "f32" => CheckpointFormat::F32,
+                    "int8" => CheckpointFormat::Int8,
+                    other => {
+                        return Err(CheckpointError::Corrupt(format!(
+                            "line {lineno}: unknown format `{other}`"
+                        )))
+                    }
+                });
+                declared_params = get_usize(&rec, "params", lineno)?;
+            }
+            "checkpoint_param" => {
+                let format = format.ok_or_else(|| {
+                    CheckpointError::Corrupt(format!(
+                        "line {lineno}: checkpoint_param before checkpoint_meta"
+                    ))
+                })?;
+                let name = get_str(&rec, "name", lineno)?.to_string();
+                let group = get_usize(&rec, "group", lineno)?;
+                let rows = get_usize(&rec, "rows", lineno)?;
+                let cols = get_usize(&rec, "cols", lineno)?;
+                let (data, qscale) = match format {
+                    CheckpointFormat::F32 => {
+                        let arr = rec.get("data").and_then(Json::as_arr).ok_or_else(|| {
+                            CheckpointError::Corrupt(format!("line {lineno}: missing `data`"))
+                        })?;
+                        let mut data = Vec::with_capacity(arr.len());
+                        for v in arr {
+                            data.push(v.as_f64().ok_or_else(|| {
+                                CheckpointError::Corrupt(format!(
+                                    "line {lineno}: non-numeric weight"
+                                ))
+                            })? as f32);
+                        }
+                        (data, None)
+                    }
+                    CheckpointFormat::Int8 => {
+                        let scale =
+                            rec.get("scale").and_then(Json::as_f64).ok_or_else(|| {
+                                CheckpointError::Corrupt(format!("line {lineno}: missing `scale`"))
+                            })? as f32;
+                        let arr = rec.get("qdata").and_then(Json::as_arr).ok_or_else(|| {
+                            CheckpointError::Corrupt(format!("line {lineno}: missing `qdata`"))
+                        })?;
+                        let mut data = Vec::with_capacity(arr.len());
+                        for v in arr {
+                            let q = v.as_f64().ok_or_else(|| {
+                                CheckpointError::Corrupt(format!("line {lineno}: non-numeric code"))
+                            })?;
+                            if !(-127.0..=127.0).contains(&q) || q.fract() != 0.0 {
+                                return Err(CheckpointError::Corrupt(format!(
+                                    "line {lineno}: int8 code {q} out of range"
+                                )));
+                            }
+                            data.push(q as f32 * scale);
+                        }
+                        (data, Some(scale))
+                    }
+                };
+                if data.len() != rows * cols {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "line {lineno}: `{name}` declares {rows}x{cols} but carries {} values",
+                        data.len()
+                    )));
+                }
+                ps.add_raw(name, group, rows, cols, data, qscale);
+            }
+            "checkpoint_end" => {
+                let n = get_usize(&rec, "params", lineno)?;
+                if n != ps.len() || n != declared_params {
+                    return Err(CheckpointError::Truncated(format!(
+                        "end record declares {n} params, read {} of {declared_params}",
+                        ps.len()
+                    )));
+                }
+                ended = true;
+            }
+            other => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "line {lineno}: unknown record type `{other}`"
+                )));
+            }
+        }
+    }
+    let format = format.ok_or_else(|| {
+        CheckpointError::Truncated("file has no checkpoint_meta record".to_string())
+    })?;
+    if !ended {
+        return Err(CheckpointError::Truncated(format!(
+            "missing checkpoint_end record ({} of {declared_params} params read)",
+            ps.len()
+        )));
+    }
+    Ok((ps, format))
+}

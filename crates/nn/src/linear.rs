@@ -53,9 +53,14 @@ impl Linear {
 
     /// Applies the layer followed by `act`, as one fused
     /// [`Graph::matmul_bias_act`] node (matmul, bias broadcast and
-    /// activation in a single pass over the output).
+    /// activation in a single pass over the output). On an inference tape
+    /// the layer instead runs off-tape against the store's packed (or int8
+    /// quantized) weights — bit-identical on the f32 path.
     pub fn forward_act(&self, g: &mut Graph, ps: &ParamStore, x: Var, act: Activation) -> Var {
         debug_assert_eq!(g.value(x).cols(), self.in_dim, "Linear: input dim mismatch");
+        if g.inference_mode() && crate::packed_inference_enabled() {
+            return ps.forward_linear(g, x, self.w, self.b, act);
+        }
         let w = ps.var(g, self.w);
         let b = self.b.map(|b| ps.var(g, b));
         g.matmul_bias_act(x, w, b, act)
@@ -94,9 +99,14 @@ impl Embedding {
         Embedding { table, vocab, dim }
     }
 
-    /// Looks up a batch of ids, producing `[ids.len(), dim]`.
+    /// Looks up a batch of ids, producing `[ids.len(), dim]`. On an
+    /// inference tape the rows are copied straight from the store, skipping
+    /// the full-table parameter clone.
     pub fn forward(&self, g: &mut Graph, ps: &ParamStore, ids: &[usize]) -> Var {
         debug_assert!(ids.iter().all(|&i| i < self.vocab), "Embedding: id out of vocab");
+        if g.inference_mode() && crate::packed_inference_enabled() {
+            return ps.gather_rows(g, self.table, ids);
+        }
         let table = ps.var(g, self.table);
         g.gather_rows(table, ids)
     }

@@ -94,6 +94,16 @@ impl LstmCell {
             g.value(state.h).rows(),
             "LstmCell: input/state batch mismatch"
         );
+        if g.inference_mode() && crate::packed_inference_enabled() {
+            // Off-tape path: packed (or int8 quantized) weight matmuls, same
+            // summation order as the tape ops, so f32 results are
+            // bit-identical.
+            let z = ps.lstm_preact(g, x, state.h, self.wx, self.wh, self.b);
+            let (h_t, c_t) = valuenet_tensor::lstm_gates_eval(&z, g.value(state.c));
+            let c = g.input(c_t);
+            let h_out = g.input(h_t);
+            return LstmState { h: h_out, c };
+        }
         let wx = ps.var(g, self.wx);
         let wh = ps.var(g, self.wh);
         let b = ps.var(g, self.b);

@@ -1,7 +1,21 @@
 //! Named parameter storage shared by all layers.
+//!
+//! Besides the raw `f32` buffers, the store owns the *inference cache*: each
+//! weight matrix can be packed once into the blocked layout of
+//! [`PackedMatrix`] (and optionally quantized to int8 as a
+//! [`QuantizedMatrix`]) so that inference-time matmuls skip both the
+//! per-use tensor clone of [`ParamStore::var`] and the column-gather of the
+//! unpacked kernel. The cache is built lazily under a shared reference (so
+//! concurrent evaluation threads can fill it) and invalidated whenever the
+//! optimiser writes to a parameter.
 
 use serde::{Deserialize, Serialize};
-use valuenet_tensor::{Gradients, Graph, Tensor, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use valuenet_tensor::{
+    apply_activation, simd, Activation, Gradients, Graph, PackedMatrix, QuantizedMatrix, Tensor,
+    Var,
+};
 
 /// Handle to a parameter inside a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -21,14 +35,60 @@ struct ParamEntry {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+    /// Quantization scale carried over from an int8 checkpoint, if this
+    /// parameter was loaded from one. Re-quantizing with the preserved scale
+    /// is lossless (the dequantized values round back to the same codes);
+    /// cleared on any weight update.
+    qscale: Option<f32>,
+}
+
+/// One parameter's inference-time form: the blocked f32 packing plus a
+/// lazily built int8 quantization of it.
+pub struct PackedParam {
+    packed: PackedMatrix,
+    quant: OnceLock<QuantizedMatrix>,
+    qscale: Option<f32>,
+}
+
+impl PackedParam {
+    /// The blocked f32 packing (bit-identical matmuls to the unpacked kernel).
+    pub fn matrix(&self) -> &PackedMatrix {
+        &self.packed
+    }
+
+    /// The int8 quantization, built on first use. Uses the checkpoint's
+    /// preserved scale when one is available.
+    pub fn quantized(&self) -> &QuantizedMatrix {
+        self.quant.get_or_init(|| QuantizedMatrix::from_packed(&self.packed, self.qscale))
+    }
 }
 
 /// Holds every trainable tensor of a model, each tagged with a name and an
 /// optimiser *group* (the paper trains encoder / decoder / connection
 /// parameters with different learning rates).
-#[derive(Default, Serialize, Deserialize)]
+#[derive(Default)]
 pub struct ParamStore {
     params: Vec<ParamEntry>,
+    /// Lazily built packed/quantized forms, indexed like `params`.
+    packed: RwLock<Vec<Option<Arc<PackedParam>>>>,
+    /// When set, the inference helpers use the int8 quantized weights.
+    quantized: AtomicBool,
+}
+
+impl Serialize for ParamStore {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![("params".to_string(), self.params.to_value())])
+    }
+}
+
+impl Deserialize for ParamStore {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(ParamStore {
+            params: Vec::<ParamEntry>::from_value(v.field("params"))?,
+            packed: RwLock::new(Vec::new()),
+            quantized: AtomicBool::new(false),
+        })
+    }
 }
 
 impl ParamStore {
@@ -46,7 +106,24 @@ impl ParamStore {
             rows,
             cols,
             data: t.as_slice().to_vec(),
+            qscale: None,
         });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Registers a parameter from raw parts (checkpoint restore).
+    /// `data.len()` must equal `rows * cols`.
+    pub(crate) fn add_raw(
+        &mut self,
+        name: String,
+        group: usize,
+        rows: usize,
+        cols: usize,
+        data: Vec<f32>,
+        qscale: Option<f32>,
+    ) -> ParamId {
+        debug_assert_eq!(data.len(), rows * cols, "ParamStore::add_raw: bad shape for {name}");
+        self.params.push(ParamEntry { name, group, rows, cols, data, qscale });
         ParamId(self.params.len() - 1)
     }
 
@@ -71,6 +148,11 @@ impl ParamStore {
         Tensor::from_vec(p.rows, p.cols, p.data.clone())
     }
 
+    /// The raw weight buffer of a parameter, without copying.
+    pub fn data(&self, id: ParamId) -> &[f32] {
+        &self.params[id.0].data
+    }
+
     /// The optimiser group of a parameter.
     pub fn group(&self, id: ParamId) -> usize {
         self.params[id.0].group
@@ -87,16 +169,144 @@ impl ParamStore {
         (p.rows, p.cols)
     }
 
+    /// The preserved int8 quantization scale, if this parameter was loaded
+    /// from a quantized checkpoint and has not been updated since.
+    pub fn qscale(&self, id: ParamId) -> Option<f32> {
+        self.params[id.0].qscale
+    }
+
     /// Overwrites a parameter value (used by the optimiser).
     pub fn set(&mut self, id: ParamId, t: &Tensor) {
         let p = &mut self.params[id.0];
         assert_eq!((p.rows, p.cols), t.shape(), "ParamStore::set: shape mismatch for {}", p.name);
         p.data.copy_from_slice(t.as_slice());
+        self.invalidate(id);
     }
 
     /// Applies `f` to the raw weight buffer of a parameter.
     pub fn update_in_place(&mut self, id: ParamId, f: impl FnOnce(&mut [f32])) {
         f(&mut self.params[id.0].data);
+        self.invalidate(id);
+    }
+
+    /// Drops the cached packed/quantized form after a weight update.
+    fn invalidate(&mut self, id: ParamId) {
+        self.params[id.0].qscale = None;
+        let cache = self.packed.get_mut().unwrap();
+        if let Some(slot) = cache.get_mut(id.0) {
+            *slot = None;
+        }
+    }
+
+    /// The packed (and lazily quantized) form of a parameter, building and
+    /// caching it on first use. Callable under a shared reference so
+    /// concurrent inference threads share one packing.
+    pub fn packed_param(&self, id: ParamId) -> Arc<PackedParam> {
+        {
+            let cache = self.packed.read().unwrap();
+            if let Some(Some(p)) = cache.get(id.0) {
+                return Arc::clone(p);
+            }
+        }
+        let e = &self.params[id.0];
+        let built = Arc::new(PackedParam {
+            packed: PackedMatrix::pack(&e.data, e.rows, e.cols),
+            quant: OnceLock::new(),
+            qscale: e.qscale,
+        });
+        let mut cache = self.packed.write().unwrap();
+        if cache.len() < self.params.len() {
+            cache.resize(self.params.len(), None);
+        }
+        match &mut cache[id.0] {
+            Some(p) => Arc::clone(p),
+            slot @ None => {
+                *slot = Some(Arc::clone(&built));
+                built
+            }
+        }
+    }
+
+    /// Selects between f32 packed weights and int8 quantized weights for the
+    /// inference helpers. Training is unaffected (it never reads the cache).
+    pub fn set_quantized(&self, on: bool) {
+        self.quantized.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the inference helpers use int8 quantized weights.
+    pub fn quantized(&self) -> bool {
+        self.quantized.load(Ordering::Relaxed)
+    }
+
+    /// Inference-path dense layer: `act(x W + b)` computed off-tape with the
+    /// packed (or quantized) weights. Bit-identical to the fused
+    /// [`Graph::matmul_bias_act`] training node on the f32 path.
+    pub fn forward_linear(
+        &self,
+        g: &mut Graph,
+        x: Var,
+        w: ParamId,
+        b: Option<ParamId>,
+        act: Activation,
+    ) -> Var {
+        let out = {
+            let xt = g.value(x);
+            let wp = self.packed_param(w);
+            let mut out =
+                if self.quantized() { wp.quantized().matmul(xt) } else { wp.matrix().matmul(xt) };
+            if let Some(b) = b {
+                let bias = self.data(b);
+                let lvl = simd::level();
+                for r in 0..out.rows() {
+                    simd::add_assign_at(lvl, out.row_mut(r), bias);
+                }
+            }
+            apply_activation(&mut out, act);
+            out
+        };
+        g.input(out)
+    }
+
+    /// Inference-path LSTM pre-activation: `x Wx + h Wh + b` with packed (or
+    /// quantized) weights, summed in the same order as the tape path
+    /// (`(zx + zh) + b`), so the f32 result is bit-identical.
+    pub fn lstm_preact(
+        &self,
+        g: &Graph,
+        x: Var,
+        h: Var,
+        wx: ParamId,
+        wh: ParamId,
+        b: ParamId,
+    ) -> Tensor {
+        let xt = g.value(x);
+        let ht = g.value(h);
+        let px = self.packed_param(wx);
+        let ph = self.packed_param(wh);
+        let quant = self.quantized();
+        let mut z = if quant { px.quantized().matmul(xt) } else { px.matrix().matmul(xt) };
+        let zh = if quant { ph.quantized().matmul(ht) } else { ph.matrix().matmul(ht) };
+        let lvl = simd::level();
+        simd::add_assign_at(lvl, z.as_mut_slice(), zh.as_slice());
+        let bias = self.data(b);
+        for r in 0..z.rows() {
+            simd::add_assign_at(lvl, z.row_mut(r), bias);
+        }
+        z
+    }
+
+    /// Inference-path embedding lookup: copies the requested rows straight
+    /// out of the store, skipping the tape's full-table parameter clone.
+    pub fn gather_rows(&self, g: &mut Graph, table: ParamId, ids: &[usize]) -> Var {
+        let t = {
+            let e = &self.params[table.0];
+            let mut data = Vec::with_capacity(ids.len() * e.cols);
+            for &i in ids {
+                data.extend_from_slice(&e.data[i * e.cols..(i + 1) * e.cols]);
+            }
+            Tensor::from_vec(ids.len(), e.cols, data)
+        };
+        g.input(t)
     }
 
     /// Registers the parameter as a node of the autodiff graph so gradients
@@ -178,5 +388,45 @@ mod tests {
         let collected = ps.collect_grads(&grads);
         assert_eq!(collected.len(), 1);
         assert_eq!(collected[0].1.scalar_value(), 4.0); // d(w^2)/dw = 2w
+    }
+
+    #[test]
+    fn packed_cache_matches_matmul_and_invalidates() {
+        let mut ps = ParamStore::new();
+        let w = Tensor::from_vec(3, 5, (0..15).map(|i| i as f32 * 0.25 - 1.0).collect());
+        let id = ps.add("w", 0, w.clone());
+        let x = Tensor::from_vec(2, 3, vec![0.5, -1.0, 2.0, 0.25, 3.0, -0.75]);
+        let want = x.matmul(&w);
+        let got = ps.packed_param(id).matrix().matmul(&x);
+        assert_eq!(want.as_slice(), got.as_slice());
+        // Same Arc on the second lookup.
+        assert!(Arc::ptr_eq(&ps.packed_param(id), &ps.packed_param(id)));
+        // A weight update drops the cached packing.
+        let w2 = Tensor::from_vec(3, 5, vec![1.0; 15]);
+        ps.set(id, &w2);
+        let got2 = ps.packed_param(id).matrix().matmul(&x);
+        assert_eq!(x.matmul(&w2).as_slice(), got2.as_slice());
+    }
+
+    #[test]
+    fn forward_linear_matches_tape_path_bitwise() {
+        let mut ps = ParamStore::new();
+        let wid =
+            ps.add("l.w", 0, Tensor::from_vec(4, 3, (0..12).map(|i| (i as f32).sin()).collect()));
+        let bid = ps.add("l.b", 0, Tensor::from_vec(1, 3, vec![0.1, -0.2, 0.3]));
+        let xs = Tensor::from_vec(2, 4, (0..8).map(|i| (i as f32 * 0.7).cos()).collect());
+
+        let mut g = Graph::new();
+        let x = g.input(xs.clone());
+        let w = ps.var(&mut g, wid);
+        let b = ps.var(&mut g, bid);
+        let tape = g.matmul_bias_act(x, w, Some(b), Activation::Relu);
+        let want: Vec<u32> = g.value(tape).as_slice().iter().map(|v| v.to_bits()).collect();
+
+        let mut g2 = Graph::new();
+        let x2 = g2.input(xs);
+        let fast = ps.forward_linear(&mut g2, x2, wid, Some(bid), Activation::Relu);
+        let got: Vec<u32> = g2.value(fast).as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(want, got);
     }
 }

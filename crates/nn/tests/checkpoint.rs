@@ -1,0 +1,166 @@
+//! Checkpoint round-trip and rejection tests.
+
+use valuenet_nn::{
+    load_checkpoint, save_checkpoint, save_checkpoint_quantized, CheckpointError,
+    CheckpointFormat, ParamStore,
+};
+use valuenet_tensor::Tensor;
+
+fn tmp_path(tag: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("vn_ckpt_{}_{}.jsonl", tag, std::process::id()));
+    p.to_str().unwrap().to_string()
+}
+
+/// A store with shapes and value ranges resembling the real model's.
+fn sample_store() -> ParamStore {
+    let mut ps = ParamStore::new();
+    let mut s = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 40) as f32 / 8388608.0 - 1.0
+    };
+    for (name, group, rows, cols) in
+        [("enc.w", 0usize, 7usize, 12usize), ("enc.b", 0, 1, 12), ("dec.wx", 1, 12, 20), ("out.w", 2, 5, 3)]
+    {
+        let data: Vec<f32> = (0..rows * cols).map(|_| next()).collect();
+        ps.add(name, group, Tensor::from_vec(rows, cols, data));
+    }
+    ps
+}
+
+fn assert_stores_bit_identical(a: &ParamStore, b: &ParamStore) {
+    assert_eq!(a.len(), b.len());
+    for (ia, ib) in a.ids().zip(b.ids()) {
+        assert_eq!(a.name(ia), b.name(ib));
+        assert_eq!(a.group(ia), b.group(ib));
+        assert_eq!(a.shape(ia), b.shape(ib));
+        let bits_a: Vec<u32> = a.data(ia).iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u32> = b.data(ib).iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "weights differ for {}", a.name(ia));
+    }
+}
+
+#[test]
+fn f32_round_trip_is_bit_identical() {
+    let ps = sample_store();
+    let path = tmp_path("f32");
+    save_checkpoint(&path, &ps).unwrap();
+    let (loaded, format) = load_checkpoint(&path).unwrap();
+    assert_eq!(format, CheckpointFormat::F32);
+    assert_stores_bit_identical(&ps, &loaded);
+    assert!(loaded.ids().all(|id| loaded.qscale(id).is_none()));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn int8_round_trip_preserves_scale_and_is_idempotent() {
+    let ps = sample_store();
+    let path1 = tmp_path("int8_a");
+    let path2 = tmp_path("int8_b");
+    save_checkpoint_quantized(&path1, &ps).unwrap();
+    let (loaded, format) = load_checkpoint(&path1).unwrap();
+    assert_eq!(format, CheckpointFormat::Int8);
+    // Every tensor carries its preserved scale after an int8 load.
+    assert!(loaded.ids().all(|id| loaded.qscale(id).is_some()));
+    // Re-saving the dequantized store reproduces the exact same codes.
+    save_checkpoint_quantized(&path2, &loaded).unwrap();
+    assert_eq!(std::fs::read_to_string(&path1).unwrap(), std::fs::read_to_string(&path2).unwrap());
+    // And a second load is a fixed point.
+    let (loaded2, _) = load_checkpoint(&path2).unwrap();
+    assert_stores_bit_identical(&loaded, &loaded2);
+    std::fs::remove_file(&path1).ok();
+    std::fs::remove_file(&path2).ok();
+}
+
+#[test]
+fn int8_error_is_within_half_step() {
+    let ps = sample_store();
+    let path = tmp_path("int8_err");
+    save_checkpoint_quantized(&path, &ps).unwrap();
+    let (loaded, _) = load_checkpoint(&path).unwrap();
+    for (ia, ib) in ps.ids().zip(loaded.ids()) {
+        let scale = loaded.qscale(ib).unwrap();
+        for (x, y) in ps.data(ia).iter().zip(loaded.data(ib)) {
+            assert!(
+                (x - y).abs() <= 0.5 * scale + 1e-7,
+                "dequantized {y} too far from {x} (scale {scale})"
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_file_is_rejected() {
+    let ps = sample_store();
+    let path = tmp_path("trunc");
+    save_checkpoint(&path, &ps).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines.pop(); // drop checkpoint_end
+    std::fs::write(&path, lines.join("\n")).unwrap();
+    match load_checkpoint(&path) {
+        Err(CheckpointError::Truncated(_)) => {}
+        Err(e) => panic!("expected Truncated, got {e:?}"),
+        Ok(_) => panic!("expected Truncated, load succeeded"),
+    }
+    // Dropping a param line too makes the end-count inconsistent.
+    save_checkpoint(&path, &ps).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines.remove(2);
+    std::fs::write(&path, lines.join("\n")).unwrap();
+    match load_checkpoint(&path) {
+        Err(CheckpointError::Truncated(_)) => {}
+        Err(e) => panic!("expected Truncated, got {e:?}"),
+        Ok(_) => panic!("expected Truncated, load succeeded"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_and_unversioned_files_are_rejected() {
+    let path = tmp_path("garbage");
+    std::fs::write(&path, "not json at all\n").unwrap();
+    match load_checkpoint(&path) {
+        Err(CheckpointError::Parse(_)) => {}
+        Err(e) => panic!("expected Parse, got {e:?}"),
+        Ok(_) => panic!("expected Parse, load succeeded"),
+    }
+
+    // A future checkpoint_version must be refused, not misread.
+    let ps = sample_store();
+    save_checkpoint(&path, &ps).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let bumped = text.replace("\"checkpoint_version\":1", "\"checkpoint_version\":99");
+    std::fs::write(&path, bumped).unwrap();
+    match load_checkpoint(&path) {
+        Err(CheckpointError::Version(msg)) => {
+            assert!(msg.contains("99"), "unhelpful message: {msg}")
+        }
+        Err(e) => panic!("expected Version, got {e:?}"),
+        Ok(_) => panic!("expected Version, load succeeded"),
+    }
+
+    // A shape/payload mismatch is corrupt.
+    save_checkpoint(&path, &ps).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let bad = text.replace("\"rows\":7", "\"rows\":9");
+    std::fs::write(&path, bad).unwrap();
+    match load_checkpoint(&path) {
+        Err(CheckpointError::Corrupt(_)) => {}
+        Err(e) => panic!("expected Corrupt, got {e:?}"),
+        Ok(_) => panic!("expected Corrupt, load succeeded"),
+    }
+
+    // Missing file surfaces as Io.
+    std::fs::remove_file(&path).ok();
+    match load_checkpoint(&path) {
+        Err(CheckpointError::Io(_)) => {}
+        Err(e) => panic!("expected Io, got {e:?}"),
+        Ok(_) => panic!("expected Io, load succeeded"),
+    }
+}

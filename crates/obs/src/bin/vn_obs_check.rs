@@ -47,7 +47,7 @@ fn main() -> ExitCode {
             }
         };
         match record.get("type").and_then(Json::as_str) {
-            Some("meta") => {
+            Some("meta") | Some("checkpoint_meta") => {
                 saw_meta = true;
                 if record.get("schema_version").and_then(Json::as_f64).is_none() {
                     eprintln!(
@@ -65,7 +65,8 @@ fn main() -> ExitCode {
                     failed = true;
                 }
             }
-            Some("counter") | Some("histogram") | Some("metric") | Some("bench") => counters += 1,
+            Some("counter") | Some("histogram") | Some("metric") | Some("bench")
+            | Some("checkpoint_param") | Some("checkpoint_end") => counters += 1,
             Some(other) => {
                 eprintln!("vn-obs-check: {path}:{}: unknown type {other:?}", lineno + 1);
                 failed = true;

@@ -36,7 +36,8 @@ mod sink;
 
 pub use hist::{bucket_bounds, bucket_index, percentile_from_counts, NBUCKETS};
 pub use sink::{
-    chrome_trace, summary, write_run_report, DifficultyRow, JsonlWriter, RUN_REPORT_SCHEMA_VERSION,
+    chrome_trace, summary, write_run_report, write_run_report_with, DifficultyRow, JsonlWriter,
+    RUN_REPORT_SCHEMA_VERSION,
 };
 
 use std::cell::RefCell;

@@ -170,12 +170,27 @@ impl Gradients {
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    inference: bool,
 }
 
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Graph { nodes: Vec::new() }
+        Graph { nodes: Vec::new(), inference: false }
+    }
+
+    /// Marks this tape as inference-only. Layers may then bypass the tape
+    /// for parameter applications (pre-packed / quantized weight kernels
+    /// feeding [`Graph::input`] leaves) since no backward pass will run.
+    /// Training tapes never set this, so training stays on the recorded
+    /// f32 path.
+    pub fn set_inference(&mut self, on: bool) {
+        self.inference = on;
+    }
+
+    /// True when this tape was marked inference-only.
+    pub fn inference_mode(&self) -> bool {
+        self.inference
     }
 
     /// Clears the tape for reuse, keeping the node vector's capacity.
@@ -520,20 +535,13 @@ impl Graph {
             let tb = self.value(b);
             assert_eq!(tb.rows(), 1, "matmul_bias_act: bias must be a row vector");
             assert_eq!(out.cols(), tb.cols(), "matmul_bias_act: bias column mismatch");
+            let bias_row = tb.row(0);
+            let lvl = crate::simd::level();
             for r in 0..out.rows() {
-                for (x, &bv) in out.row_mut(r).iter_mut().zip(tb.row(0)) {
-                    *x += bv;
-                }
+                crate::simd::add_assign_at(lvl, out.row_mut(r), bias_row);
             }
         }
-        match act {
-            Activation::None => {}
-            Activation::Tanh => out.as_mut_slice().iter_mut().for_each(|x| *x = x.tanh()),
-            Activation::Sigmoid => {
-                out.as_mut_slice().iter_mut().for_each(|x| *x = 1.0 / (1.0 + (-*x).exp()))
-            }
-            Activation::Relu => out.as_mut_slice().iter_mut().for_each(|x| *x = x.max(0.0)),
-        }
+        apply_activation(&mut out, act);
         let ng = match bias {
             Some(b) => self.any_needs_grad(&[a, w, b]),
             None => self.any_needs_grad(&[a, w]),
@@ -560,15 +568,11 @@ impl Graph {
         }
         FUSED_ATTN_SOFTMAX.add(1);
         let mut out = self.value(q).matmul_transposed_b(self.value(keys));
-        for x in out.as_mut_slice() {
-            *x *= scale;
-        }
+        crate::simd::scale(out.as_mut_slice(), scale);
         if let Some(m) = mask {
             let tm = self.value(m);
             assert_eq!(out.shape(), tm.shape(), "attn_softmax: mask shape mismatch");
-            for (x, &mv) in out.as_mut_slice().iter_mut().zip(tm.as_slice()) {
-                *x += mv;
-            }
+            crate::simd::add_assign(out.as_mut_slice(), tm.as_slice());
         }
         for r in 0..out.rows() {
             softmax_row(out.row_mut(r));
@@ -644,34 +648,9 @@ impl Graph {
         }
         FUSED_LSTM_GATES.add(1);
         let ng = self.any_needs_grad(&[z, c_prev]);
-        let mut c_data = crate::pool::take(rows * h);
-        {
-            let (tz, tc_prev) = (self.value(z), self.value(c_prev));
-            for r in 0..rows {
-                let zr = tz.row(r);
-                let cp = tc_prev.row(r);
-                for j in 0..h {
-                    let i = sigmoid(zr[j]);
-                    let f = sigmoid(zr[h + j]);
-                    let g_ = zr[2 * h + j].tanh();
-                    // Same grouping as the unfused add(mul, mul).
-                    c_data.push(f * cp[j] + i * g_);
-                }
-            }
-        }
-        let c = self.push(Tensor::from_vec(rows, h, c_data), Op::LstmCellGate { z, c_prev }, ng, None);
-        let mut h_data = crate::pool::take(rows * h);
-        {
-            let (tz, tc) = (self.value(z), self.value(c));
-            for r in 0..rows {
-                let zr = tz.row(r);
-                let cr = tc.row(r);
-                for j in 0..h {
-                    h_data.push(sigmoid(zr[3 * h + j]) * cr[j].tanh());
-                }
-            }
-        }
-        let h_out = self.push(Tensor::from_vec(rows, h, h_data), Op::LstmOutGate { z, c }, ng, None);
+        let (h_t, c_t) = lstm_gates_eval(self.value(z), self.value(c_prev));
+        let c = self.push(c_t, Op::LstmCellGate { z, c_prev }, ng, None);
+        let h_out = self.push(h_t, Op::LstmOutGate { z, c }, ng, None);
         (h_out, c)
     }
 
@@ -1149,15 +1128,80 @@ fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
 }
 
+/// Forward LSTM gate math outside the tape: consumes the pre-activations
+/// `z = [i|f|g|o]` (`[B, 4h]`) and the previous cell state (`[B, h]`),
+/// returns `(h, c)`. This is exactly the value computation of the fused
+/// [`Graph::lstm_gates`] (which calls it), exposed so the packed inference
+/// path can run the same math on plain tensors. The gate nonlinearities
+/// stay scalar (exp/tanh); the elementwise combines
+/// `c = f ⊙ c_prev + i ⊙ g` and `h = o ⊙ tanh(c)` go through the
+/// bit-pinned SIMD kernels with the same expression trees as the unfused
+/// `add(mul, mul)` / `mul` ops.
+pub fn lstm_gates_eval(tz: &Tensor, tc_prev: &Tensor) -> (Tensor, Tensor) {
+    let h = tc_prev.cols();
+    let rows = tc_prev.rows();
+    assert_eq!(tz.cols(), 4 * h, "lstm_gates: z must be [B, 4h]");
+    assert_eq!(tz.rows(), rows, "lstm_gates: batch mismatch");
+    let lvl = crate::simd::level();
+    let mut scratch = crate::pool::take(3 * h);
+    scratch.resize(3 * h, 0.0);
+    let mut c_data = crate::pool::take(rows * h);
+    c_data.resize(rows * h, 0.0);
+    for r in 0..rows {
+        let zr = tz.row(r);
+        let cp = tc_prev.row(r);
+        let (iv, rest) = scratch.split_at_mut(h);
+        let (fv, gv) = rest.split_at_mut(h);
+        for j in 0..h {
+            iv[j] = sigmoid(zr[j]);
+            fv[j] = sigmoid(zr[h + j]);
+            gv[j] = zr[2 * h + j].tanh();
+        }
+        // Same grouping as the unfused add(mul(f, c_prev), mul(i, g)).
+        crate::simd::mul2_add_at(lvl, &mut c_data[r * h..(r + 1) * h], fv, cp, iv, gv);
+    }
+    let c = Tensor::from_vec(rows, h, c_data);
+    let mut h_data = crate::pool::take(rows * h);
+    h_data.resize(rows * h, 0.0);
+    for r in 0..rows {
+        let zr = tz.row(r);
+        let cr = c.row(r);
+        let (ov, tv) = scratch.split_at_mut(h);
+        let tv = &mut tv[..h];
+        for j in 0..h {
+            ov[j] = sigmoid(zr[3 * h + j]);
+            tv[j] = cr[j].tanh();
+        }
+        crate::simd::mul_at(lvl, &mut h_data[r * h..(r + 1) * h], ov, tv);
+    }
+    crate::pool::give(scratch);
+    (Tensor::from_vec(rows, h, h_data), c)
+}
+
 fn softmax_row(row: &mut [f32]) {
+    // The max fold and the exp-sum are serial reductions whose result
+    // depends on evaluation order, so they stay scalar (see the bit-pinning
+    // rules in `simd`); only the per-element normalisation vectorizes.
     let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let mut sum = 0.0;
     for x in row.iter_mut() {
         *x = (*x - max).exp();
         sum += *x;
     }
-    for x in row.iter_mut() {
-        *x /= sum;
+    crate::simd::div(row, sum);
+}
+
+/// Applies an activation in place, with the exact element expressions of the
+/// unfused [`Graph::tanh`] / [`Graph::sigmoid`] / [`Graph::relu`] maps (the
+/// Relu goes through the SIMD kernel, which is bit-pinned to `x.max(0.0)`).
+pub fn apply_activation(out: &mut Tensor, act: Activation) {
+    match act {
+        Activation::None => {}
+        Activation::Tanh => out.as_mut_slice().iter_mut().for_each(|x| *x = x.tanh()),
+        Activation::Sigmoid => {
+            out.as_mut_slice().iter_mut().for_each(|x| *x = 1.0 / (1.0 + (-*x).exp()))
+        }
+        Activation::Relu => crate::simd::relu(out.as_mut_slice()),
     }
 }
 

@@ -39,8 +39,15 @@
 //! `DESIGN.md`, "Memory & kernel fusion".
 
 mod graph;
+pub mod packed;
 pub mod pool;
+pub mod simd;
 mod tensor;
 
-pub use graph::{fusion_enabled, set_fusion_enabled, Activation, Gradients, Graph, Var};
+pub use graph::{
+    apply_activation, fusion_enabled, lstm_gates_eval, set_fusion_enabled, Activation, Gradients,
+    Graph, Var,
+};
+pub use packed::{PackedMatrix, QuantizedMatrix};
+pub use simd::SimdLevel;
 pub use tensor::Tensor;

@@ -1,5 +1,6 @@
 //! A dense, row-major, two-dimensional `f32` matrix.
 
+use crate::simd::{self, SimdLevel};
 use std::fmt;
 
 // Kernel accounting for the production matmul paths (see `DESIGN.md`,
@@ -198,13 +199,27 @@ impl Tensor {
             "matmul: {}x{} @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        let lvl = simd::level();
         if !valuenet_obs::enabled() {
-            return block_kernel(&self.data, &other.data, self.rows, self.cols, other.cols);
+            return block_kernel(&self.data, &other.data, self.rows, self.cols, other.cols, lvl);
         }
         let start = valuenet_obs::now_ns();
-        let out = block_kernel(&self.data, &other.data, self.rows, self.cols, other.cols);
+        let out = block_kernel(&self.data, &other.data, self.rows, self.cols, other.cols, lvl);
         record_matmul(self.rows, self.cols, other.cols, start);
         out
+    }
+
+    /// [`Tensor::matmul`] pinned to an explicit SIMD level. All levels are
+    /// bit-identical; tests and benchmarks use this to compare arms without
+    /// touching the process-wide level.
+    #[doc(hidden)]
+    pub fn matmul_with_level(&self, other: &Tensor, lvl: SimdLevel) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        block_kernel(&self.data, &other.data, self.rows, self.cols, other.cols, lvl)
     }
 
     /// [`Tensor::matmul`] without the observability check — the baseline for
@@ -217,7 +232,7 @@ impl Tensor {
             "matmul: {}x{} @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        block_kernel(&self.data, &other.data, self.rows, self.cols, other.cols)
+        block_kernel(&self.data, &other.data, self.rows, self.cols, other.cols, simd::level())
     }
 
     /// Reference matrix product (the original straightforward i-k-j kernel).
@@ -267,17 +282,31 @@ impl Tensor {
             "matmul_transposed_b: {}x{} @ ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
+        let lvl = simd::level();
         let start = valuenet_obs::enabled().then(valuenet_obs::now_ns);
         let out = if self.rows < 8 && crate::fusion_enabled() {
-            dot_kernel(&self.data, &other.data, self.rows, self.cols, other.rows)
+            dot_kernel(&self.data, &other.data, self.rows, self.cols, other.rows, lvl)
         } else {
             let packed = other.transpose();
-            block_kernel(&self.data, &packed.data, self.rows, self.cols, other.rows)
+            block_kernel(&self.data, &packed.data, self.rows, self.cols, other.rows, lvl)
         };
         if let Some(s) = start {
             record_matmul(self.rows, self.cols, other.rows, s);
         }
         out
+    }
+
+    /// [`Tensor::matmul_transposed_b`] pinned to an explicit SIMD level,
+    /// forcing the narrow-left direct-dot kernel. Bit-identical at every
+    /// level; used by tests and benchmarks.
+    #[doc(hidden)]
+    pub fn matmul_transposed_b_with_level(&self, other: &Tensor, lvl: SimdLevel) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transposed_b: {}x{} @ ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        dot_kernel(&self.data, &other.data, self.rows, self.cols, other.rows, lvl)
     }
 
     /// `selfᵀ @ other` without materialising the transpose.
@@ -292,42 +321,24 @@ impl Tensor {
             "matmul_transposed_a: ({}x{})ᵀ @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let (k, n, m) = (self.rows, self.cols, other.cols);
         let start = valuenet_obs::enabled().then(valuenet_obs::now_ns);
-        let mut out = Tensor::zeros(n, m);
-        let a = &self.data;
-        let b = &other.data;
-        let full_p = k - k % 4;
-        for p in (0..full_p).step_by(4) {
-            let b0 = &b[p * m..(p + 1) * m];
-            let b1 = &b[(p + 1) * m..(p + 2) * m];
-            let b2 = &b[(p + 2) * m..(p + 3) * m];
-            let b3 = &b[(p + 3) * m..(p + 4) * m];
-            for i in 0..n {
-                let a0 = a[p * n + i];
-                let a1 = a[(p + 1) * n + i];
-                let a2 = a[(p + 2) * n + i];
-                let a3 = a[(p + 3) * n + i];
-                let out_row = &mut out.data[i * m..(i + 1) * m];
-                for j in 0..m {
-                    out_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-                }
-            }
-        }
-        for p in full_p..k {
-            let b_row = &b[p * m..(p + 1) * m];
-            for i in 0..n {
-                let av = a[p * n + i];
-                let out_row = &mut out.data[i * m..(i + 1) * m];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
-            }
-        }
+        let out = transposed_a_kernel(&self.data, &other.data, self.rows, self.cols, other.cols, simd::level());
         if let Some(s) = start {
-            record_matmul(n, k, m, s);
+            record_matmul(self.cols, self.rows, other.cols, s);
         }
         out
+    }
+
+    /// [`Tensor::matmul_transposed_a`] pinned to an explicit SIMD level.
+    /// Bit-identical at every level; used by tests and benchmarks.
+    #[doc(hidden)]
+    pub fn matmul_transposed_a_with_level(&self, other: &Tensor, lvl: SimdLevel) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_transposed_a: ({}x{})ᵀ @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        transposed_a_kernel(&self.data, &other.data, self.rows, self.cols, other.cols, lvl)
     }
 
     /// Transposed copy, tiled so the destination is written contiguously.
@@ -428,40 +439,49 @@ impl Tensor {
 /// ascending fold over the shared dimension, exactly like the blocked
 /// kernel's per-element accumulation, so the two paths agree bitwise.
 #[inline(never)]
-fn dot_kernel(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Tensor {
+fn dot_kernel(a: &[f32], b: &[f32], n: usize, k: usize, m: usize, lvl: SimdLevel) -> Tensor {
     let mut data = crate::pool::take(n * m);
-    let full_j = m - m % 4;
     for i in 0..n {
         let x = &a[i * k..(i + 1) * k];
-        for j in (0..full_j).step_by(4) {
-            let y0 = &b[j * k..(j + 1) * k];
-            let y1 = &b[(j + 1) * k..(j + 2) * k];
-            let y2 = &b[(j + 2) * k..(j + 3) * k];
-            let y3 = &b[(j + 3) * k..(j + 4) * k];
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-            for l in 0..k {
-                let xv = x[l];
-                s0 += xv * y0[l];
-                s1 += xv * y1[l];
-                s2 += xv * y2[l];
-                s3 += xv * y3[l];
-            }
-            data.extend_from_slice(&[s0, s1, s2, s3]);
-        }
-        for j in full_j..m {
-            let y = &b[j * k..(j + 1) * k];
-            let mut s = 0.0f32;
-            for l in 0..k {
-                s += x[l] * y[l];
-            }
-            data.push(s);
-        }
+        simd::dot_rows_at(lvl, x, b, k, m, &mut data);
     }
     Tensor { data, rows: n, cols: m }
 }
 
+/// The kernel behind [`Tensor::matmul_transposed_a`]: `selfᵀ @ other` as a
+/// sum of rank-1 updates, four shared rows per pass. `a` is `k×n`, `b` is
+/// `k×m`, result is `n×m`.
 #[inline(never)]
-fn block_kernel(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Tensor {
+fn transposed_a_kernel(a: &[f32], b: &[f32], k: usize, n: usize, m: usize, lvl: SimdLevel) -> Tensor {
+    let mut out = Tensor::zeros(n, m);
+    let full_p = k - k % 4;
+    for p in (0..full_p).step_by(4) {
+        let b0 = &b[p * m..(p + 1) * m];
+        let b1 = &b[(p + 1) * m..(p + 2) * m];
+        let b2 = &b[(p + 2) * m..(p + 3) * m];
+        let b3 = &b[(p + 3) * m..(p + 4) * m];
+        for i in 0..n {
+            let a0 = a[p * n + i];
+            let a1 = a[(p + 1) * n + i];
+            let a2 = a[(p + 2) * n + i];
+            let a3 = a[(p + 3) * n + i];
+            let out_row = &mut out.data[i * m..(i + 1) * m];
+            simd::axpy4_shared_at(lvl, out_row, a0, a1, a2, a3, b0, b1, b2, b3);
+        }
+    }
+    for p in full_p..k {
+        let b_row = &b[p * m..(p + 1) * m];
+        for i in 0..n {
+            let av = a[p * n + i];
+            let out_row = &mut out.data[i * m..(i + 1) * m];
+            simd::axpy_at(lvl, out_row, av, b_row);
+        }
+    }
+    out
+}
+
+#[inline(never)]
+fn block_kernel(a: &[f32], b: &[f32], n: usize, k: usize, m: usize, lvl: SimdLevel) -> Tensor {
     const MR: usize = 4; // output rows per register block
     const JC: usize = 512; // column tile: MR rows × 512 cols × 4 B = 8 KiB
     let mut out = Tensor::zeros(n, m);
@@ -484,12 +504,7 @@ fn block_kernel(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Tensor {
                 let a2 = a[(i + 2) * k + p];
                 let a3 = a[(i + 3) * k + p];
                 let b_row = &b[p * m + jb..p * m + jb + jw];
-                for (j, &bv) in b_row.iter().enumerate() {
-                    r0[j] += a0 * bv;
-                    r1[j] += a1 * bv;
-                    r2[j] += a2 * bv;
-                    r3[j] += a3 * bv;
-                }
+                simd::axpy4_at(lvl, r0, r1, r2, r3, a0, a1, a2, a3, b_row);
             }
         }
         // Row remainder: plain single-row axpy over the same column tile.
@@ -498,9 +513,7 @@ fn block_kernel(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Tensor {
             for p in 0..k {
                 let av = a[i * k + p];
                 let b_row = &b[p * m + jb..p * m + jb + jw];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
+                simd::axpy_at(lvl, out_row, av, b_row);
             }
         }
     }

@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! vn-fuzz [--cases N] [--seed S] [--replay CASE_SEED] [--inject-divergence]
-//!         [--fail-log PATH]
+//!         [--fail-log PATH] [--quant N]
 //! ```
+//!
+//! `--quant N` switches to kernel mode: `N` seeded cases fuzz the packed and
+//! int8-quantized matmul kernels against their scalar oracles
+//! (`valuenet_verify::quant_fuzz`) instead of the SQL executor.
 //!
 //! Runs `N` executor-vs-oracle cases derived from `S` (see
 //! `valuenet_verify::fuzz`). Exits non-zero if any case diverges, printing a
@@ -24,6 +28,7 @@ fn main() -> ExitCode {
     let mut cfg = FuzzConfig { cases: 1000, seed: 42, inject_divergence: false };
     let mut replay: Option<u64> = None;
     let mut fail_log: Option<String> = None;
+    let mut quant: Option<usize> = None;
 
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -45,10 +50,13 @@ fn main() -> ExitCode {
             }
             "--inject-divergence" => cfg.inject_divergence = true,
             "--fail-log" => fail_log = Some(take("a path")),
+            "--quant" => {
+                quant = Some(parse_num(&take("a case count")) as usize);
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: vn-fuzz [--cases N] [--seed S] [--replay CASE_SEED] \
-                     [--inject-divergence] [--fail-log PATH]"
+                     [--inject-divergence] [--fail-log PATH] [--quant N]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -57,6 +65,23 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+
+    if let Some(cases) = quant {
+        // Kernel mode: fuzz the packed / int8 matmul kernels against their
+        // scalar oracles instead of the SQL executor.
+        let report = valuenet_verify::run_quant_fuzz(cases, cfg.seed);
+        println!(
+            "vn-fuzz --quant: {} kernel cases (seed {}): {} failures",
+            report.cases,
+            cfg.seed,
+            report.failures.len()
+        );
+        for (seed, desc) in &report.failures {
+            println!("  seed {seed}: {desc}");
+        }
+        valuenet_obs::finish();
+        return if report.failures.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
 
     if let Some(seed) = replay {

@@ -26,11 +26,13 @@
 pub mod fuzz;
 pub mod gradcheck;
 pub mod oracle;
+pub mod quant_fuzz;
 pub mod schema_gen;
 pub mod shrink;
 pub mod tree_gen;
 
 pub use fuzz::{case_seed, run_case, run_fuzz, CaseOutcome, FuzzConfig, FuzzReport};
+pub use quant_fuzz::{run_quant_case, run_quant_fuzz, QuantFuzzReport};
 pub use gradcheck::{grad_check, GradCheckConfig, GradReport};
 pub use oracle::{reference_execute, OracleError};
 pub use schema_gen::gen_database;

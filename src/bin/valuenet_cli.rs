@@ -105,12 +105,35 @@ fn cmd_train(args: &[String]) {
     std::fs::write(&out, serde_json::to_string(&bundle).expect("serialisable"))
         .unwrap_or_else(|e| fatal(&format!("cannot write {out}: {e}")));
     println!("saved model bundle to {out}");
+    if let Some(ckpt) = arg(args, "--save") {
+        valuenet::nn::save_checkpoint(&ckpt, &pipeline.model.params)
+            .unwrap_or_else(|e| fatal(&format!("cannot write checkpoint {ckpt}: {e}")));
+        println!("saved f32 checkpoint to {ckpt}");
+    }
+    if let Some(ckpt) = arg(args, "--save-quant") {
+        valuenet::nn::save_checkpoint_quantized(&ckpt, &pipeline.model.params)
+            .unwrap_or_else(|e| fatal(&format!("cannot write checkpoint {ckpt}: {e}")));
+        println!("saved int8 checkpoint to {ckpt}");
+    }
 }
 
 fn cmd_eval(args: &[String]) {
     let path = arg(args, "--model").unwrap_or_else(|| fatal("--model is required"));
     let threads = arg_usize(args, "--threads", 0);
-    let (pipeline, corpus) = load_bundle(&path);
+    let (mut pipeline, corpus) = load_bundle(&path);
+    if let Some(ckpt) = arg(args, "--load") {
+        let (params, format) = valuenet::nn::load_checkpoint(&ckpt)
+            .unwrap_or_else(|e| fatal(&format!("cannot load checkpoint {ckpt}: {e}")));
+        pipeline
+            .model
+            .load_params(params)
+            .unwrap_or_else(|e| fatal(&format!("checkpoint {ckpt} does not fit this model: {e}")));
+        eprintln!("loaded {format:?} checkpoint from {ckpt}");
+    }
+    if args.iter().any(|a| a == "--quantized") {
+        pipeline.model.params.set_quantized(true);
+        eprintln!("evaluating with int8 quantized weights");
+    }
     let stats = evaluate_with_threads(&pipeline, &corpus, &corpus.dev, threads);
     let correct = stats.samples.iter().filter(|s| s.outcome.is_correct()).count();
     let failed_exec = stats
@@ -221,7 +244,8 @@ fn main() {
             eprintln!(
                 "usage: valuenet-cli <train|eval|ask|repl|dbs> [options]\n\
                  \x20 train --out model.json [--mode light|full] [--train N] [--dev N] [--epochs N] [--seed N] [--threads N]\n\
-                 \x20 eval  --model model.json [--threads N]\n\
+                 \x20       [--save ckpt.jsonl] [--save-quant ckpt.int8.jsonl]\n\
+                 \x20 eval  --model model.json [--threads N] [--load ckpt.jsonl] [--quantized]\n\
                  \x20 ask   --model model.json --db <db_id> \"question\"\n\
                  \x20 repl  --model model.json --db <db_id>\n\
                  \x20 dbs   [--seed N]"
