@@ -1,0 +1,333 @@
+//! Serving-engine throughput/latency benchmark, written to `BENCH_serve.json`.
+//!
+//! Measures the [`valuenet_serve::Engine`] end to end — admission, bounded
+//! queue, worker pool, retry and degradation — on a deterministically
+//! trained pipeline, in two regimes and two fault arms each:
+//!
+//! * **sustained** — closed loop: one submitter per worker hammers
+//!   `translate_blocking` back to back. The resulting queries/sec is the
+//!   engine's saturation throughput and sets the offered rate below.
+//! * **open loop** — requests are dispatched on a fixed schedule at 70% of
+//!   the measured sustained rate, independent of completions (so queueing
+//!   delay is *charged to the request*, not hidden by backpressure).
+//!   Latency is scheduled-arrival → response and is reported as
+//!   p50/p90/p99.
+//!
+//! Each regime runs once cleanly and once with injected faults: every 8th
+//! request carries a `FaultSpec` that panics its worker once at the
+//! encode/decode stage, forcing the catch-unwind → respawn → degraded-retry
+//! path. The fault arm's records carry the pool counters (panics, respawns,
+//! shed, live workers) so the report shows recovery, not just slowdown.
+//!
+//! The report goes through the observability JSONL sink
+//! ([`valuenet_obs::JsonlWriter`]): a `meta` line first, then one
+//! `{"type":"bench"}` record per measurement, all stamped with
+//! `schema_version` — `vn-obs-check BENCH_serve.json` validates the file in
+//! CI. Scale via `--quick` (CI-sized corpus) and `VN_TRAIN` / `VN_DEV` /
+//! `VN_ROWS` / `VN_SERVE_WORKERS`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+use valuenet_core::{train, ModelConfig, Stage, TrainConfig, ValueMode};
+use valuenet_dataset::{generate, CorpusConfig};
+use valuenet_obs::json::Json;
+use valuenet_serve::{Engine, ErrorKind, FaultSpec, Response, ServeConfig, TranslateJob};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Nearest-rank percentile over an already-sorted latency sample.
+fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)] as f64 / 1e3
+}
+
+/// Panic-once-at-encode fault for every `every`-th request (0 = never).
+fn fault_for(seq: u64, every: u64) -> Option<FaultSpec> {
+    (every > 0 && seq.is_multiple_of(every)).then(|| FaultSpec {
+        panic_stage: Some(Stage::EncodeDecode),
+        panic_times: 1,
+        ..FaultSpec::default()
+    })
+}
+
+struct OpenLoopResult {
+    offered_qps: f64,
+    dispatched: usize,
+    completed: u64,
+    translate_failed: u64,
+    rejected: u64,
+    shed_at_submit: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn main() {
+    valuenet_obs::init_from_env();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (dt, dd, dr) = if quick { (48, 24, 8) } else { (96, 48, 12) };
+    let corpus = generate(&CorpusConfig {
+        seed: 11,
+        train_size: env_usize("VN_TRAIN", dt),
+        dev_size: env_usize("VN_DEV", dd),
+        rows_per_table: env_usize("VN_ROWS", dr),
+        ..CorpusConfig::default()
+    });
+    let (pipeline, _) = train(
+        &corpus,
+        ValueMode::Full,
+        ModelConfig::tiny(),
+        &TrainConfig { epochs: 2, threads: 1, ..Default::default() },
+    );
+
+    // The request mix cycles over the dev questions; collect it before the
+    // databases move into the engine.
+    let requests: Vec<(String, String)> = corpus
+        .dev
+        .iter()
+        .map(|s| (corpus.db(s).schema().db_id.clone(), s.question.clone()))
+        .collect();
+    let workers = env_usize("VN_SERVE_WORKERS", 4);
+    let cfg = ServeConfig {
+        workers,
+        queue_capacity: 256,
+        allow_fault_injection: true,
+        ..ServeConfig::default()
+    };
+    let queue_capacity = cfg.queue_capacity;
+    let engine = Engine::start(pipeline, corpus.databases, cfg);
+    let seq = AtomicU64::new(1);
+
+    // Warm the engine (first request per database pays cold caches).
+    for (db, question) in &requests {
+        engine.translate_blocking(TranslateJob {
+            id: Some(seq.fetch_add(1, Ordering::Relaxed) as i64),
+            db: db.clone(),
+            question: question.clone(),
+            ..TranslateJob::default()
+        });
+    }
+
+    // --- Sustained (closed loop): one submitter per worker ---------------
+    let measure_sustained = |fault_every: u64| -> (f64, u64, u64) {
+        let reps = if quick { 2 } else { 4 };
+        let ok = AtomicU64::new(0);
+        let other = AtomicU64::new(0);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for lane in 0..workers {
+                let (engine, requests, seq, ok, other) =
+                    (&engine, &requests, &seq, &ok, &other);
+                s.spawn(move || {
+                    for r in 0..reps {
+                        for (i, (db, question)) in requests.iter().enumerate() {
+                            // Stagger lanes so they don't all hit the same db.
+                            let (db, question) = if (lane + r + i) % 2 == 0 {
+                                (db, question)
+                            } else {
+                                let alt = &requests[(i + lane) % requests.len()];
+                                (&alt.0, &alt.1)
+                            };
+                            let n = seq.fetch_add(1, Ordering::Relaxed);
+                            let job = TranslateJob {
+                                id: Some(n as i64),
+                                db: db.clone(),
+                                question: question.clone(),
+                                fault: fault_for(n, fault_every),
+                                ..TranslateJob::default()
+                            };
+                            match engine.translate_blocking(job) {
+                                Response::Translated { .. } => ok.fetch_add(1, Ordering::Relaxed),
+                                _ => other.fetch_add(1, Ordering::Relaxed),
+                            };
+                        }
+                    }
+                });
+            }
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        let (ok, other) = (ok.load(Ordering::Relaxed), other.load(Ordering::Relaxed));
+        ((ok + other) as f64 / secs.max(1e-9), ok, other)
+    };
+
+    let (clean_qps, clean_ok, clean_other) = measure_sustained(0);
+    eprintln!("sustained clean:   {clean_qps:.1} queries/s ({clean_ok} ok, {clean_other} other)");
+    let panics_before = engine.stats().worker_panics();
+    let (fault_qps, fault_ok, fault_other) = measure_sustained(8);
+    let sustained_panics = engine.stats().worker_panics() - panics_before;
+    eprintln!(
+        "sustained faulted: {fault_qps:.1} queries/s ({fault_ok} ok, {fault_other} other, \
+         {sustained_panics} worker panics)"
+    );
+
+    // --- Open loop at 70% of clean sustained ------------------------------
+    // A dispatcher submits on a fixed schedule; a collector pool stamps the
+    // arrival of each response so latency includes queue wait. Collector
+    // capacity (2x workers) exceeds the steady-state outstanding count at
+    // this rate, so stamping lag is bounded by a single service time.
+    let offered_qps = (clean_qps * 0.7).max(1.0);
+    let n_requests = if quick { 150 } else { 400 };
+    let open_loop = |fault_every: u64| -> OpenLoopResult {
+        let interval = Duration::from_secs_f64(1.0 / offered_qps);
+        let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(n_requests));
+        let completed = AtomicU64::new(0);
+        let translate_failed = AtomicU64::new(0);
+        let rejected = AtomicU64::new(0);
+        let mut shed_at_submit = 0u64;
+        let mut dispatched = 0usize;
+        let (tx, rx) = mpsc::channel::<(Instant, mpsc::Receiver<Response>)>();
+        let rx = Mutex::new(rx);
+        std::thread::scope(|s| {
+            for _ in 0..workers * 2 {
+                let (rx, latencies, completed, translate_failed, rejected) =
+                    (&rx, &latencies, &completed, &translate_failed, &rejected);
+                s.spawn(move || loop {
+                    let job = match rx.lock().unwrap().recv() {
+                        Ok(job) => job,
+                        Err(_) => return,
+                    };
+                    let (scheduled, reply) = job;
+                    match reply.recv() {
+                        Ok(Response::Translated { .. }) => {
+                            let us = scheduled.elapsed().as_micros() as u64;
+                            latencies.lock().unwrap().push(us);
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(Response::Error { error, .. })
+                            if error.kind == ErrorKind::TranslateFailed =>
+                        {
+                            translate_failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            let t0 = Instant::now();
+            for i in 0..n_requests {
+                let scheduled = t0 + interval.mul_f64(i as f64);
+                if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                let (db, question) = &requests[i % requests.len()];
+                let n = seq.fetch_add(1, Ordering::Relaxed);
+                let job = TranslateJob {
+                    id: Some(n as i64),
+                    db: db.clone(),
+                    question: question.clone(),
+                    fault: fault_for(n, fault_every),
+                    ..TranslateJob::default()
+                };
+                dispatched += 1;
+                match engine.submit(job) {
+                    Ok(reply) => tx.send((scheduled, reply)).expect("collectors alive"),
+                    Err(e) if e.kind == ErrorKind::Overload => shed_at_submit += 1,
+                    Err(_) => {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            drop(tx); // collectors drain the channel and exit
+        });
+        let mut latencies_us = latencies.into_inner().unwrap();
+        latencies_us.sort_unstable();
+        OpenLoopResult {
+            offered_qps,
+            dispatched,
+            completed: completed.load(Ordering::Relaxed),
+            translate_failed: translate_failed.load(Ordering::Relaxed),
+            rejected: rejected.load(Ordering::Relaxed),
+            shed_at_submit,
+            latencies_us,
+        }
+    };
+
+    let open_record = |name: &str, r: &OpenLoopResult, faulted: bool| -> Json {
+        let mut fields = vec![
+            ("type", Json::Str("bench".into())),
+            ("name", Json::Str(name.into())),
+            ("faults", Json::Bool(faulted)),
+            ("workers", Json::Int(workers as i64)),
+            ("offered_qps", Json::Num(r.offered_qps)),
+            ("dispatched", Json::Int(r.dispatched as i64)),
+            ("completed", Json::Int(r.completed as i64)),
+            ("translate_failed", Json::Int(r.translate_failed as i64)),
+            ("rejected", Json::Int(r.rejected as i64)),
+            ("shed_at_submit", Json::Int(r.shed_at_submit as i64)),
+            ("p50_ms", Json::Num(percentile_ms(&r.latencies_us, 0.50))),
+            ("p90_ms", Json::Num(percentile_ms(&r.latencies_us, 0.90))),
+            ("p99_ms", Json::Num(percentile_ms(&r.latencies_us, 0.99))),
+        ];
+        if faulted {
+            fields.push(("worker_panics", Json::Int(engine.stats().worker_panics() as i64)));
+            fields.push(("worker_respawns", Json::Int(engine.stats().worker_respawns() as i64)));
+            fields.push(("live_workers", Json::Int(engine.live_workers() as i64)));
+        }
+        Json::obj(fields)
+    };
+
+    let clean = open_loop(0);
+    eprintln!(
+        "open loop clean:   offered {:.1} qps, p50 {:.1} ms, p99 {:.1} ms ({} completed, {} shed)",
+        clean.offered_qps,
+        percentile_ms(&clean.latencies_us, 0.50),
+        percentile_ms(&clean.latencies_us, 0.99),
+        clean.completed,
+        clean.shed_at_submit,
+    );
+    let faulted = open_loop(8);
+    eprintln!(
+        "open loop faulted: offered {:.1} qps, p50 {:.1} ms, p99 {:.1} ms ({} completed, {} shed, \
+         {} panics total)",
+        faulted.offered_qps,
+        percentile_ms(&faulted.latencies_us, 0.50),
+        percentile_ms(&faulted.latencies_us, 0.99),
+        faulted.completed,
+        faulted.shed_at_submit,
+        engine.stats().worker_panics(),
+    );
+    if engine.live_workers() != workers {
+        eprintln!(
+            "bench_serve: WORKER LEAK — {} live of {workers} configured",
+            engine.live_workers()
+        );
+        std::process::exit(1);
+    }
+
+    let sustained = Json::obj(vec![
+        ("type", Json::Str("bench".into())),
+        ("name", Json::Str("serve_sustained".into())),
+        ("workers", Json::Int(workers as i64)),
+        ("queue_capacity", Json::Int(queue_capacity as i64)),
+        ("queries_per_sec", Json::Num(clean_qps)),
+        ("faulted_queries_per_sec", Json::Num(fault_qps)),
+        ("faulted_worker_panics", Json::Int(sustained_panics as i64)),
+    ]);
+    let open_clean = open_record("serve_open_loop", &clean, false);
+    let open_faulted = open_record("serve_open_loop", &faulted, true);
+
+    let mut w =
+        valuenet_obs::JsonlWriter::create("BENCH_serve.json").expect("can create BENCH_serve.json");
+    w.write(Json::obj(vec![
+        ("type", Json::Str("meta".into())),
+        ("bench", Json::Str("serve".into())),
+        ("quick", Json::Bool(quick)),
+    ]))
+    .expect("meta writes");
+    w.write(sustained.clone()).expect("sustained record writes");
+    w.write(open_clean.clone()).expect("open-loop record writes");
+    w.write(open_faulted.clone()).expect("faulted open-loop record writes");
+    w.finish().expect("report flushes");
+    println!("{}", sustained.render());
+    println!("{}", open_clean.render());
+    println!("{}", open_faulted.render());
+
+    engine.shutdown();
+    valuenet_obs::finish();
+}

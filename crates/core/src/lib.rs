@@ -40,6 +40,8 @@ pub use evaluate::{evaluate, evaluate_with_threads, EvalStats, SampleEval};
 pub use heuristic::HeuristicBaseline;
 pub use input::{build_input, build_input_opts, candidate_texts, InputOptions, ItemTokens, ModelInput};
 pub use model::{ModelConfig, ValueNetModel};
-pub use pipeline::{assemble_candidates, Pipeline, Prediction, StageTimings, ValueMode};
+pub use pipeline::{
+    assemble_candidates, Pipeline, PipelineError, Prediction, Stage, StageTimings, ValueMode,
+};
 pub use trainer::{train, TrainConfig, TrainReport};
 pub use vocab::Vocab;

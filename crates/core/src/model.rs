@@ -93,6 +93,12 @@ struct SavedModel {
     params: String,
 }
 
+thread_local! {
+    /// When set, inference runs on a fresh scalar tape (no packed weights,
+    /// no int8, no recycled tape) — see [`ValueNetModel::with_scalar_fallback`].
+    static FORCE_SCALAR: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 /// The complete ValueNet neural model.
 pub struct ValueNetModel {
     /// Hyper-parameters.
@@ -151,12 +157,38 @@ impl ValueNetModel {
         self.decoder.loss(g, &self.params, &enc, gold_actions)
     }
 
+    /// Runs `f` with this thread forced onto the scalar tape path:
+    /// [`ValueNetModel::predict`] / [`ValueNetModel::predict_beam`] inside
+    /// `f` use a fresh non-inference tape, bypassing the packed-weight and
+    /// int8 caches entirely. This is the serving engine's degradation
+    /// ladder — when a packed/quantized kernel panics, the request is
+    /// retried once on this path before failing. The flag is restored even
+    /// if `f` unwinds.
+    pub fn with_scalar_fallback<R>(f: impl FnOnce() -> R) -> R {
+        struct Restore(bool);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                FORCE_SCALAR.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = FORCE_SCALAR.with(|c| Restore(c.replace(true)));
+        f()
+    }
+
+    /// Whether [`ValueNetModel::with_scalar_fallback`] is active on this
+    /// thread.
+    pub fn scalar_fallback_active() -> bool {
+        FORCE_SCALAR.with(|c| c.get())
+    }
+
     /// Runs `f` on a thread-local recycled tape (capacity and, through the
     /// buffer pool, every tensor from the previous query survive), or on a
     /// fresh tape when the execution rework is toggled off — the pre-rework
-    /// behaviour the speed benchmark's baseline arm measures.
+    /// behaviour the speed benchmark's baseline arm measures. Under
+    /// [`ValueNetModel::with_scalar_fallback`] the recycled inference tape
+    /// (and with it every packed/quantized fast path) is bypassed.
     fn with_inference_tape<R>(f: impl FnOnce(&mut Graph) -> R) -> R {
-        if valuenet_tensor::fusion_enabled() {
+        if valuenet_tensor::fusion_enabled() && !Self::scalar_fallback_active() {
             thread_local! {
                 static TAPE: std::cell::RefCell<Graph> = std::cell::RefCell::new(Graph::new());
             }

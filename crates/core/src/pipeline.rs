@@ -15,6 +15,86 @@ use valuenet_semql::{actions_to_ast, to_sql, Action, ResolvedValue, SemQl};
 use valuenet_sql::SelectStmt;
 use valuenet_storage::Database;
 
+/// A pipeline stage boundary, in execution order. Stage guards (serving
+/// deadlines, fault injection) are consulted with the stage about to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Tokenisation + hint classification.
+    Preprocess,
+    /// NER + candidate generation + database validation.
+    ValueLookup,
+    /// Neural encoding and grammar-constrained decoding.
+    EncodeDecode,
+    /// SemQL → SQL lowering and execution-guided selection.
+    PostProcess,
+    /// Executing the synthesized query.
+    Execute,
+}
+
+impl Stage {
+    /// All stages in execution order.
+    pub const ALL: [Stage; 5] =
+        [Stage::Preprocess, Stage::ValueLookup, Stage::EncodeDecode, Stage::PostProcess, Stage::Execute];
+
+    /// Parses a [`Stage::label`] back to the stage.
+    pub fn from_label(s: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|st| st.label() == s)
+    }
+
+    /// Stable lowercase label (protocol / metrics key).
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Preprocess => "preprocess",
+            Stage::ValueLookup => "value_lookup",
+            Stage::EncodeDecode => "encode_decode",
+            Stage::PostProcess => "post_process",
+            Stage::Execute => "execute",
+        }
+    }
+}
+
+/// A typed translation failure. A serving front-end must be able to turn
+/// every malformed or aborted request into a protocol error instead of a
+/// panic, so the request path reports these instead of unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// [`ValueMode::Light`] requires the oracle's gold value options.
+    MissingGoldValues,
+    /// A decoded `V` pointer indexes past the candidate list — the model
+    /// emitted a value reference with no backing candidate text.
+    DanglingValuePointer {
+        /// The offending pointer.
+        index: usize,
+        /// Number of candidates that were available.
+        candidates: usize,
+    },
+    /// A stage guard aborted the translation (e.g. a serving deadline
+    /// expired at a stage boundary).
+    Aborted {
+        /// The stage that was about to run.
+        stage: Stage,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::MissingGoldValues => {
+                write!(f, "ValueNet light requires the gold value options")
+            }
+            PipelineError::DanglingValuePointer { index, candidates } => write!(
+                f,
+                "value pointer {index} has no backing candidate ({candidates} available)"
+            ),
+            PipelineError::Aborted { stage } => {
+                write!(f, "translation aborted before stage `{}`", stage.label())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
 /// How value options are supplied to the model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ValueMode {
@@ -86,18 +166,38 @@ pub struct Prediction {
     pub timings: StageTimings,
 }
 
+/// Counts decoded `V` pointers with no backing candidate. The decoder masks
+/// `V` to the candidate range, so a non-zero count means a grammar/masking
+/// regression — a server must reject such a prediction rather than emit SQL
+/// built from a fabricated placeholder value.
+static DANGLING_VALUE_POINTERS: valuenet_obs::Counter =
+    valuenet_obs::Counter::new("pipeline.dangling_value_pointer");
+
 impl Prediction {
-    /// The value texts actually selected by the decoder, in `V`-pointer order.
-    pub fn selected_values(&self) -> Vec<String> {
-        self.actions
-            .iter()
-            .filter_map(|a| match a {
-                Action::V(i) => {
-                    Some(self.candidates.get(*i).cloned().unwrap_or_else(|| "<missing>".into()))
+    /// The value texts actually selected by the decoder, in `V`-pointer
+    /// order.
+    ///
+    /// # Errors
+    /// [`PipelineError::DanglingValuePointer`] when a decoded pointer has no
+    /// backing candidate (also recorded on the
+    /// `pipeline.dangling_value_pointer` counter).
+    pub fn selected_values(&self) -> Result<Vec<String>, PipelineError> {
+        let mut out = Vec::new();
+        for a in &self.actions {
+            if let Action::V(i) = a {
+                match self.candidates.get(*i) {
+                    Some(text) => out.push(text.clone()),
+                    None => {
+                        DANGLING_VALUE_POINTERS.add(1);
+                        return Err(PipelineError::DanglingValuePointer {
+                            index: *i,
+                            candidates: self.candidates.len(),
+                        });
+                    }
                 }
-                _ => None,
-            })
-            .collect()
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -168,16 +268,71 @@ impl Pipeline {
 
     /// Translates a question end to end. `gold_values` is consumed only in
     /// [`ValueMode::Light`] (the oracle's value options).
+    ///
+    /// # Panics
+    /// In [`ValueMode::Light`] when `gold_values` is `None` — the historical
+    /// contract of the offline trainer/eval path. Serving front-ends use
+    /// [`Pipeline::try_translate`], which reports the same condition as a
+    /// typed error instead.
     pub fn translate(
         &self,
         db: &Database,
         question: &str,
         gold_values: Option<&[String]>,
     ) -> Prediction {
+        self.try_translate(db, question, gold_values)
+            .unwrap_or_else(|e| panic!("pipeline::translate: {e}"))
+    }
+
+    /// [`Pipeline::translate`] with malformed-request conditions surfaced as
+    /// typed [`PipelineError`]s instead of panics.
+    ///
+    /// # Errors
+    /// [`PipelineError::MissingGoldValues`] in [`ValueMode::Light`] without
+    /// gold value options.
+    pub fn try_translate(
+        &self,
+        db: &Database,
+        question: &str,
+        gold_values: Option<&[String]>,
+    ) -> Result<Prediction, PipelineError> {
+        self.try_translate_guarded(db, question, gold_values, &mut |_| true)
+    }
+
+    /// [`Pipeline::try_translate`] with a *stage guard*: `guard` is called
+    /// with each [`Stage`] immediately before that stage runs (and before
+    /// each hypothesis execution in the execution-guided selection loop).
+    /// Returning `false` aborts the translation with
+    /// [`PipelineError::Aborted`] — this is how a serving engine enforces
+    /// per-request deadlines at stage boundaries instead of cancelling
+    /// mid-kernel.
+    ///
+    /// # Errors
+    /// [`PipelineError::Aborted`] when the guard declines a stage;
+    /// [`PipelineError::MissingGoldValues`] as in
+    /// [`Pipeline::try_translate`].
+    pub fn try_translate_guarded(
+        &self,
+        db: &Database,
+        question: &str,
+        gold_values: Option<&[String]>,
+        guard: &mut dyn FnMut(Stage) -> bool,
+    ) -> Result<Prediction, PipelineError> {
         let _span = valuenet_obs::span("pipeline.translate");
+        if self.mode == ValueMode::Light && gold_values.is_none() {
+            return Err(PipelineError::MissingGoldValues);
+        }
+        let gate = |guard: &mut dyn FnMut(Stage) -> bool, stage: Stage| {
+            if guard(stage) {
+                Ok(())
+            } else {
+                Err(PipelineError::Aborted { stage })
+            }
+        };
         let mut timings = StageTimings::default();
 
         // Stage 1a: tokenisation (pre-processing).
+        gate(guard, Stage::Preprocess)?;
         let t0 = Instant::now();
         let tokens = {
             let _s = valuenet_obs::span("pipeline.pre_processing");
@@ -187,6 +342,7 @@ impl Pipeline {
 
         // Stage 2: value extraction + candidate generation + validation
         // ("Value lookup" in Table II — dominated by database lookups).
+        gate(guard, Stage::ValueLookup)?;
         let t0 = Instant::now();
         let candidates = {
             let _s = valuenet_obs::span("pipeline.value_lookup");
@@ -208,6 +364,7 @@ impl Pipeline {
 
         // Stage 3: encode + decode (greedy, or beam search when the model
         // is configured with a beam width above one).
+        gate(guard, Stage::EncodeDecode)?;
         let t0 = Instant::now();
         let (input, hypotheses) = {
             let _s = valuenet_obs::span("pipeline.encode_decode");
@@ -231,6 +388,7 @@ impl Pipeline {
         let resolved: Vec<ResolvedValue> =
             input.candidates.iter().map(ResolvedValue::new).collect();
         let mut chosen: Option<ChosenHypothesis> = None;
+        gate(guard, Stage::PostProcess)?;
         for actions in &hypotheses {
             let t0 = Instant::now();
             let (semql, sql) = {
@@ -242,6 +400,7 @@ impl Pipeline {
                 (semql, sql)
             };
             timings.post_processing += t0.elapsed();
+            gate(guard, Stage::Execute)?;
             let t0 = Instant::now();
             let result = {
                 let _s = valuenet_obs::span("pipeline.execution");
@@ -259,7 +418,7 @@ impl Pipeline {
             }
         }
 
-        match chosen {
+        Ok(match chosen {
             Some((actions, semql, sql, result)) => Prediction {
                 actions,
                 semql: Some(semql),
@@ -276,7 +435,7 @@ impl Pipeline {
                 result: None,
                 timings,
             },
-        }
+        })
     }
 
     /// The rule-based baseline sharing this pipeline's pre-processing.

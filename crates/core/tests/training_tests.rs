@@ -118,7 +118,7 @@ fn novalue_baseline_only_sees_placeholder() {
     let sample = &corpus.train[0];
     let pred = pipeline.translate(corpus.db(sample), &sample.question, None);
     assert_eq!(pred.candidates, vec!["1"]);
-    for v in pred.selected_values() {
+    for v in pred.selected_values().expect("no dangling value pointers") {
         assert_eq!(v, "1");
     }
 }

@@ -1,0 +1,180 @@
+//! Pure admission-control, deadline and retry arithmetic.
+//!
+//! Everything here is clock-free and socket-free: times are absolute
+//! milliseconds on the engine's monotonic epoch, supplied by the caller.
+//! That makes the policies unit-testable without threads or sleeps — the
+//! engine is just one caller of these functions with a real clock.
+
+/// Bounded-queue admission: at or above `capacity` queued requests, new work
+/// is *shed* with a typed overload rejection instead of stalling the client.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionPolicy {
+    /// Maximum queued (not yet dequeued) requests.
+    pub capacity: usize,
+}
+
+impl AdmissionPolicy {
+    /// Whether a new request may enter a queue currently `depth` deep.
+    /// Retried requests bypass admission (they already hold a slot), so this
+    /// is consulted only at first submission.
+    pub fn admit(&self, depth: usize) -> bool {
+        depth < self.capacity
+    }
+}
+
+/// A per-request deadline on the engine's millisecond epoch. `None` means
+/// the request runs without a deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at_ms: Option<u64>,
+}
+
+impl Deadline {
+    /// No deadline.
+    pub const NONE: Deadline = Deadline { at_ms: None };
+
+    /// A deadline `budget_ms` after `now_ms`; `0` means no deadline.
+    pub fn from_budget(now_ms: u64, budget_ms: u64) -> Deadline {
+        if budget_ms == 0 {
+            Deadline::NONE
+        } else {
+            Deadline { at_ms: Some(now_ms.saturating_add(budget_ms)) }
+        }
+    }
+
+    /// Whether the deadline has passed at `now_ms`. Checked at every stage
+    /// boundary and — crucially — at dequeue: a request that spent its whole
+    /// budget queued is answered with a deadline error without wasting a
+    /// worker on it.
+    pub fn expired(&self, now_ms: u64) -> bool {
+        match self.at_ms {
+            Some(at) => now_ms >= at,
+            None => false,
+        }
+    }
+
+    /// Milliseconds left at `now_ms` (`None` = unbounded, `Some(0)` =
+    /// expired).
+    pub fn remaining_ms(&self, now_ms: u64) -> Option<u64> {
+        self.at_ms.map(|at| at.saturating_sub(now_ms))
+    }
+}
+
+/// Exponential retry backoff with a cap: attempt `n` (1-based) waits
+/// `min(cap, base * 2^(n-1))` milliseconds before re-entering the queue.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts after the first try.
+    pub max_retries: u32,
+    /// First backoff delay.
+    pub base_ms: u64,
+    /// Backoff ceiling.
+    pub cap_ms: u64,
+}
+
+impl RetryPolicy {
+    /// Backoff before retry attempt `attempt` (1-based). Saturates at
+    /// `cap_ms` — the doubling must not overflow for large attempt numbers.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(63);
+        let factor = 1u64.checked_shl(shift).unwrap_or(u64::MAX);
+        self.base_ms.saturating_mul(factor).min(self.cap_ms)
+    }
+
+    /// Whether another retry is allowed after `attempts` tries so far.
+    pub fn allows_retry(&self, attempts: u32) -> bool {
+        attempts <= self.max_retries
+    }
+}
+
+/// Poisoned-request quarantine: a request whose processing has killed
+/// `max_worker_kills` workers is rejected instead of being retried forever.
+#[derive(Debug, Clone, Copy)]
+pub struct QuarantinePolicy {
+    /// Worker panics a single request may cause before it is rejected.
+    pub max_worker_kills: u32,
+}
+
+impl QuarantinePolicy {
+    /// Whether a request that has panicked `panics` workers is quarantined.
+    pub fn quarantined(&self, panics: u32) -> bool {
+        panics >= self.max_worker_kills
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_sheds_at_capacity() {
+        let p = AdmissionPolicy { capacity: 2 };
+        assert!(p.admit(0));
+        assert!(p.admit(1));
+        assert!(!p.admit(2));
+        assert!(!p.admit(100));
+        // Degenerate capacity 0 sheds everything.
+        assert!(!AdmissionPolicy { capacity: 0 }.admit(0));
+    }
+
+    #[test]
+    fn deadline_expires_exactly_at_budget() {
+        let d = Deadline::from_budget(1000, 250);
+        assert!(!d.expired(1000));
+        assert!(!d.expired(1249));
+        assert!(d.expired(1250));
+        assert!(d.expired(u64::MAX));
+        assert_eq!(d.remaining_ms(1100), Some(150));
+        assert_eq!(d.remaining_ms(2000), Some(0));
+    }
+
+    #[test]
+    fn deadline_already_expired_at_dequeue() {
+        // A request with a 10 ms budget dequeued 50 ms later is dead on
+        // arrival: the dequeue check must catch it before any stage runs.
+        let enqueued_at = 500;
+        let d = Deadline::from_budget(enqueued_at, 10);
+        let dequeued_at = enqueued_at + 50;
+        assert!(d.expired(dequeued_at));
+    }
+
+    #[test]
+    fn zero_budget_means_no_deadline() {
+        let d = Deadline::from_budget(123, 0);
+        assert_eq!(d, Deadline::NONE);
+        assert!(!d.expired(u64::MAX));
+        assert_eq!(d.remaining_ms(u64::MAX), None);
+    }
+
+    #[test]
+    fn backoff_sequence_doubles_then_caps() {
+        let p = RetryPolicy { max_retries: 10, base_ms: 10, cap_ms: 100 };
+        let seq: Vec<u64> = (1..=7).map(|a| p.backoff_ms(a)).collect();
+        assert_eq!(seq, vec![10, 20, 40, 80, 100, 100, 100]);
+    }
+
+    #[test]
+    fn backoff_is_overflow_safe() {
+        let p = RetryPolicy { max_retries: u32::MAX, base_ms: u64::MAX / 2, cap_ms: u64::MAX };
+        // 2^200 * base must saturate, not wrap.
+        assert_eq!(p.backoff_ms(200), u64::MAX);
+        assert_eq!(p.backoff_ms(u32::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn retry_budget_counts_attempts() {
+        let p = RetryPolicy { max_retries: 2, base_ms: 1, cap_ms: 1 };
+        assert!(p.allows_retry(1));
+        assert!(p.allows_retry(2));
+        assert!(!p.allows_retry(3));
+    }
+
+    #[test]
+    fn quarantine_after_two_worker_kills() {
+        let q = QuarantinePolicy { max_worker_kills: 2 };
+        assert!(!q.quarantined(0));
+        assert!(!q.quarantined(1));
+        assert!(q.quarantined(2));
+        assert!(q.quarantined(3));
+    }
+}

@@ -1,0 +1,766 @@
+//! The serving engine: a bounded-queue worker pool around one loaded
+//! [`Pipeline`].
+//!
+//! Request lifecycle:
+//!
+//! ```text
+//! submit ──admission──▶ queue ──dequeue──▶ worker attempt ──▶ reply
+//!            │(shed)      │(deadline)        │catch_unwind
+//!            ▼            ▼                  ▼panic
+//!         Overload   DeadlineExceeded   quarantine? ──yes──▶ Quarantined
+//!                                          │no
+//!                                          ▼
+//!                               backoff + requeue (degraded scalar path),
+//!                               worker respawns itself
+//! ```
+//!
+//! Robustness invariants the fault harness asserts:
+//!
+//! * **Shed, don't stall** — a full queue rejects immediately with a typed
+//!   [`ErrorKind::Overload`]; nothing blocks the socket thread.
+//! * **Deadlines are enforced at dequeue and at every pipeline stage
+//!   boundary** (via [`Pipeline::try_translate_guarded`]), so an expired
+//!   request never occupies a worker for a full translation.
+//! * **Panic isolation** — a worker panic (injected or real) is caught,
+//!   the worker thread is replaced, and the request either retries with
+//!   exponential backoff on the scalar degradation path or — after
+//!   [`QuarantinePolicy::max_worker_kills`] kills — is quarantined.
+//! * **Every admitted request is answered exactly once**; workers only
+//!   exit on shutdown or panic-respawn, so no job is silently dropped.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::admission::{AdmissionPolicy, Deadline, QuarantinePolicy, RetryPolicy};
+use crate::fault::FaultSpec;
+use crate::protocol::{ErrorKind, Response, ServeError, Translated};
+use valuenet_core::{Pipeline, PipelineError, Stage, StageTimings, ValueNetModel};
+use valuenet_obs::json::Json;
+use valuenet_obs::{bucket_index, percentile_from_counts, NBUCKETS};
+use valuenet_storage::Database;
+
+/// Worker threads are named with this prefix; the quiet panic hook uses it
+/// to suppress the default panic banner for isolated (caught) panics.
+const WORKER_PREFIX: &str = "vn-serve-worker";
+
+// Tracing mirrors of the always-on engine stats: when the obs layer is
+// enabled (OBS=1 / OBS_JSONL), shed/deadline/panic totals appear in the
+// span summary and each attempt runs under a `serve.request` span.
+static OBS_SHED: valuenet_obs::Counter = valuenet_obs::Counter::new("serve.shed");
+static OBS_DEADLINE_MISSED: valuenet_obs::Counter =
+    valuenet_obs::Counter::new("serve.deadline_missed");
+static OBS_WORKER_PANICS: valuenet_obs::Counter =
+    valuenet_obs::Counter::new("serve.worker_panics");
+static OBS_QUARANTINED: valuenet_obs::Counter = valuenet_obs::Counter::new("serve.quarantined");
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Bounded-queue capacity; submissions beyond it are shed.
+    pub queue_capacity: usize,
+    /// Default per-request deadline budget in milliseconds (`0` = none);
+    /// requests may override it.
+    pub default_deadline_ms: u64,
+    /// Longest accepted question, in characters.
+    pub max_question_chars: usize,
+    /// Retry/backoff policy for panicked requests.
+    pub retry: RetryPolicy,
+    /// Poisoned-request quarantine policy.
+    pub quarantine: QuarantinePolicy,
+    /// Whether requests may carry [`FaultSpec`] directives (harness only).
+    pub allow_fault_injection: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            default_deadline_ms: 0,
+            max_question_chars: 8192,
+            retry: RetryPolicy { max_retries: 2, base_ms: 10, cap_ms: 200 },
+            quarantine: QuarantinePolicy { max_worker_kills: 2 },
+            allow_fault_injection: false,
+        }
+    }
+}
+
+/// A translate submission (the engine-side mirror of the protocol's
+/// `translate` verb).
+#[derive(Debug, Clone, Default)]
+pub struct TranslateJob {
+    /// Correlation id, echoed in the response.
+    pub id: Option<i64>,
+    /// Database name.
+    pub db: String,
+    /// The question.
+    pub question: String,
+    /// Deadline budget override (`None` = server default, `Some(0)` = none).
+    pub deadline_ms: Option<u64>,
+    /// Gold value options (ValueNet-light).
+    pub gold_values: Option<Vec<String>>,
+    /// Fault directives (rejected unless the server allows injection).
+    pub fault: Option<FaultSpec>,
+}
+
+/// One queued request attempt.
+struct Job {
+    id: Option<i64>,
+    db: String,
+    question: String,
+    deadline: Deadline,
+    gold_values: Option<Vec<String>>,
+    fault: Option<FaultSpec>,
+    reply: mpsc::Sender<Response>,
+    /// Submission time (µs on the engine epoch) — end-to-end latency base.
+    submitted_us: u64,
+    /// Last (re-)enqueue time, for the queue-wait histogram.
+    enqueued_us: u64,
+    /// Earliest dequeue time (ms) — retry backoff.
+    not_before_ms: u64,
+    /// Worker panics this request has caused so far.
+    panics: u32,
+    /// Whether the next attempt runs on the scalar degradation path.
+    degraded: bool,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutting_down: bool,
+    live_workers: usize,
+    spawned_total: u64,
+}
+
+/// An always-on latency histogram (the obs `Histogram` no-ops when tracing
+/// is disabled, but the `stats` verb must work regardless), sharing the obs
+/// crate's bucket layout and percentile arithmetic.
+struct ServeHist {
+    counts: [AtomicU64; NBUCKETS],
+}
+
+impl ServeHist {
+    fn new() -> Self {
+        ServeHist { counts: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+
+    fn record_us(&self, us: u64) {
+        self.counts[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn to_json(&self) -> Json {
+        let counts: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        Json::obj(vec![
+            ("count", Json::Int(total as i64)),
+            ("p50_us", Json::Num(percentile_from_counts(&counts, 0.50))),
+            ("p90_us", Json::Num(percentile_from_counts(&counts, 0.90))),
+            ("p99_us", Json::Num(percentile_from_counts(&counts, 0.99))),
+        ])
+    }
+}
+
+/// Always-on serving counters and per-stage latency histograms, surfaced by
+/// the protocol's `stats` verb.
+pub struct EngineStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    retries: AtomicU64,
+    degraded_completions: AtomicU64,
+    worker_panics: AtomicU64,
+    worker_respawns: AtomicU64,
+    // Rejections, by taxonomy class.
+    shed: AtomicU64,
+    bad_request: AtomicU64,
+    unknown_db: AtomicU64,
+    deadline_missed: AtomicU64,
+    translate_failed: AtomicU64,
+    quarantined: AtomicU64,
+    internal: AtomicU64,
+    shutting_down: AtomicU64,
+    // Latencies (µs).
+    total: ServeHist,
+    queue_wait: ServeHist,
+    stage_hists: [ServeHist; Stage::ALL.len()],
+}
+
+impl EngineStats {
+    fn new() -> Self {
+        EngineStats {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            degraded_completions: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            bad_request: AtomicU64::new(0),
+            unknown_db: AtomicU64::new(0),
+            deadline_missed: AtomicU64::new(0),
+            translate_failed: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            internal: AtomicU64::new(0),
+            shutting_down: AtomicU64::new(0),
+            total: ServeHist::new(),
+            queue_wait: ServeHist::new(),
+            stage_hists: std::array::from_fn(|_| ServeHist::new()),
+        }
+    }
+
+    fn count_rejection(&self, kind: ErrorKind) {
+        match kind {
+            ErrorKind::Overload => OBS_SHED.add(1),
+            ErrorKind::DeadlineExceeded => OBS_DEADLINE_MISSED.add(1),
+            ErrorKind::Quarantined => OBS_QUARANTINED.add(1),
+            _ => {}
+        }
+        let c = match kind {
+            ErrorKind::Overload => &self.shed,
+            ErrorKind::BadRequest => &self.bad_request,
+            ErrorKind::UnknownDb => &self.unknown_db,
+            ErrorKind::DeadlineExceeded => &self.deadline_missed,
+            ErrorKind::TranslateFailed => &self.translate_failed,
+            ErrorKind::Quarantined => &self.quarantined,
+            ErrorKind::Internal => &self.internal,
+            ErrorKind::ShuttingDown => &self.shutting_down,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_stages(&self, t: &StageTimings) {
+        let us = [
+            t.pre_processing,
+            t.value_lookup,
+            t.encoder_decoder,
+            t.post_processing,
+            t.query_execution,
+        ];
+        for (hist, d) in self.stage_hists.iter().zip(us) {
+            hist.record_us(d.as_micros() as u64);
+        }
+    }
+
+    /// Number of requests shed by admission control.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Number of worker panics caught (injected or real).
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Number of replacement workers spawned after panics.
+    pub fn worker_respawns(&self) -> u64 {
+        self.worker_respawns.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests answered successfully.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Number of deadline rejections (queued or mid-pipeline).
+    pub fn deadline_missed(&self) -> u64 {
+        self.deadline_missed.load(Ordering::Relaxed)
+    }
+
+    /// Number of quarantined (poisoned) requests.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+}
+
+struct Shared {
+    pipeline: Pipeline,
+    dbs: HashMap<String, Database>,
+    cfg: ServeConfig,
+    epoch: Instant,
+    q: Mutex<QueueState>,
+    cond: Condvar,
+    stats: EngineStats,
+}
+
+/// The long-lived serving engine. Dropping it shuts the worker pool down.
+pub struct Engine {
+    shared: Arc<Shared>,
+}
+
+impl Engine {
+    /// Loads the pipeline into a worker pool and starts serving.
+    ///
+    /// # Panics
+    /// If `cfg.workers` is zero or a worker thread cannot be spawned.
+    pub fn start(pipeline: Pipeline, databases: Vec<Database>, cfg: ServeConfig) -> Engine {
+        assert!(cfg.workers > 0, "serve engine needs at least one worker");
+        install_quiet_panic_hook();
+        let dbs = databases
+            .into_iter()
+            .map(|db| (db.schema().db_id.clone(), db))
+            .collect::<HashMap<_, _>>();
+        let shared = Arc::new(Shared {
+            pipeline,
+            dbs,
+            cfg,
+            epoch: Instant::now(),
+            q: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+                live_workers: 0,
+                spawned_total: 0,
+            }),
+            cond: Condvar::new(),
+            stats: EngineStats::new(),
+        });
+        for _ in 0..cfg.workers {
+            spawn_worker(&shared);
+        }
+        Engine { shared }
+    }
+
+    /// Milliseconds since the engine epoch (the deadline clock).
+    pub fn now_ms(&self) -> u64 {
+        ms_since(self.shared.epoch)
+    }
+
+    /// Registered database names.
+    pub fn database_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.shared.dbs.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Currently live worker threads.
+    pub fn live_workers(&self) -> usize {
+        self.shared.q.lock().unwrap().live_workers
+    }
+
+    /// Currently queued (not yet dequeued) requests.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.q.lock().unwrap().jobs.len()
+    }
+
+    /// Serving counters and histograms.
+    pub fn stats(&self) -> &EngineStats {
+        &self.shared.stats
+    }
+
+    /// Submits a translate request. Synchronous rejections (validation,
+    /// admission, shutdown) return `Err`; admitted requests return the
+    /// receiver their response will arrive on — exactly one response per
+    /// admitted request.
+    ///
+    /// # Errors
+    /// [`ErrorKind::BadRequest`], [`ErrorKind::UnknownDb`],
+    /// [`ErrorKind::Overload`] or [`ErrorKind::ShuttingDown`].
+    pub fn submit(&self, req: TranslateJob) -> Result<mpsc::Receiver<Response>, ServeError> {
+        let sh = &self.shared;
+        sh.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let reject = |kind: ErrorKind, detail: String| {
+            sh.stats.count_rejection(kind);
+            Err(ServeError::new(kind, detail))
+        };
+        if req.fault.is_some() && !sh.cfg.allow_fault_injection {
+            return reject(
+                ErrorKind::BadRequest,
+                "fault injection is not enabled on this server".into(),
+            );
+        }
+        if req.question.trim().is_empty() {
+            return reject(ErrorKind::BadRequest, "empty question".into());
+        }
+        if req.question.chars().count() > sh.cfg.max_question_chars {
+            return reject(
+                ErrorKind::BadRequest,
+                format!("question exceeds {} characters", sh.cfg.max_question_chars),
+            );
+        }
+        if !sh.dbs.contains_key(&req.db) {
+            return reject(ErrorKind::UnknownDb, format!("unknown database `{}`", req.db));
+        }
+        let now_ms = ms_since(sh.epoch);
+        let now_us = us_since(sh.epoch);
+        let budget = req.deadline_ms.unwrap_or(sh.cfg.default_deadline_ms);
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            id: req.id,
+            db: req.db,
+            question: req.question,
+            deadline: Deadline::from_budget(now_ms, budget),
+            gold_values: req.gold_values,
+            fault: req.fault,
+            reply: tx,
+            submitted_us: now_us,
+            enqueued_us: now_us,
+            not_before_ms: 0,
+            panics: 0,
+            degraded: false,
+        };
+        let admission = AdmissionPolicy { capacity: sh.cfg.queue_capacity };
+        {
+            let mut q = sh.q.lock().unwrap();
+            if q.shutting_down {
+                drop(q);
+                return reject(ErrorKind::ShuttingDown, "server is shutting down".into());
+            }
+            if !admission.admit(q.jobs.len()) {
+                drop(q);
+                return reject(
+                    ErrorKind::Overload,
+                    format!("queue full ({} queued)", sh.cfg.queue_capacity),
+                );
+            }
+            q.jobs.push_back(job);
+        }
+        sh.cond.notify_one();
+        Ok(rx)
+    }
+
+    /// Submits and waits for the response (rejections become typed error
+    /// responses carrying the request id).
+    pub fn translate_blocking(&self, req: TranslateJob) -> Response {
+        let id = req.id;
+        match self.submit(req) {
+            Ok(rx) => rx.recv().unwrap_or_else(|_| {
+                // A dropped sender without a reply would be an engine bug;
+                // surface it as a typed internal error, never a hang.
+                self.shared.stats.count_rejection(ErrorKind::Internal);
+                Response::Error {
+                    id,
+                    error: ServeError::new(ErrorKind::Internal, "reply channel closed"),
+                }
+            }),
+            Err(error) => Response::Error { id, error },
+        }
+    }
+
+    /// The `stats` verb payload.
+    pub fn stats_json(&self) -> Json {
+        let sh = &self.shared;
+        let (depth, live) = {
+            let q = sh.q.lock().unwrap();
+            (q.jobs.len(), q.live_workers)
+        };
+        let s = &sh.stats;
+        let load = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed) as i64);
+        let mut latencies: Vec<(&str, Json)> = vec![
+            ("total", s.total.to_json()),
+            ("queue_wait", s.queue_wait.to_json()),
+        ];
+        for (stage, hist) in Stage::ALL.iter().zip(&s.stage_hists) {
+            latencies.push((stage.label(), hist.to_json()));
+        }
+        Json::obj(vec![
+            (
+                "workers",
+                Json::obj(vec![
+                    ("configured", Json::Int(sh.cfg.workers as i64)),
+                    ("live", Json::Int(live as i64)),
+                    ("panics", load(&s.worker_panics)),
+                    ("respawns", load(&s.worker_respawns)),
+                ]),
+            ),
+            (
+                "queue",
+                Json::obj(vec![
+                    ("depth", Json::Int(depth as i64)),
+                    ("capacity", Json::Int(sh.cfg.queue_capacity as i64)),
+                ]),
+            ),
+            (
+                "requests",
+                Json::obj(vec![
+                    ("submitted", load(&s.submitted)),
+                    ("completed", load(&s.completed)),
+                    ("retries", load(&s.retries)),
+                    ("degraded_completions", load(&s.degraded_completions)),
+                ]),
+            ),
+            (
+                "rejections",
+                Json::obj(vec![
+                    ("overload", load(&s.shed)),
+                    ("bad_request", load(&s.bad_request)),
+                    ("unknown_db", load(&s.unknown_db)),
+                    ("deadline_exceeded", load(&s.deadline_missed)),
+                    ("translate_failed", load(&s.translate_failed)),
+                    ("quarantined", load(&s.quarantined)),
+                    ("internal", load(&s.internal)),
+                    ("shutting_down", load(&s.shutting_down)),
+                ]),
+            ),
+            ("latency_us", Json::Obj(
+                latencies.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            )),
+        ])
+    }
+
+    /// Graceful shutdown: stop admitting, drain the queue, wait for every
+    /// worker (including respawn replacements) to exit. Idempotent.
+    pub fn shutdown(&self) {
+        let sh = &self.shared;
+        let mut q = sh.q.lock().unwrap();
+        q.shutting_down = true;
+        sh.cond.notify_all();
+        while q.live_workers > 0 {
+            let (guard, _) = sh
+                .cond
+                .wait_timeout(q, Duration::from_millis(200))
+                .unwrap();
+            q = guard;
+            sh.cond.notify_all();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn ms_since(epoch: Instant) -> u64 {
+    epoch.elapsed().as_millis() as u64
+}
+
+fn us_since(epoch: Instant) -> u64 {
+    epoch.elapsed().as_micros() as u64
+}
+
+/// Installs a process-wide panic hook that silences the default banner for
+/// worker threads (their panics are caught and handled); all other threads
+/// keep the previous hook.
+fn install_quiet_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let is_worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(WORKER_PREFIX));
+            if !is_worker {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn spawn_worker(shared: &Arc<Shared>) {
+    {
+        let mut q = shared.q.lock().unwrap();
+        q.live_workers += 1;
+        q.spawned_total += 1;
+    }
+    let idx = shared.q.lock().unwrap().spawned_total;
+    let sh = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("{WORKER_PREFIX}-{idx}"))
+        .spawn(move || {
+            let panicked = worker_loop(&sh);
+            if panicked {
+                sh.stats.worker_respawns.fetch_add(1, Ordering::Relaxed);
+                spawn_worker(&sh);
+            }
+            let mut q = sh.q.lock().unwrap();
+            q.live_workers -= 1;
+            drop(q);
+            sh.cond.notify_all();
+        })
+        .expect("failed to spawn serve worker");
+}
+
+/// Runs jobs until shutdown (returns `false`) or a caught panic (returns
+/// `true`; the caller respawns a replacement and lets this thread die, so
+/// any thread-local state the panic may have wedged is discarded).
+fn worker_loop(sh: &Arc<Shared>) -> bool {
+    loop {
+        let Some(mut job) = next_job(sh) else { return false };
+        let now_ms = ms_since(sh.epoch);
+        if job.deadline.expired(now_ms) {
+            // Spent its budget in the queue: answer without running a stage.
+            reject_job(sh, &job, ErrorKind::DeadlineExceeded, "deadline expired in queue".into());
+            continue;
+        }
+        sh.stats.queue_wait.record_us(us_since(sh.epoch).saturating_sub(job.enqueued_us));
+        let outcome = {
+            let _span = valuenet_obs::span("serve.request");
+            catch_unwind(AssertUnwindSafe(|| attempt(sh, &job)))
+        };
+        match outcome {
+            Ok(Ok(mut body)) => {
+                let latency = us_since(sh.epoch).saturating_sub(job.submitted_us);
+                body.latency_us = latency;
+                sh.stats.total.record_us(latency);
+                sh.stats.completed.fetch_add(1, Ordering::Relaxed);
+                if body.degraded {
+                    sh.stats.degraded_completions.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = job.reply.send(Response::Translated { id: job.id, body });
+            }
+            Ok(Err(err)) => {
+                reject_job(sh, &job, err.kind, err.detail);
+            }
+            Err(_panic) => {
+                OBS_WORKER_PANICS.add(1);
+                sh.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                job.panics += 1;
+                if sh.cfg.quarantine.quarantined(job.panics) {
+                    reject_job(
+                        sh,
+                        &job,
+                        ErrorKind::Quarantined,
+                        format!("request killed {} workers", job.panics),
+                    );
+                } else if sh.cfg.retry.allows_retry(job.panics) {
+                    sh.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    job.degraded = true;
+                    job.not_before_ms =
+                        ms_since(sh.epoch).saturating_add(sh.cfg.retry.backoff_ms(job.panics));
+                    job.enqueued_us = us_since(sh.epoch);
+                    let mut q = sh.q.lock().unwrap();
+                    // Retries bypass admission: the request already holds
+                    // its slot, shedding it now would break at-most-once
+                    // accounting.
+                    q.jobs.push_back(job);
+                    drop(q);
+                    sh.cond.notify_all();
+                } else {
+                    reject_job(sh, &job, ErrorKind::Internal, "retry budget exhausted".into());
+                }
+                // The panic may have wedged thread-local state (recycled
+                // inference tape, caches): replace this worker.
+                return true;
+            }
+        }
+    }
+}
+
+fn reject_job(sh: &Shared, job: &Job, kind: ErrorKind, detail: String) {
+    sh.stats.count_rejection(kind);
+    let _ = job
+        .reply
+        .send(Response::Error { id: job.id, error: ServeError { kind, detail } });
+}
+
+/// Pops the next eligible job: FIFO among jobs whose retry backoff has
+/// elapsed. Blocks until a job is eligible or shutdown empties the queue.
+/// During shutdown the queue is drained ignoring backoff delays.
+fn next_job(sh: &Arc<Shared>) -> Option<Job> {
+    let mut q = sh.q.lock().unwrap();
+    loop {
+        if q.shutting_down {
+            return q.jobs.pop_front();
+        }
+        let now = ms_since(sh.epoch);
+        if let Some(pos) = q.jobs.iter().position(|j| j.not_before_ms <= now) {
+            return q.jobs.remove(pos);
+        }
+        // Nothing eligible: sleep until the nearest backoff expiry (or a
+        // notify). The cap bounds the wait so shutdown is never missed.
+        let wait_ms = q
+            .jobs
+            .iter()
+            .map(|j| j.not_before_ms.saturating_sub(now))
+            .min()
+            .unwrap_or(200)
+            .clamp(1, 200);
+        let (guard, _) = sh.cond.wait_timeout(q, Duration::from_millis(wait_ms)).unwrap();
+        q = guard;
+    }
+}
+
+/// One translation attempt on the calling worker thread. Injected faults
+/// and deadline checks both run at stage boundaries through the pipeline's
+/// stage guard.
+fn attempt(sh: &Shared, job: &Job) -> Result<Box<Translated>, ServeError> {
+    let db = sh.dbs.get(&job.db).expect("db checked at submit");
+    let deadline = job.deadline;
+    let epoch = sh.epoch;
+    let fault = job.fault;
+    let panics_so_far = job.panics;
+    let mut deadline_hit = false;
+    let mut guard = |stage: Stage| -> bool {
+        if let Some(f) = &fault {
+            if f.delay_stage == Some(stage) && f.delay_ms > 0 {
+                std::thread::sleep(Duration::from_millis(f.delay_ms));
+            }
+            if f.panic_stage == Some(stage) && panics_so_far < f.panic_times {
+                panic!("injected fault: panic entering {}", stage.label());
+            }
+        }
+        if deadline.expired(ms_since(epoch)) {
+            deadline_hit = true;
+            return false;
+        }
+        true
+    };
+    let mut run = || {
+        sh.pipeline.try_translate_guarded(
+            db,
+            &job.question,
+            job.gold_values.as_deref(),
+            &mut guard,
+        )
+    };
+    let pred = if job.degraded { ValueNetModel::with_scalar_fallback(run) } else { run() };
+    match pred {
+        Ok(p) => {
+            let sql = match &p.sql {
+                Some(s) => s.to_string(),
+                None => {
+                    return Err(ServeError::new(
+                        ErrorKind::TranslateFailed,
+                        "no executable SQL synthesized",
+                    ))
+                }
+            };
+            let values = p
+                .selected_values()
+                .map_err(|e| ServeError::new(ErrorKind::Internal, e.to_string()))?;
+            let (rows, ordered) = match &p.result {
+                Some(rs) => (
+                    rs.rows
+                        .iter()
+                        .map(|r| r.iter().map(|d| d.to_string()).collect())
+                        .collect(),
+                    rs.ordered,
+                ),
+                None => (Vec::new(), false),
+            };
+            sh.stats.record_stages(&p.timings);
+            Ok(Box::new(Translated {
+                sql,
+                rows,
+                ordered,
+                values,
+                latency_us: 0, // stamped by the worker loop
+                retries: job.panics,
+                degraded: job.degraded,
+            }))
+        }
+        Err(PipelineError::Aborted { stage }) => {
+            if deadline_hit {
+                Err(ServeError::new(
+                    ErrorKind::DeadlineExceeded,
+                    format!("deadline expired entering {}", stage.label()),
+                ))
+            } else {
+                Err(ServeError::new(
+                    ErrorKind::Internal,
+                    format!("translation aborted entering {}", stage.label()),
+                ))
+            }
+        }
+        Err(PipelineError::MissingGoldValues) => Err(ServeError::new(
+            ErrorKind::BadRequest,
+            "light mode requires gold_values",
+        )),
+        Err(e @ PipelineError::DanglingValuePointer { .. }) => {
+            Err(ServeError::new(ErrorKind::Internal, e.to_string()))
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Deterministic fault directives.
+//!
+//! A [`FaultSpec`] rides inside a `translate` request (servers only accept
+//! it when started with `allow_fault_injection`) and tells the engine to
+//! misbehave *reproducibly*: panic the worker at a named pipeline stage for
+//! the first `panic_times` attempts, or stall a stage by a fixed delay.
+//! Because the spec is part of the request, a fault case is replayable from
+//! its seed alone — no global toggles, no timing races.
+//!
+//! Faults fire at stage *boundaries* (inside the pipeline's stage guard),
+//! never while a lock is held, so an injected panic exercises the worker
+//! respawn/retry/quarantine machinery without poisoning shared state.
+
+use valuenet_core::Stage;
+use valuenet_obs::json::Json;
+
+/// What to break, where, and how often.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSpec {
+    /// Panic the worker when entering this stage…
+    pub panic_stage: Option<Stage>,
+    /// …on the first this-many attempts (later attempts run clean).
+    pub panic_times: u32,
+    /// Sleep when entering this stage…
+    pub delay_stage: Option<Stage>,
+    /// …for this many milliseconds.
+    pub delay_ms: u64,
+}
+
+impl FaultSpec {
+    /// True when the spec does nothing.
+    pub fn is_noop(&self) -> bool {
+        self.panic_stage.is_none() && self.delay_stage.is_none()
+    }
+
+    /// Parses the `fault` object of a request.
+    ///
+    /// # Errors
+    /// A description of the malformed field.
+    pub fn parse(v: &Json) -> Result<FaultSpec, String> {
+        if !matches!(v, Json::Obj(_)) {
+            return Err("`fault` must be an object".into());
+        }
+        let stage_field = |name: &str| -> Result<Option<Stage>, String> {
+            match v.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(Json::Str(s)) => Stage::from_label(s)
+                    .map(Some)
+                    .ok_or_else(|| format!("unknown stage `{s}` in `fault.{name}`")),
+                Some(_) => Err(format!("`fault.{name}` must be a stage label string")),
+            }
+        };
+        let int_field = |name: &str| -> Result<u64, String> {
+            match v.get(name) {
+                None | Some(Json::Null) => Ok(0),
+                Some(Json::Int(i)) if *i >= 0 => Ok(*i as u64),
+                Some(_) => Err(format!("`fault.{name}` must be a non-negative integer")),
+            }
+        };
+        let spec = FaultSpec {
+            panic_stage: stage_field("panic_stage")?,
+            panic_times: int_field("panic_times")?.min(u32::MAX as u64) as u32,
+            delay_stage: stage_field("delay_stage")?,
+            delay_ms: int_field("delay_ms")?,
+        };
+        if spec.panic_stage.is_some() && spec.panic_times == 0 {
+            return Err("`fault.panic_stage` requires `fault.panic_times` >= 1".into());
+        }
+        Ok(spec)
+    }
+
+    /// Renders the wire form (for harness clients).
+    pub fn render(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        if let Some(s) = self.panic_stage {
+            fields.push(("panic_stage".into(), Json::Str(s.label().into())));
+            fields.push(("panic_times".into(), Json::Int(self.panic_times as i64)));
+        }
+        if let Some(s) = self.delay_stage {
+            fields.push(("delay_stage".into(), Json::Str(s.label().into())));
+            fields.push(("delay_ms".into(), Json::Int(self.delay_ms as i64)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let spec = FaultSpec {
+            panic_stage: Some(Stage::EncodeDecode),
+            panic_times: 2,
+            delay_stage: Some(Stage::Preprocess),
+            delay_ms: 15,
+        };
+        assert_eq!(FaultSpec::parse(&spec.render()).unwrap(), spec);
+        let noop = FaultSpec::default();
+        assert!(noop.is_noop());
+        assert_eq!(FaultSpec::parse(&noop.render()).unwrap(), noop);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for line in [
+            r#"{"panic_stage":"warp_drive","panic_times":1}"#,
+            r#"{"panic_stage":"encode_decode"}"#,
+            r#"{"delay_stage":7}"#,
+            r#"{"delay_ms":-3}"#,
+            r#"[1]"#,
+        ] {
+            let v = Json::parse(line).unwrap();
+            assert!(FaultSpec::parse(&v).is_err(), "accepted: {line}");
+        }
+    }
+}

@@ -2,12 +2,21 @@
 //!
 //! ```text
 //! vn-fuzz [--cases N] [--seed S] [--replay CASE_SEED] [--inject-divergence]
-//!         [--fail-log PATH] [--quant N]
+//!         [--fail-log PATH] [--quant N] [--serve N] [--serve-replay CASE_SEED]
+//!         [--report PATH]
 //! ```
 //!
 //! `--quant N` switches to kernel mode: `N` seeded cases fuzz the packed and
 //! int8-quantized matmul kernels against their scalar oracles
 //! (`valuenet_verify::quant_fuzz`) instead of the SQL executor.
+//!
+//! `--serve N` switches to serving mode: a trained tiny pipeline is served
+//! over a Unix socket and `N` seeded fault cases (worker panics, stage
+//! stalls, overload bursts, malformed frames) are fired at it
+//! (`valuenet_verify::serve_fault`); `--serve-replay` re-runs one serve
+//! case seed bit-identically, and `--report PATH` merges the serve-mode
+//! results into an existing `run_report.json` as a
+//! `serve_fault_injection` section.
 //!
 //! Runs `N` executor-vs-oracle cases derived from `S` (see
 //! `valuenet_verify::fuzz`). Exits non-zero if any case diverges, printing a
@@ -29,6 +38,9 @@ fn main() -> ExitCode {
     let mut replay: Option<u64> = None;
     let mut fail_log: Option<String> = None;
     let mut quant: Option<usize> = None;
+    let mut serve: Option<usize> = None;
+    let mut serve_replay: Option<u64> = None;
+    let mut report_path: Option<String> = None;
 
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -53,10 +65,18 @@ fn main() -> ExitCode {
             "--quant" => {
                 quant = Some(parse_num(&take("a case count")) as usize);
             }
+            "--serve" => {
+                serve = Some(parse_num(&take("a case count")) as usize);
+            }
+            "--serve-replay" => {
+                serve_replay = Some(parse_num(&take("a case seed")));
+            }
+            "--report" => report_path = Some(take("a path")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: vn-fuzz [--cases N] [--seed S] [--replay CASE_SEED] \
-                     [--inject-divergence] [--fail-log PATH] [--quant N]"
+                     [--inject-divergence] [--fail-log PATH] [--quant N] \
+                     [--serve N] [--serve-replay CASE_SEED] [--report PATH]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -65,6 +85,74 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+
+    if let Some(seed) = serve_replay {
+        // Serve mode, single case: same fixture, one seed, bit-identical.
+        let fx = valuenet_verify::ServeFixture::start();
+        let mut report = valuenet_verify::ServeFuzzReport::default();
+        let outcome = valuenet_verify::run_serve_case(&fx, &mut report, seed);
+        fx.finish(&mut report);
+        valuenet_obs::finish();
+        return match outcome {
+            Ok(desc) if report.failures.is_empty() => {
+                println!("serve replay {seed}: {desc}");
+                ExitCode::SUCCESS
+            }
+            Ok(desc) => {
+                println!("serve replay {seed}: {desc}");
+                for (s, f) in &report.failures {
+                    println!("  INVARIANT VIOLATED (seed {s}): {f}");
+                }
+                ExitCode::FAILURE
+            }
+            Err(desc) => {
+                println!("serve replay {seed}: FAILED\n  {desc}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some(cases) = serve {
+        // Serve mode: seeded fault injection against a live serving socket.
+        let report =
+            valuenet_verify::run_serve_fuzz(&valuenet_verify::ServeFuzzConfig { cases, seed: cfg.seed });
+        println!(
+            "vn-fuzz --serve: {} cases (seed {}): {} clean ({} bit-identical), \
+             {} panics injected ({} recovered, {} quarantined), {} deadline hits, \
+             {} bursts ({} shed), {} malformed frames; workers {}/{} live, \
+             {} panics / {} respawns; {} failures",
+            report.cases,
+            cfg.seed,
+            report.clean,
+            report.bit_identical,
+            report.injected_panics,
+            report.recovered,
+            report.quarantined,
+            report.deadline_hits,
+            report.bursts,
+            report.shed,
+            report.malformed,
+            report.live_workers,
+            report.configured_workers,
+            report.worker_panics,
+            report.worker_respawns,
+            report.failures.len()
+        );
+        for (seed, failure) in &report.failures {
+            println!(
+                "\n=== serve failure (replay with: vn-fuzz --serve-replay {seed}) ===\n{failure}"
+            );
+        }
+        if let Some(path) = &report_path {
+            if let Err(e) = merge_serve_report(path, &report) {
+                eprintln!("failed to update {path}: {e}");
+            } else {
+                println!("serve_fault_injection section merged into {path}");
+            }
+        }
+        valuenet_obs::finish();
+        return if report.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
 
     if let Some(cases) = quant {
@@ -132,6 +220,30 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Merges the serve-mode results into `run_report.json` as a
+/// `serve_fault_injection` section (replacing any previous one), creating
+/// the file if needed — the versioned envelope is preserved.
+fn merge_serve_report(
+    path: &str,
+    report: &valuenet_verify::ServeFuzzReport,
+) -> Result<(), String> {
+    use valuenet_obs::json::Json;
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(text) => match Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))? {
+            Json::Obj(entries) => entries,
+            _ => return Err(format!("{path} is not a JSON object")),
+        },
+        Err(_) => vec![(
+            "schema_version".to_string(),
+            Json::Int(valuenet_obs::RUN_REPORT_SCHEMA_VERSION),
+        )],
+    };
+    entries.retain(|(k, _)| k != "serve_fault_injection");
+    entries.push(("serve_fault_injection".to_string(), report.to_json()));
+    std::fs::write(path, format!("{}\n", Json::Obj(entries).render()))
+        .map_err(|e| format!("write {path}: {e}"))
 }
 
 fn parse_num(s: &str) -> u64 {

@@ -20,18 +20,28 @@
 //! * [`fuzz`] ties the generators and the oracle into deterministic seed
 //!   streams with bit-identical `--replay`, and [`shrink`] greedily
 //!   minimises failing cases before they are reported.
+//! * [`serve_fault`] turns the same seed-stream discipline on the serving
+//!   engine: seeded worker panics, stage stalls, overload bursts and
+//!   malformed protocol frames against a live `valuenet-serve` socket,
+//!   asserting recovery, quarantine, zero worker leaks and bit-identical
+//!   responses versus the single-process pipeline.
 //!
-//! The `vn-fuzz` binary is a thin CLI over [`fuzz::run_fuzz`].
+//! The `vn-fuzz` binary is a thin CLI over [`fuzz::run_fuzz`] (and, with
+//! `--serve N`, over [`serve_fault::run_serve_fuzz`]).
 
 pub mod fuzz;
 pub mod gradcheck;
 pub mod oracle;
 pub mod quant_fuzz;
 pub mod schema_gen;
+pub mod serve_fault;
 pub mod shrink;
 pub mod tree_gen;
 
 pub use fuzz::{case_seed, run_case, run_fuzz, CaseOutcome, FuzzConfig, FuzzReport};
+pub use serve_fault::{
+    run_serve_case, run_serve_fuzz, ServeFixture, ServeFuzzConfig, ServeFuzzReport,
+};
 pub use quant_fuzz::{run_quant_case, run_quant_fuzz, QuantFuzzReport};
 pub use gradcheck::{grad_check, GradCheckConfig, GradReport};
 pub use oracle::{reference_execute, OracleError};

@@ -7,6 +7,7 @@
 //! valuenet-cli eval  --model model.json [--threads N]
 //! valuenet-cli ask   --model model.json --db student_pets "How many pets ...?"
 //! valuenet-cli repl  --model model.json --db student_pets
+//! valuenet-cli serve --model model.json --socket valuenet.sock [--workers N]
 //! valuenet-cli dbs   [--seed 42]
 //! ```
 //!
@@ -204,6 +205,45 @@ fn cmd_repl(args: &[String]) {
     }
 }
 
+fn cmd_serve(args: &[String]) {
+    use valuenet::serve::{serve_unix, Engine, ServeConfig};
+    let path = arg(args, "--model").unwrap_or_else(|| fatal("--model is required"));
+    let socket = arg(args, "--socket").unwrap_or_else(|| "valuenet.sock".to_string());
+    let (mut pipeline, corpus) = load_bundle(&path);
+    if let Some(ckpt) = arg(args, "--load") {
+        let (params, format) = valuenet::nn::load_checkpoint(&ckpt)
+            .unwrap_or_else(|e| fatal(&format!("cannot load checkpoint {ckpt}: {e}")));
+        pipeline
+            .model
+            .load_params(params)
+            .unwrap_or_else(|e| fatal(&format!("checkpoint {ckpt} does not fit this model: {e}")));
+        eprintln!("loaded {format:?} checkpoint from {ckpt}");
+    }
+    if args.iter().any(|a| a == "--quantized") {
+        pipeline.model.params.set_quantized(true);
+        eprintln!("serving with int8 quantized weights");
+    }
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        workers: arg_usize(args, "--workers", defaults.workers),
+        queue_capacity: arg_usize(args, "--queue", defaults.queue_capacity),
+        default_deadline_ms: arg_usize(args, "--deadline-ms", 0) as u64,
+        allow_fault_injection: args.iter().any(|a| a == "--allow-faults"),
+        ..defaults
+    };
+    let engine = Engine::start(pipeline, corpus.databases, cfg);
+    eprintln!(
+        "serving {} databases on {socket} ({} workers, queue {}); \
+         send {{\"verb\":\"shutdown\"}} to stop",
+        engine.database_names().len(),
+        cfg.workers,
+        cfg.queue_capacity
+    );
+    serve_unix(engine, std::path::Path::new(&socket))
+        .unwrap_or_else(|e| fatal(&format!("serve failed: {e}")));
+    eprintln!("serve: drained and shut down");
+}
+
 fn cmd_dbs(args: &[String]) {
     let cfg = CorpusConfig {
         seed: arg_usize(args, "--seed", 42) as u64,
@@ -239,15 +279,18 @@ fn main() {
         Some("eval") => cmd_eval(&args[1..]),
         Some("ask") => cmd_ask(&args[1..]),
         Some("repl") => cmd_repl(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("dbs") => cmd_dbs(&args[1..]),
         _ => {
             eprintln!(
-                "usage: valuenet-cli <train|eval|ask|repl|dbs> [options]\n\
+                "usage: valuenet-cli <train|eval|ask|repl|serve|dbs> [options]\n\
                  \x20 train --out model.json [--mode light|full] [--train N] [--dev N] [--epochs N] [--seed N] [--threads N]\n\
                  \x20       [--save ckpt.jsonl] [--save-quant ckpt.int8.jsonl]\n\
                  \x20 eval  --model model.json [--threads N] [--load ckpt.jsonl] [--quantized]\n\
                  \x20 ask   --model model.json --db <db_id> \"question\"\n\
                  \x20 repl  --model model.json --db <db_id>\n\
+                 \x20 serve --model model.json --socket valuenet.sock [--load ckpt.jsonl] [--quantized]\n\
+                 \x20       [--workers N] [--queue N] [--deadline-ms N] [--allow-faults]\n\
                  \x20 dbs   [--seed N]"
             );
             std::process::exit(2);

@@ -1,0 +1,173 @@
+//! CI smoke driver for `valuenet-cli serve`.
+//!
+//! Connects to a running serving socket and walks the protocol end to end:
+//! liveness, a batch of real translations, one malformed frame, one
+//! injected worker panic (the server must run `--allow-faults`), a `stats`
+//! cross-check of the pool invariants, and a clean `shutdown`. Exits
+//! non-zero (with a description) on the first violated expectation.
+//!
+//! ```text
+//! vn_serve_smoke --socket vn.sock [--seed 42] [--train 30] [--dev 10]
+//!                [--rows 30] [--requests 12]
+//! ```
+//!
+//! The corpus parameters must match the served model's bundle so the
+//! driver regenerates the same databases and question set.
+
+use std::time::Duration;
+
+use valuenet::core::Stage;
+use valuenet::dataset::{generate, CorpusConfig};
+use valuenet::obs::json::Json;
+use valuenet::serve::{translate_frame, verb_frame, Client, ErrorKind, FaultSpec, Response};
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_usize(args: &[String], name: &str, default: usize) -> usize {
+    arg(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("vn_serve_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let socket = arg(&args, "--socket").unwrap_or_else(|| "valuenet.sock".to_string());
+    let requests = arg_usize(&args, "--requests", 12);
+    let corpus = generate(&CorpusConfig {
+        seed: arg_usize(&args, "--seed", 42) as u64,
+        train_size: arg_usize(&args, "--train", 30),
+        dev_size: arg_usize(&args, "--dev", 10),
+        rows_per_table: arg_usize(&args, "--rows", 30),
+        ..CorpusConfig::default()
+    });
+
+    // The server may still be loading its checkpoint: retry the connect.
+    let path = std::path::Path::new(&socket);
+    let mut client = None;
+    for _ in 0..600 {
+        match Client::connect(path) {
+            Ok(c) => {
+                client = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+    let mut client =
+        client.unwrap_or_else(|| fail(&format!("server never came up on {socket}")));
+    client.set_read_timeout(Some(Duration::from_secs(120))).expect("read timeout");
+
+    // 1. Liveness.
+    match client.roundtrip(&verb_frame(0, "ping")) {
+        Ok(Response::Pong { id: Some(0) }) => println!("ping: ok"),
+        other => fail(&format!("ping failed: {other:?}")),
+    }
+
+    // 2. Real translations over train + dev questions (no gold values — the
+    // served model runs the full candidate pipeline).
+    let samples: Vec<_> = corpus.train.iter().chain(&corpus.dev).take(requests).collect();
+    let mut translated = 0;
+    let mut translate_failed = 0;
+    for (i, sample) in samples.iter().enumerate() {
+        let db = corpus.db(sample);
+        let frame =
+            translate_frame(i as i64 + 1, &db.schema().db_id, &sample.question, None, None, None);
+        match client.roundtrip(&frame) {
+            Ok(Response::Translated { id, body }) => {
+                if id != Some(i as i64 + 1) {
+                    fail(&format!("response id mismatch: {id:?} for request {}", i + 1));
+                }
+                if body.sql.is_empty() {
+                    fail("ok response with empty SQL");
+                }
+                translated += 1;
+            }
+            Ok(Response::Error { error, .. }) if error.kind == ErrorKind::TranslateFailed => {
+                translate_failed += 1;
+            }
+            other => fail(&format!("translate {} got {other:?}", i + 1)),
+        }
+    }
+    println!("translate: {translated} ok, {translate_failed} typed translate_failed");
+    if translated == 0 {
+        fail("no question translated — served model looks broken");
+    }
+
+    // 3. A malformed frame must get a typed bad_request and leave the
+    // connection usable.
+    match client.roundtrip_raw("this { is not json") {
+        Ok(Response::Error { error, .. }) if error.kind == ErrorKind::BadRequest => {
+            println!("malformed frame: typed bad_request")
+        }
+        other => fail(&format!("malformed frame got {other:?}")),
+    }
+    match client.roundtrip(&verb_frame(900, "ping")) {
+        Ok(Response::Pong { .. }) => {}
+        other => fail(&format!("connection wedged after malformed frame: {other:?}")),
+    }
+
+    // 4. One injected worker panic: the pool must catch it, respawn, and
+    // answer after a degraded retry.
+    let sample = samples[0];
+    let fault = FaultSpec {
+        panic_stage: Some(Stage::EncodeDecode),
+        panic_times: 1,
+        ..Default::default()
+    };
+    let frame = translate_frame(
+        901,
+        &corpus.db(sample).schema().db_id,
+        &sample.question,
+        None,
+        None,
+        Some(&fault),
+    );
+    match client.roundtrip(&frame) {
+        Ok(Response::Translated { body, .. }) if body.retries >= 1 && body.degraded => {
+            println!("injected panic: recovered on degraded retry")
+        }
+        Ok(Response::Error { error, .. }) if error.kind == ErrorKind::TranslateFailed => {
+            println!("injected panic: recovered (question untranslatable)")
+        }
+        other => fail(&format!("injected panic not recovered: {other:?}")),
+    }
+
+    // 5. Stats: pool invariants — no worker leak, every panic respawned.
+    let stats = match client.roundtrip(&verb_frame(902, "stats")) {
+        Ok(Response::Stats { stats, .. }) => stats,
+        other => fail(&format!("stats verb failed: {other:?}")),
+    };
+    let pick = |root: &Json, path: &[&str]| -> i64 {
+        let mut v = root.clone();
+        for k in path {
+            v = v.get(k).cloned().unwrap_or(Json::Null);
+        }
+        v.as_f64().map(|f| f as i64).unwrap_or(-1)
+    };
+    let live = pick(&stats, &["workers", "live"]);
+    let configured = pick(&stats, &["workers", "configured"]);
+    let panics = pick(&stats, &["workers", "panics"]);
+    let respawns = pick(&stats, &["workers", "respawns"]);
+    if live != configured {
+        fail(&format!("worker leak: {live} live of {configured} configured"));
+    }
+    if panics < 1 || panics != respawns {
+        fail(&format!("respawn mismatch: {panics} panics, {respawns} respawns"));
+    }
+    if pick(&stats, &["latency_us", "total", "count"]) < translated as i64 {
+        fail("total latency histogram undercounts completions");
+    }
+    println!("stats: {live}/{configured} workers live, {panics} panics / {respawns} respawns");
+
+    // 6. Clean shutdown.
+    match client.roundtrip(&verb_frame(903, "shutdown")) {
+        Ok(Response::ShutdownAck { .. }) => println!("shutdown: acknowledged"),
+        other => fail(&format!("shutdown failed: {other:?}")),
+    }
+    println!("vn_serve_smoke: PASS");
+}

@@ -27,6 +27,10 @@
 //! - [`obs`]: zero-dependency tracing, metrics and profiling — hierarchical
 //!   spans, counters/histograms, and summary/JSONL/Chrome-trace sinks (see
 //!   `DESIGN.md`, "Observability").
+//! - [`serve`]: the fault-tolerant serving engine — bounded-queue worker
+//!   pool with panic isolation, per-request deadlines, admission control
+//!   and a line-delimited JSON socket protocol (see `DESIGN.md`, "Serving
+//!   & fault tolerance").
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -40,6 +44,7 @@ pub use valuenet_obs as obs;
 pub use valuenet_preprocess as preprocess;
 pub use valuenet_schema as schema;
 pub use valuenet_semql as semql;
+pub use valuenet_serve as serve;
 pub use valuenet_sql as sql;
 pub use valuenet_storage as storage;
 pub use valuenet_tensor as tensor;
