@@ -14,12 +14,23 @@
 //! delta in `BENCH_obs.json` is the trend to watch; the assertion only
 //! catches a broken gate (e.g. the disabled path taking a lock).
 //!
+//! A second arm measures the *serving* hot path: the same sustained
+//! closed-loop sweep against two engines, one with request tracing on
+//! (`record_traces: true`, the production default) and one with it off.
+//! The trace plumbing — `RequestTrace` allocation at admission, the
+//! per-attempt ambient `SpanCtx`, stage-gate stamping, flight-recorder
+//! insertion — budgets <2% of sustained throughput; the recorded delta is
+//! the trend to watch and the assertion again only catches gross breakage.
+//!
 //! Run with `cargo bench -p valuenet-bench --bench obs_overhead`
 //! (`VN_OBS_BENCH_QUICK=1` shrinks the measurement for smoke runs).
 
 use std::hint::black_box;
 use std::time::Instant;
+use valuenet_core::{train, ModelConfig, TrainConfig, ValueMode};
+use valuenet_dataset::{generate, CorpusConfig};
 use valuenet_obs::json::Json;
+use valuenet_serve::{Engine, ServeConfig, TranslateJob};
 use valuenet_tensor::Tensor;
 
 /// Deterministic pseudo-random tensor (xorshift; no RNG dependency needed).
@@ -85,6 +96,7 @@ fn main() {
     );
 
     let report = Json::obj(vec![
+        ("type", Json::Str("bench".into())),
         ("bench", Json::Str("obs_overhead".into())),
         ("matrix_size", Json::Int(n as i64)),
         ("instrumented_ns", Json::Num(instrumented_ns)),
@@ -92,11 +104,37 @@ fn main() {
         ("delta_fraction", Json::Num(delta)),
         ("quick", Json::Bool(quick)),
     ]);
+
+    // --- Serve-path arm: request-tracing overhead on sustained qps --------
+    let (traced_qps, untraced_qps) = serve_trace_overhead(quick);
+    let serve_delta = untraced_qps / traced_qps - 1.0;
+    println!(
+        "obs_overhead: serve sustained, traced {traced_qps:.1} qps vs untraced \
+         {untraced_qps:.1} qps, trace-plumbing cost {:+.2}%",
+        serve_delta * 100.0
+    );
+    let serve_report = Json::obj(vec![
+        ("type", Json::Str("bench".into())),
+        ("bench", Json::Str("serve_trace_overhead".into())),
+        ("traced_qps", Json::Num(traced_qps)),
+        ("untraced_qps", Json::Num(untraced_qps)),
+        ("delta_fraction", Json::Num(serve_delta)),
+        ("budget_fraction", Json::Num(0.02)),
+        ("quick", Json::Bool(quick)),
+    ]);
+
     // Benches run with cwd = the package dir; anchor the artifact at the
     // workspace root next to BENCH_parallel.json.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
     let mut w = valuenet_obs::JsonlWriter::create(path).expect("can create BENCH_obs.json");
+    w.write(Json::obj(vec![
+        ("type", Json::Str("meta".into())),
+        ("bench", Json::Str("obs_overhead".into())),
+        ("quick", Json::Bool(quick)),
+    ]))
+    .expect("meta writes");
     w.write(report).expect("report writes");
+    w.write(serve_report).expect("serve report writes");
     w.finish().expect("report flushes");
 
     assert!(
@@ -105,4 +143,78 @@ fn main() {
          longer near-zero-cost",
         delta * 100.0
     );
+    // Loose for shared-runner jitter; the <2% budget is tracked through the
+    // recorded delta on dedicated hardware.
+    assert!(
+        serve_delta < 0.25,
+        "request tracing cost {:.1}% of sustained serve throughput (> 25%): the trace \
+         plumbing is no longer cheap",
+        serve_delta * 100.0
+    );
+}
+
+/// Best-of-rounds sustained throughput (queries/sec) for a traced and an
+/// untraced engine, interleaved round by round so drift hits both equally.
+/// Both engines run the identical deterministically-trained pipeline.
+fn serve_trace_overhead(quick: bool) -> (f64, f64) {
+    let (dt, dd, dr, rounds) = if quick { (32, 16, 6, 2) } else { (48, 24, 8, 4) };
+    let cc = CorpusConfig {
+        seed: 11,
+        train_size: dt,
+        dev_size: dd,
+        rows_per_table: dr,
+        ..CorpusConfig::default()
+    };
+    let corpus = generate(&cc);
+    let requests: Vec<(String, String)> = corpus
+        .dev
+        .iter()
+        .map(|s| (corpus.db(s).schema().db_id.clone(), s.question.clone()))
+        .collect();
+    // Training is deterministic: both engines serve bit-identical models.
+    let mk_engine = |record_traces: bool| {
+        let c = generate(&cc);
+        let (pipeline, _) = train(
+            &c,
+            ValueMode::Full,
+            ModelConfig::tiny(),
+            &TrainConfig { epochs: 2, threads: 1, verbose: false, ..Default::default() },
+        );
+        Engine::start(pipeline, c.databases, ServeConfig {
+            workers: 1,
+            queue_capacity: 16,
+            record_traces,
+            ..ServeConfig::default()
+        })
+    };
+    let traced = mk_engine(true);
+    let untraced = mk_engine(false);
+
+    let mut seq = 0i64;
+    let mut sweep = |engine: &Engine| -> f64 {
+        let t0 = Instant::now();
+        for (db, question) in &requests {
+            seq += 1;
+            black_box(engine.translate_blocking(TranslateJob {
+                id: Some(seq),
+                db: db.clone(),
+                question: question.clone(),
+                ..TranslateJob::default()
+            }));
+        }
+        requests.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    };
+
+    // Warm both (cold caches on the first request per database).
+    sweep(&traced);
+    sweep(&untraced);
+    let mut traced_qps = 0f64;
+    let mut untraced_qps = 0f64;
+    for _ in 0..rounds {
+        traced_qps = traced_qps.max(sweep(&traced));
+        untraced_qps = untraced_qps.max(sweep(&untraced));
+    }
+    traced.shutdown();
+    untraced.shutdown();
+    (traced_qps, untraced_qps)
 }

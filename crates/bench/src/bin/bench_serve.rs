@@ -311,6 +311,12 @@ fn main() {
     ]);
     let open_clean = open_record("serve_open_loop", &clean, false);
     let open_faulted = open_record("serve_open_loop", &faulted, true);
+    // The SLO burn rates over everything the bench pushed through the
+    // engine. Injected faults all recover (degraded retries complete), so
+    // burn should stay within budget — `vn-slo-check BENCH_serve.json`
+    // gates on exactly this record.
+    let slo = engine.slo_json("serve_bench");
+    eprintln!("slo: {}", slo.render());
 
     let mut w =
         valuenet_obs::JsonlWriter::create("BENCH_serve.json").expect("can create BENCH_serve.json");
@@ -323,10 +329,12 @@ fn main() {
     w.write(sustained.clone()).expect("sustained record writes");
     w.write(open_clean.clone()).expect("open-loop record writes");
     w.write(open_faulted.clone()).expect("faulted open-loop record writes");
+    w.write(slo.clone()).expect("slo record writes");
     w.finish().expect("report flushes");
     println!("{}", sustained.render());
     println!("{}", open_clean.render());
     println!("{}", open_faulted.render());
+    println!("{}", slo.render());
 
     engine.shutdown();
     valuenet_obs::finish();

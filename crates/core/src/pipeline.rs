@@ -323,6 +323,10 @@ impl Pipeline {
             return Err(PipelineError::MissingGoldValues);
         }
         let gate = |guard: &mut dyn FnMut(Stage) -> bool, stage: Stage| {
+            // Stamp the ambient request trace (if one is installed — serving
+            // path only) *before* the guard runs, so injected faults and
+            // deadline aborts attribute to the stage being entered.
+            valuenet_obs::trace::enter_stage(stage.label());
             if guard(stage) {
                 Ok(())
             } else {

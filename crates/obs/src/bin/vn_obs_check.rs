@@ -2,14 +2,15 @@
 //!
 //! Usage: `vn-obs-check <events.jsonl> [required-span-name ...]`
 //!
-//! Parses every line of the stream (non-zero exit on any malformed line),
-//! checks the meta line carries a `schema_version`, and verifies that each
+//! Thin CLI over [`valuenet_obs::check::check_stream`]: parses every line
+//! (non-zero exit on any malformed line), validates each record kind the
+//! crate emits — spans, scalars, traces, profiles, SLO reports — fails on
+//! unknown types *and* unknown `schema_version`s, and verifies that each
 //! required span name appears either as a raw span event or in the
 //! aggregated span table. Prints a one-line summary on success.
 
-use std::collections::HashSet;
 use std::process::ExitCode;
-use valuenet_obs::json::Json;
+use valuenet_obs::check::check_stream;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,79 +28,14 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut lines = 0usize;
-    let mut spans: HashSet<String> = HashSet::new();
-    let mut counters = 0usize;
-    let mut saw_meta = false;
-    let mut failed = false;
-
-    for (lineno, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        lines += 1;
-        let record = match Json::parse(line) {
-            Ok(v) => v,
-            Err(e) => {
-                eprintln!("vn-obs-check: {path}:{}: invalid JSON: {e}", lineno + 1);
-                failed = true;
-                continue;
-            }
-        };
-        match record.get("type").and_then(Json::as_str) {
-            Some("meta") | Some("checkpoint_meta") => {
-                saw_meta = true;
-                if record.get("schema_version").and_then(Json::as_f64).is_none() {
-                    eprintln!(
-                        "vn-obs-check: {path}:{}: meta line missing schema_version",
-                        lineno + 1
-                    );
-                    failed = true;
-                }
-            }
-            Some("span") | Some("span_agg") => {
-                if let Some(name) = record.get("name").and_then(Json::as_str) {
-                    spans.insert(name.to_string());
-                } else {
-                    eprintln!("vn-obs-check: {path}:{}: span record without name", lineno + 1);
-                    failed = true;
-                }
-            }
-            Some("counter") | Some("histogram") | Some("metric") | Some("bench")
-            | Some("checkpoint_param") | Some("checkpoint_end") => counters += 1,
-            Some(other) => {
-                eprintln!("vn-obs-check: {path}:{}: unknown type {other:?}", lineno + 1);
-                failed = true;
-            }
-            None => {
-                eprintln!("vn-obs-check: {path}:{}: record without type field", lineno + 1);
-                failed = true;
-            }
-        }
+    let report = check_stream(path, &text, &required);
+    for err in &report.errors {
+        eprintln!("vn-obs-check: {err}");
     }
-
-    if lines == 0 {
-        eprintln!("vn-obs-check: {path} is empty");
-        failed = true;
-    }
-    if !saw_meta && lines > 0 {
-        eprintln!("vn-obs-check: {path}: no meta line with schema_version");
-        failed = true;
-    }
-    for name in &required {
-        if !spans.contains(*name) {
-            eprintln!("vn-obs-check: required span {name:?} not present in {path}");
-            failed = true;
-        }
-    }
-
-    if failed {
-        ExitCode::FAILURE
-    } else {
-        println!(
-            "vn-obs-check: OK — {lines} lines, {} distinct spans, {counters} counter/histogram/metric records",
-            spans.len()
-        );
+    if report.ok() {
+        println!("vn-obs-check: {}", report.summary());
         ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -27,18 +27,31 @@
 //! | `OBS_JSONL=path` | enable; stream span/counter/histogram/metric events as JSONL |
 //! | `OBS_CHROME_TRACE=path` | enable; write a `chrome://tracing` / Perfetto trace on [`finish`] |
 //! | `OBS_EVENT_CAP=n` | cap raw span events kept in memory (default 1,000,000) |
+//! | `OBS_PROFILE=path` | enable; sample the span stack, write a collapsed-stack report on [`finish`] |
+//! | `OBS_PROFILE_HZ=n` | sampling rate for `OBS_PROFILE` (default 99) |
 //!
-//! See `DESIGN.md` ("Observability") for the span taxonomy.
+//! Observability v2 adds request-scoped primitives on top ([`trace`],
+//! [`flight`], [`slo`], [`profile`], [`check`]) — see `DESIGN.md`
+//! ("Observability" and "Observability v2") for the span taxonomy and the
+//! serving-path trace model.
 
+pub mod check;
+pub mod flight;
 mod hist;
 pub mod json;
+pub mod profile;
 mod sink;
+pub mod slo;
+pub mod trace;
 
+pub use flight::FlightRecorder;
 pub use hist::{bucket_bounds, bucket_index, percentile_from_counts, NBUCKETS};
 pub use sink::{
     chrome_trace, summary, write_run_report, write_run_report_with, DifficultyRow, JsonlWriter,
     RUN_REPORT_SCHEMA_VERSION,
 };
+pub use slo::{SloPolicy, SloReport};
+pub use trace::{RequestTrace, SpanCtx, TraceId};
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -121,10 +134,15 @@ pub fn init_from_env() -> bool {
     let summary = std::env::var("OBS").map(|v| v != "0").unwrap_or(false)
         || std::env::var("OBS_SUMMARY").map(|v| v != "0").unwrap_or(false);
     let event_cap = std::env::var("OBS_EVENT_CAP").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
-    if jsonl.is_none() && chrome_trace.is_none() && !summary {
+    let profile_path = std::env::var("OBS_PROFILE").ok().filter(|s| !s.is_empty());
+    if jsonl.is_none() && chrome_trace.is_none() && !summary && profile_path.is_none() {
         return false;
     }
     install(Config { jsonl, chrome_trace, summary, event_cap });
+    if let Some(path) = profile_path {
+        let hz = std::env::var("OBS_PROFILE_HZ").ok().and_then(|v| v.parse().ok()).unwrap_or(99);
+        profile::start(&path, hz);
+    }
     true
 }
 
@@ -312,6 +330,9 @@ pub struct Span {
     name: &'static str,
     start_ns: u64,
     active: bool,
+    /// Whether this span pushed a frame onto the profiler's stack mirror
+    /// (profiling may toggle while the span is open, so pop symmetrically).
+    profiled: bool,
 }
 
 /// Opens a span named `name`, nested under the innermost open span on this
@@ -319,7 +340,7 @@ pub struct Span {
 #[inline]
 pub fn span(name: &'static str) -> Span {
     if !enabled() {
-        return Span { path: 0, name, start_ns: 0, active: false };
+        return Span { path: 0, name, start_ns: 0, active: false, profiled: false };
     }
     let path = TLS.with(|s| {
         let mut st = s.borrow_mut();
@@ -328,11 +349,15 @@ pub fn span(name: &'static str) -> Span {
         st.stack.push(id);
         id
     });
-    Span { path, name, start_ns: now_ns(), active: true }
+    let profiled = profile::push_frame(name);
+    Span { path, name, start_ns: now_ns(), active: true, profiled }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.profiled {
+            profile::pop_frame();
+        }
         if !self.active {
             return;
         }
@@ -706,6 +731,9 @@ pub fn snapshot() -> Snapshot {
 /// (`OBS_CHROME_TRACE`). Returns the snapshot for further processing (e.g.
 /// the run report). Safe to call when disabled (returns an empty snapshot).
 pub fn finish() -> Snapshot {
+    if let Some(path) = profile::stop() {
+        eprintln!("valuenet-obs: collapsed-stack profile written to {path}");
+    }
     let snap = snapshot();
     let cfg = config().clone();
     if cfg.summary {

@@ -1,0 +1,292 @@
+//! Low-overhead wall-clock sampling profiler over the span stack.
+//!
+//! Every instrumented thread mirrors its open-span names into a small
+//! shared slot ([`ProfSlot`]) while profiling is on; a sampler thread wakes
+//! `OBS_PROFILE_HZ` times a second and copies each live thread's stack into
+//! a collapsed-stack tally (`a;b;c -> samples`). Because the mirror is only
+//! maintained while the `PROFILING` flag is set, the cost when profiling is
+//! off is one relaxed atomic load per span — the same budget as the rest of
+//! the crate — and while it is on, a push/pop of one `&'static str` under an
+//! uncontended per-thread mutex.
+//!
+//! The report is written when profiling stops ([`stop`], called from
+//! [`crate::finish`]): either classic collapsed-stack text (`a;b;c 42` per
+//! line, flamegraph-ready) or, when the output path ends in `.jsonl`,
+//! `type:"profile"` records that `vn-obs-check` validates.
+//!
+//! Sampling is cross-thread, so the sampler cannot read foreign
+//! thread-locals; instead each thread publishes a `Weak` handle to its slot
+//! in a global registry, and dead threads fall out on the next sweep.
+//! Passing `hz = 0` to [`start`] skips the sampler thread entirely —
+//! samples are then taken only by explicit [`sweep`] calls, which is what
+//! the deterministic tests use.
+
+use crate::json::Json;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, Weak};
+use std::time::Duration;
+
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// One thread's published span-stack mirror.
+struct ProfSlot {
+    stack: Mutex<Vec<&'static str>>,
+}
+
+struct ProfState {
+    threads: Vec<Weak<ProfSlot>>,
+    samples: HashMap<String, u64>,
+    sampler: Option<std::thread::JoinHandle<()>>,
+    out_path: Option<String>,
+}
+
+fn state() -> MutexGuard<'static, ProfState> {
+    static STATE: OnceLock<Mutex<ProfState>> = OnceLock::new();
+    STATE
+        .get_or_init(|| {
+            Mutex::new(ProfState {
+                threads: Vec::new(),
+                samples: HashMap::new(),
+                sampler: None,
+                out_path: None,
+            })
+        })
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn lock_stack(slot: &ProfSlot) -> MutexGuard<'_, Vec<&'static str>> {
+    slot.stack.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    static SLOT: RefCell<Option<Arc<ProfSlot>>> = const { RefCell::new(None) };
+}
+
+/// Whether the profiler is currently collecting.
+#[inline]
+pub fn profiling() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Mirrors a span entry onto this thread's published stack. Returns whether
+/// a frame was pushed — the caller must pop symmetrically ([`pop_frame`])
+/// exactly when it did, since profiling may toggle while the span is open.
+#[inline]
+pub(crate) fn push_frame(name: &'static str) -> bool {
+    if !profiling() {
+        return false;
+    }
+    SLOT.with(|s| {
+        let mut slot = s.borrow_mut();
+        let arc = slot
+            .get_or_insert_with(|| {
+                let arc = Arc::new(ProfSlot { stack: Mutex::new(Vec::new()) });
+                state().threads.push(Arc::downgrade(&arc));
+                arc
+            })
+            .clone();
+        lock_stack(&arc).push(name);
+    });
+    true
+}
+
+/// Pops the frame pushed by a `push_frame` that returned true.
+#[inline]
+pub(crate) fn pop_frame() {
+    SLOT.with(|s| {
+        if let Some(arc) = s.borrow().as_ref() {
+            lock_stack(arc).pop();
+        }
+    });
+}
+
+/// Takes one sample of every live instrumented thread into the collapsed
+/// tally. The sampler thread calls this on its cadence; tests call it
+/// directly for deterministic sample counts.
+pub fn sweep() {
+    let mut st = state();
+    let slots: Vec<Arc<ProfSlot>> = st.threads.iter().filter_map(Weak::upgrade).collect();
+    st.threads.retain(|w| w.strong_count() > 0);
+    for slot in &slots {
+        let key = lock_stack(slot).join(";");
+        if key.is_empty() {
+            continue; // thread idle (no open spans)
+        }
+        *st.samples.entry(key).or_insert(0) += 1;
+    }
+}
+
+/// Starts profiling: span stacks are mirrored from now on and, with
+/// `hz > 0`, a sampler thread sweeps them `hz` times a second. The report
+/// goes to `path` when [`stop`] runs. `hz = 0` means manual [`sweep`]-only
+/// mode. No-op if profiling is already on.
+pub fn start(path: &str, hz: u32) {
+    if PROFILING.swap(true, Ordering::Relaxed) {
+        return;
+    }
+    let mut st = state();
+    st.out_path = Some(path.to_string());
+    if hz == 0 {
+        return;
+    }
+    let period = Duration::from_nanos(1_000_000_000 / u64::from(hz));
+    let handle = std::thread::Builder::new()
+        .name("vn-obs-sampler".into())
+        .spawn(move || {
+            while PROFILING.load(Ordering::Relaxed) {
+                std::thread::sleep(period);
+                sweep();
+            }
+        })
+        .expect("spawn vn-obs-sampler");
+    st.sampler = Some(handle);
+}
+
+/// Stops profiling, joins the sampler, and writes the report to the path
+/// given to [`start`]. Returns that path when a report was written. Safe to
+/// call when profiling is off (no-op).
+pub fn stop() -> Option<String> {
+    if !PROFILING.swap(false, Ordering::Relaxed) {
+        return None;
+    }
+    // Take the handle out before joining: the sampler's sweep() locks the
+    // same state.
+    let (handle, path) = {
+        let mut st = state();
+        (st.sampler.take(), st.out_path.take())
+    };
+    if let Some(h) = handle {
+        let _ = h.join();
+    }
+    let path = path?;
+    if let Err(e) = write_report(&path) {
+        eprintln!("valuenet-obs: cannot write profile {path}: {e}");
+    }
+    Some(path)
+}
+
+/// The collapsed-stack tally, sorted by stack for deterministic output.
+pub fn report() -> Vec<(String, u64)> {
+    let st = state();
+    let mut rows: Vec<(String, u64)> = st.samples.iter().map(|(k, &v)| (k.clone(), v)).collect();
+    rows.sort();
+    rows
+}
+
+/// Clears accumulated samples (tests).
+pub fn reset_samples() {
+    state().samples.clear();
+}
+
+/// Writes the collapsed-stack report: `type:"profile"` JSONL when `path`
+/// ends in `.jsonl`, plain `stack count` lines otherwise.
+///
+/// # Errors
+/// File I/O failures.
+pub fn write_report(path: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let rows = report();
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    if path.ends_with(".jsonl") {
+        let ver = ("schema_version", Json::Int(crate::RUN_REPORT_SCHEMA_VERSION));
+        writeln!(
+            f,
+            "{}",
+            Json::obj(vec![
+                ver.clone(),
+                ("type", Json::Str("meta".into())),
+                ("stream", Json::Str("profile".into())),
+                ("unit", Json::Str("samples".into())),
+            ])
+            .render()
+        )?;
+        for (stack, n) in &rows {
+            writeln!(
+                f,
+                "{}",
+                Json::obj(vec![
+                    ver.clone(),
+                    ("type", Json::Str("profile".into())),
+                    ("stack", Json::Str(stack.clone())),
+                    ("samples", Json::Int(*n as i64)),
+                ])
+                .render()
+            )?;
+        }
+    } else {
+        for (stack, n) in &rows {
+            writeln!(f, "{stack} {n}")?;
+        }
+    }
+    f.into_inner().map_err(std::io::IntoInnerError::into_error)?.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test drives the whole lifecycle: the profiler is process-global
+    /// state, so splitting into parallel #[test]s would race on it.
+    #[test]
+    fn manual_sweep_collects_collapsed_stacks_and_writes_both_formats() {
+        let dir = std::env::temp_dir();
+        let txt = dir.join(format!("vn-prof-{}.txt", std::process::id()));
+        let txt_s = txt.to_str().unwrap().to_string();
+
+        crate::set_enabled(true);
+        reset_samples();
+        start(&txt_s, 0); // manual mode: no sampler thread
+        assert!(profiling());
+
+        {
+            let _outer = crate::span("prof_outer");
+            {
+                let _inner = crate::span("prof_inner");
+                sweep();
+                sweep();
+            }
+            sweep();
+        }
+        sweep(); // stack empty now: contributes nothing
+
+        let rows = report();
+        let get = |k: &str| rows.iter().find(|(s, _)| s == k).map(|(_, n)| *n);
+        assert_eq!(get("prof_outer;prof_inner"), Some(2));
+        assert_eq!(get("prof_outer"), Some(1));
+
+        // stop() writes collapsed text.
+        assert_eq!(stop(), Some(txt_s.clone()));
+        assert!(!profiling());
+        let text = std::fs::read_to_string(&txt).unwrap();
+        assert!(text.lines().any(|l| l == "prof_outer;prof_inner 2"), "got: {text}");
+
+        // JSONL form carries schema_version-stamped profile records.
+        let jl = dir.join(format!("vn-prof-{}.jsonl", std::process::id()));
+        let jl_s = jl.to_str().unwrap();
+        write_report(jl_s).unwrap();
+        let text = std::fs::read_to_string(&jl).unwrap();
+        let lines: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(lines[0].get("type").and_then(Json::as_str), Some("meta"));
+        let rec = lines[1..]
+            .iter()
+            .find(|r| r.get("stack").and_then(Json::as_str) == Some("prof_outer;prof_inner"))
+            .expect("profile record for nested stack");
+        assert_eq!(rec.get("type").and_then(Json::as_str), Some("profile"));
+        assert_eq!(rec.get("samples").and_then(Json::as_f64), Some(2.0));
+        assert!(rec.get("schema_version").is_some());
+
+        // Toggling off stops mirroring: spans opened now contribute nothing.
+        reset_samples();
+        {
+            let _s = crate::span("prof_after_stop");
+            sweep();
+        }
+        assert!(report().iter().all(|(s, _)| !s.contains("prof_after_stop")));
+
+        let _ = std::fs::remove_file(&txt);
+        let _ = std::fs::remove_file(&jl);
+    }
+}

@@ -36,10 +36,11 @@ use std::time::{Duration, Instant};
 
 use crate::admission::{AdmissionPolicy, Deadline, QuarantinePolicy, RetryPolicy};
 use crate::fault::FaultSpec;
-use crate::protocol::{ErrorKind, Response, ServeError, Translated};
+use crate::protocol::{ErrorKind, Response, ServeError, Translated, TraceSummary};
 use valuenet_core::{Pipeline, PipelineError, Stage, StageTimings, ValueNetModel};
 use valuenet_obs::json::Json;
-use valuenet_obs::{bucket_index, percentile_from_counts, NBUCKETS};
+use valuenet_obs::trace::{install_ctx, AttemptTrace, RequestTrace, SpanCtx};
+use valuenet_obs::{bucket_index, percentile_from_counts, FlightRecorder, SloPolicy, NBUCKETS};
 use valuenet_storage::Database;
 
 /// Worker threads are named with this prefix; the quiet panic hook uses it
@@ -74,6 +75,14 @@ pub struct ServeConfig {
     pub quarantine: QuarantinePolicy,
     /// Whether requests may carry [`FaultSpec`] directives (harness only).
     pub allow_fault_injection: bool,
+    /// Flight-recorder capacity (retained request traces, split between
+    /// clean and terminal-failure rings).
+    pub flight_capacity: usize,
+    /// Service-level objectives evaluated by the `stats` verb.
+    pub slo: SloPolicy,
+    /// Whether per-request traces are recorded (always-on default; the
+    /// overhead benchmark's untraced arm is the only intended off-switch).
+    pub record_traces: bool,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +95,9 @@ impl Default for ServeConfig {
             retry: RetryPolicy { max_retries: 2, base_ms: 10, cap_ms: 200 },
             quarantine: QuarantinePolicy { max_worker_kills: 2 },
             allow_fault_injection: false,
+            flight_capacity: 256,
+            slo: SloPolicy::default(),
+            record_traces: true,
         }
     }
 }
@@ -127,6 +139,10 @@ struct Job {
     panics: u32,
     /// Whether the next attempt runs on the scalar degradation path.
     degraded: bool,
+    /// The request's trace, carried across retries so stage events from a
+    /// panicked attempt and its degraded retry land in one span tree.
+    /// `None` only when the engine runs with trace recording off.
+    trace: Option<RequestTrace>,
 }
 
 struct QueueState {
@@ -152,14 +168,19 @@ impl ServeHist {
         self.counts[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
     }
 
-    fn to_json(&self) -> Json {
-        let counts: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    fn counts(&self) -> Vec<u64> {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Percentile summary of a bucket-count vector (cumulative snapshot or
+    /// a delta window — same arithmetic).
+    fn json_from_counts(counts: &[u64]) -> Json {
         let total: u64 = counts.iter().sum();
         Json::obj(vec![
             ("count", Json::Int(total as i64)),
-            ("p50_us", Json::Num(percentile_from_counts(&counts, 0.50))),
-            ("p90_us", Json::Num(percentile_from_counts(&counts, 0.90))),
-            ("p99_us", Json::Num(percentile_from_counts(&counts, 0.99))),
+            ("p50_us", Json::Num(percentile_from_counts(counts, 0.50))),
+            ("p90_us", Json::Num(percentile_from_counts(counts, 0.90))),
+            ("p99_us", Json::Num(percentile_from_counts(counts, 0.99))),
         ])
     }
 }
@@ -273,6 +294,92 @@ impl EngineStats {
     pub fn quarantined(&self) -> u64 {
         self.quarantined.load(Ordering::Relaxed)
     }
+
+    /// A coherent copy of every monotonic counter and histogram — the unit
+    /// of the `stats` verb's snapshot-and-diff delta windows.
+    fn window(&self) -> StatsWindow {
+        StatsWindow {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            degraded_completions: self.degraded_completions.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            bad_request: self.bad_request.load(Ordering::Relaxed),
+            unknown_db: self.unknown_db.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            translate_failed: self.translate_failed.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            internal: self.internal.load(Ordering::Relaxed),
+            shutting_down: self.shutting_down.load(Ordering::Relaxed),
+            total: self.total.counts(),
+            queue_wait: self.queue_wait.counts(),
+            stages: self.stage_hists.iter().map(ServeHist::counts).collect(),
+        }
+    }
+}
+
+/// One snapshot of the monotonic serving stats. Cumulative `stats` renders
+/// the current snapshot directly; delta `stats` renders `current − base`
+/// and advances the base (interval semantics).
+#[derive(Clone, Default)]
+struct StatsWindow {
+    submitted: u64,
+    completed: u64,
+    retries: u64,
+    degraded_completions: u64,
+    worker_panics: u64,
+    worker_respawns: u64,
+    shed: u64,
+    bad_request: u64,
+    unknown_db: u64,
+    deadline_missed: u64,
+    translate_failed: u64,
+    quarantined: u64,
+    internal: u64,
+    shutting_down: u64,
+    total: Vec<u64>,
+    queue_wait: Vec<u64>,
+    stages: Vec<Vec<u64>>,
+}
+
+impl StatsWindow {
+    /// Element-wise `self − base`. Counters are monotonic, so saturating
+    /// subtraction only guards against torn relaxed reads.
+    fn since(&self, base: &StatsWindow) -> StatsWindow {
+        let sub = |a: u64, b: u64| a.saturating_sub(b);
+        let sub_vec = |a: &[u64], b: &[u64]| -> Vec<u64> {
+            a.iter()
+                .zip(b.iter().chain(std::iter::repeat(&0)))
+                .map(|(x, y)| x.saturating_sub(*y))
+                .collect()
+        };
+        StatsWindow {
+            submitted: sub(self.submitted, base.submitted),
+            completed: sub(self.completed, base.completed),
+            retries: sub(self.retries, base.retries),
+            degraded_completions: sub(self.degraded_completions, base.degraded_completions),
+            worker_panics: sub(self.worker_panics, base.worker_panics),
+            worker_respawns: sub(self.worker_respawns, base.worker_respawns),
+            shed: sub(self.shed, base.shed),
+            bad_request: sub(self.bad_request, base.bad_request),
+            unknown_db: sub(self.unknown_db, base.unknown_db),
+            deadline_missed: sub(self.deadline_missed, base.deadline_missed),
+            translate_failed: sub(self.translate_failed, base.translate_failed),
+            quarantined: sub(self.quarantined, base.quarantined),
+            internal: sub(self.internal, base.internal),
+            shutting_down: sub(self.shutting_down, base.shutting_down),
+            total: sub_vec(&self.total, &base.total),
+            queue_wait: sub_vec(&self.queue_wait, &base.queue_wait),
+            stages: self
+                .stages
+                .iter()
+                .enumerate()
+                .map(|(i, s)| sub_vec(s, base.stages.get(i).map_or(&[][..], Vec::as_slice)))
+                .collect(),
+        }
+    }
 }
 
 struct Shared {
@@ -283,6 +390,12 @@ struct Shared {
     q: Mutex<QueueState>,
     cond: Condvar,
     stats: EngineStats,
+    /// Retained request traces (the `trace` verb's source of truth).
+    flight: FlightRecorder,
+    /// JSONL path quarantined traces are auto-dumped to (`OBS_FLIGHT_DUMP`).
+    flight_dump: Option<String>,
+    /// Base snapshot for delta-window `stats` (see [`StatsWindow`]).
+    stats_base: Mutex<StatsWindow>,
 }
 
 /// The long-lived serving engine. Dropping it shuts the worker pool down.
@@ -315,6 +428,9 @@ impl Engine {
             }),
             cond: Condvar::new(),
             stats: EngineStats::new(),
+            flight: FlightRecorder::new(cfg.flight_capacity.max(2)),
+            flight_dump: std::env::var("OBS_FLIGHT_DUMP").ok().filter(|s| !s.is_empty()),
+            stats_base: Mutex::new(StatsWindow::default()),
         });
         for _ in 0..cfg.workers {
             spawn_worker(&shared);
@@ -385,6 +501,17 @@ impl Engine {
         let now_ms = ms_since(sh.epoch);
         let now_us = us_since(sh.epoch);
         let budget = req.deadline_ms.unwrap_or(sh.cfg.default_deadline_ms);
+        let trace = sh.cfg.record_traces.then(|| {
+            let mut t = RequestTrace::new(req.id, req.db.clone(), budget);
+            // Injected faults are attributed up front: if this request later
+            // panics a worker, the flight recorder shows what was asked for.
+            if let Some(f) = &req.fault {
+                if !f.is_noop() {
+                    t.fault = Some(format!("injected: {}", f.render().render()));
+                }
+            }
+            t
+        });
         let (tx, rx) = mpsc::channel();
         let job = Job {
             id: req.id,
@@ -399,6 +526,7 @@ impl Engine {
             not_before_ms: 0,
             panics: 0,
             degraded: false,
+            trace,
         };
         let admission = AdmissionPolicy { capacity: sh.cfg.queue_capacity };
         {
@@ -432,36 +560,54 @@ impl Engine {
                 Response::Error {
                     id,
                     error: ServeError::new(ErrorKind::Internal, "reply channel closed"),
+                    trace: None,
                 }
             }),
-            Err(error) => Response::Error { id, error },
+            Err(error) => Response::Error { id, error, trace: None },
         }
     }
 
-    /// The `stats` verb payload.
-    pub fn stats_json(&self) -> Json {
+    /// The `stats` verb payload. Cumulative by default; with `delta` the
+    /// counters and histograms cover only the interval since the previous
+    /// delta call (snapshot-and-diff), while the worker/queue gauges stay
+    /// instantaneous either way.
+    pub fn stats_json(&self, delta: bool) -> Json {
         let sh = &self.shared;
         let (depth, live) = {
             let q = sh.q.lock().unwrap();
             (q.jobs.len(), q.live_workers)
         };
-        let s = &sh.stats;
-        let load = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed) as i64);
+        let cur = sh.stats.window();
+        let (win, window_label) = if delta {
+            let mut base = sh.stats_base.lock().unwrap();
+            let d = cur.since(&base);
+            *base = cur;
+            (d, "delta")
+        } else {
+            (cur, "cumulative")
+        };
+        let int = |v: u64| Json::Int(v as i64);
         let mut latencies: Vec<(&str, Json)> = vec![
-            ("total", s.total.to_json()),
-            ("queue_wait", s.queue_wait.to_json()),
+            ("total", ServeHist::json_from_counts(&win.total)),
+            ("queue_wait", ServeHist::json_from_counts(&win.queue_wait)),
         ];
-        for (stage, hist) in Stage::ALL.iter().zip(&s.stage_hists) {
-            latencies.push((stage.label(), hist.to_json()));
+        for (stage, counts) in Stage::ALL.iter().zip(&win.stages) {
+            latencies.push((stage.label(), ServeHist::json_from_counts(counts)));
         }
+        // SLO eligibility: the server's own failures burn the budget; client
+        // errors (bad_request, unknown_db) and orderly shutdown do not.
+        let good = win.completed + win.translate_failed;
+        let bad = win.shed + win.deadline_missed + win.quarantined + win.internal;
+        let slo = sh.cfg.slo.evaluate(window_label, good, good + bad, &win.total);
         Json::obj(vec![
+            ("window", Json::Str(window_label.into())),
             (
                 "workers",
                 Json::obj(vec![
                     ("configured", Json::Int(sh.cfg.workers as i64)),
                     ("live", Json::Int(live as i64)),
-                    ("panics", load(&s.worker_panics)),
-                    ("respawns", load(&s.worker_respawns)),
+                    ("panics", int(win.worker_panics)),
+                    ("respawns", int(win.worker_respawns)),
                 ]),
             ),
             (
@@ -474,29 +620,61 @@ impl Engine {
             (
                 "requests",
                 Json::obj(vec![
-                    ("submitted", load(&s.submitted)),
-                    ("completed", load(&s.completed)),
-                    ("retries", load(&s.retries)),
-                    ("degraded_completions", load(&s.degraded_completions)),
+                    ("submitted", int(win.submitted)),
+                    ("completed", int(win.completed)),
+                    ("retries", int(win.retries)),
+                    ("degraded_completions", int(win.degraded_completions)),
                 ]),
             ),
             (
                 "rejections",
                 Json::obj(vec![
-                    ("overload", load(&s.shed)),
-                    ("bad_request", load(&s.bad_request)),
-                    ("unknown_db", load(&s.unknown_db)),
-                    ("deadline_exceeded", load(&s.deadline_missed)),
-                    ("translate_failed", load(&s.translate_failed)),
-                    ("quarantined", load(&s.quarantined)),
-                    ("internal", load(&s.internal)),
-                    ("shutting_down", load(&s.shutting_down)),
+                    ("overload", int(win.shed)),
+                    ("bad_request", int(win.bad_request)),
+                    ("unknown_db", int(win.unknown_db)),
+                    ("deadline_exceeded", int(win.deadline_missed)),
+                    ("translate_failed", int(win.translate_failed)),
+                    ("quarantined", int(win.quarantined)),
+                    ("internal", int(win.internal)),
+                    ("shutting_down", int(win.shutting_down)),
                 ]),
             ),
             ("latency_us", Json::Obj(
                 latencies.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
             )),
+            ("slo", slo.to_json(&sh.cfg.slo, None)),
+            (
+                "flight",
+                Json::obj(vec![
+                    ("recorded", Json::Int(sh.flight.recorded() as i64)),
+                    ("capacity", Json::Int(sh.cfg.flight_capacity as i64)),
+                ]),
+            ),
         ])
+    }
+
+    /// The `trace` verb payload: retained flight-recorder traces, optionally
+    /// filtered to one `trace_id` or truncated to the newest `last`.
+    pub fn traces_json(&self, trace_id: Option<u64>, last: Option<usize>) -> Json {
+        self.shared.flight.to_json(trace_id, last)
+    }
+
+    /// The flight recorder (test and harness access).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.shared.flight
+    }
+
+    /// A standalone named `type:"slo"` record over the engine's cumulative
+    /// window — benchmark artifacts gate on this via `vn-slo-check`.
+    pub fn slo_json(&self, name: &str) -> Json {
+        let sh = &self.shared;
+        let win = sh.stats.window();
+        let good = win.completed + win.translate_failed;
+        let bad = win.shed + win.deadline_missed + win.quarantined + win.internal;
+        sh.cfg
+            .slo
+            .evaluate("cumulative", good, good + bad, &win.total)
+            .to_json(&sh.cfg.slo, Some(name))
     }
 
     /// Graceful shutdown: stop admitting, drain the queue, wait for every
@@ -580,16 +758,26 @@ fn worker_loop(sh: &Arc<Shared>) -> bool {
     loop {
         let Some(mut job) = next_job(sh) else { return false };
         let now_ms = ms_since(sh.epoch);
+        let queue_wait_us = us_since(sh.epoch).saturating_sub(job.enqueued_us);
         if job.deadline.expired(now_ms) {
             // Spent its budget in the queue: answer without running a stage.
-            reject_job(sh, &job, ErrorKind::DeadlineExceeded, "deadline expired in queue".into());
+            record_attempt(&mut job, queue_wait_us, "deadline", "deadline expired in queue");
+            reject_job(sh, &mut job, ErrorKind::DeadlineExceeded, "deadline expired in queue".into());
             continue;
         }
-        sh.stats.queue_wait.record_us(us_since(sh.epoch).saturating_sub(job.enqueued_us));
+        sh.stats.queue_wait.record_us(queue_wait_us);
+        // The attempt's stage events are recorded through an ambient context
+        // whose buffer is shared (Arc) with this scope — a panic unwinding
+        // the attempt cannot lose them, and the guard uninstalls either way.
+        let ctx = job.trace.as_ref().map(|t| SpanCtx::new(t.trace_id, job.panics));
         let outcome = {
             let _span = valuenet_obs::span("serve.request");
+            let _ctx_guard = ctx.as_ref().map(install_ctx);
             catch_unwind(AssertUnwindSafe(|| attempt(sh, &job)))
         };
+        if let (Some(trace), Some(ctx)) = (job.trace.as_mut(), ctx.as_ref()) {
+            trace.stages.extend(ctx.take_events());
+        }
         match outcome {
             Ok(Ok(mut body)) => {
                 let latency = us_since(sh.epoch).saturating_sub(job.submitted_us);
@@ -599,22 +787,29 @@ fn worker_loop(sh: &Arc<Shared>) -> bool {
                 if body.degraded {
                     sh.stats.degraded_completions.fetch_add(1, Ordering::Relaxed);
                 }
+                record_attempt(&mut job, queue_wait_us, "ok", "");
+                body.trace = finish_trace(sh, &mut job, "completed");
                 let _ = job.reply.send(Response::Translated { id: job.id, body });
             }
             Ok(Err(err)) => {
-                reject_job(sh, &job, err.kind, err.detail);
+                let label = if err.kind == ErrorKind::DeadlineExceeded { "deadline" } else { "error" };
+                record_attempt(&mut job, queue_wait_us, label, &err.detail);
+                reject_job(sh, &mut job, err.kind, err.detail);
             }
-            Err(_panic) => {
+            Err(panic) => {
                 OBS_WORKER_PANICS.add(1);
                 sh.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                let msg = panic_message(panic.as_ref());
+                record_attempt(&mut job, queue_wait_us, "panic", &msg);
+                if let Some(t) = job.trace.as_mut() {
+                    // Prefer the injected-fault attribution from admission;
+                    // a real (uninjected) panic attributes to its message.
+                    t.fault.get_or_insert(msg);
+                }
                 job.panics += 1;
                 if sh.cfg.quarantine.quarantined(job.panics) {
-                    reject_job(
-                        sh,
-                        &job,
-                        ErrorKind::Quarantined,
-                        format!("request killed {} workers", job.panics),
-                    );
+                    let detail = format!("request killed {} workers", job.panics);
+                    reject_job(sh, &mut job, ErrorKind::Quarantined, detail);
                 } else if sh.cfg.retry.allows_retry(job.panics) {
                     sh.stats.retries.fetch_add(1, Ordering::Relaxed);
                     job.degraded = true;
@@ -629,7 +824,7 @@ fn worker_loop(sh: &Arc<Shared>) -> bool {
                     drop(q);
                     sh.cond.notify_all();
                 } else {
-                    reject_job(sh, &job, ErrorKind::Internal, "retry budget exhausted".into());
+                    reject_job(sh, &mut job, ErrorKind::Internal, "retry budget exhausted".into());
                 }
                 // The panic may have wedged thread-local state (recycled
                 // inference tape, caches): replace this worker.
@@ -639,11 +834,54 @@ fn worker_loop(sh: &Arc<Shared>) -> bool {
     }
 }
 
-fn reject_job(sh: &Shared, job: &Job, kind: ErrorKind, detail: String) {
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Appends one attempt record to the job's trace (no-op when untraced).
+fn record_attempt(job: &mut Job, queue_wait_us: u64, outcome: &'static str, detail: &str) {
+    if let Some(t) = job.trace.as_mut() {
+        t.attempts.push(AttemptTrace {
+            attempt: job.panics,
+            degraded: job.degraded,
+            queue_wait_us,
+            outcome,
+            detail: detail.to_string(),
+        });
+    }
+}
+
+/// Finishes the job's trace with a terminal outcome, files it in the flight
+/// recorder (auto-dumping quarantines to `OBS_FLIGHT_DUMP`), and returns
+/// the wire digest.
+fn finish_trace(sh: &Shared, job: &mut Job, outcome: &str) -> Option<TraceSummary> {
+    let mut t = job.trace.take()?;
+    t.finish(outcome);
+    let summary = TraceSummary::from_trace(&t);
+    if outcome == ErrorKind::Quarantined.label() {
+        if let Some(path) = &sh.flight_dump {
+            if let Err(e) = FlightRecorder::append_jsonl(path, &t) {
+                eprintln!("valuenet-serve: cannot dump quarantined trace to {path}: {e}");
+            }
+        }
+    }
+    sh.flight.record(t);
+    Some(summary)
+}
+
+fn reject_job(sh: &Shared, job: &mut Job, kind: ErrorKind, detail: String) {
     sh.stats.count_rejection(kind);
+    let trace = finish_trace(sh, job, kind.label());
     let _ = job
         .reply
-        .send(Response::Error { id: job.id, error: ServeError { kind, detail } });
+        .send(Response::Error { id: job.id, error: ServeError { kind, detail }, trace });
 }
 
 /// Pops the next eligible job: FIFO among jobs whose retry backoff has
@@ -740,6 +978,7 @@ fn attempt(sh: &Shared, job: &Job) -> Result<Box<Translated>, ServeError> {
                 latency_us: 0, // stamped by the worker loop
                 retries: job.panics,
                 degraded: job.degraded,
+                trace: None, // stamped by the worker loop
             }))
         }
         Err(PipelineError::Aborted { stage }) => {

@@ -39,5 +39,5 @@ pub mod server;
 pub use admission::{AdmissionPolicy, Deadline, QuarantinePolicy, RetryPolicy};
 pub use engine::{Engine, EngineStats, ServeConfig, TranslateJob};
 pub use fault::FaultSpec;
-pub use protocol::{ErrorKind, Request, Response, ServeError, Translated};
+pub use protocol::{ErrorKind, Request, Response, ServeError, TraceSummary, Translated};
 pub use server::{serve_unix, translate_frame, verb_frame, Client};

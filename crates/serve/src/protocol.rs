@@ -19,6 +19,7 @@
 
 use crate::fault::FaultSpec;
 use valuenet_obs::json::Json;
+use valuenet_obs::trace::RequestTrace;
 use valuenet_obs::RUN_REPORT_SCHEMA_VERSION;
 
 /// Typed rejection classes — the protocol's failure taxonomy.
@@ -101,6 +102,71 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// The per-request trace digest carried on every traced response (success
+/// or failure): queue wait, attempt count, and total time per pipeline
+/// stage. The full span tree stays in the flight recorder, retrievable by
+/// `trace_id` through the `trace` verb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// The request's trace id (key into the flight recorder).
+    pub trace_id: u64,
+    /// Summed queue wait across all attempts, µs.
+    pub queue_wait_us: u64,
+    /// Worker attempts the request took (1 = no retries).
+    pub attempts: u32,
+    /// Total duration per stage label, aggregated across attempts, in
+    /// first-execution order.
+    pub stages: Vec<(String, u64)>,
+}
+
+impl TraceSummary {
+    /// Digest of a finished [`RequestTrace`].
+    pub fn from_trace(t: &RequestTrace) -> TraceSummary {
+        TraceSummary {
+            trace_id: t.trace_id.0,
+            queue_wait_us: t.queue_wait_us(),
+            attempts: t.attempts.len() as u32,
+            stages: t.stage_totals().iter().map(|&(s, d)| (s.to_string(), d)).collect(),
+        }
+    }
+
+    /// The wire form (the `trace` field of a response).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("trace_id", Json::Int(self.trace_id as i64)),
+            ("queue_wait_us", Json::Int(self.queue_wait_us as i64)),
+            ("attempts", Json::Int(self.attempts as i64)),
+            (
+                "stages",
+                Json::Obj(
+                    self.stages
+                        .iter()
+                        .map(|(s, d)| (s.clone(), Json::Int(*d as i64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses the wire form. `None` when `v` is not a trace object.
+    pub fn from_json(v: &Json) -> Option<TraceSummary> {
+        let trace_id = v.get("trace_id").and_then(Json::as_f64)? as u64;
+        let stages = match v.get("stages") {
+            Some(Json::Obj(entries)) => entries
+                .iter()
+                .map(|(k, d)| Some((k.clone(), d.as_f64()? as u64)))
+                .collect::<Option<Vec<_>>>()?,
+            _ => Vec::new(),
+        };
+        Some(TraceSummary {
+            trace_id,
+            queue_wait_us: v.get("queue_wait_us").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            attempts: v.get("attempts").and_then(Json::as_f64).unwrap_or(0.0) as u32,
+            stages,
+        })
+    }
+}
+
 /// A parsed request frame.
 #[derive(Debug, Clone)]
 pub enum Request {
@@ -121,10 +187,24 @@ pub enum Request {
         /// was started with fault injection allowed).
         fault: Option<FaultSpec>,
     },
-    /// Serving statistics (queue depth, shed count, per-stage percentiles).
+    /// Serving statistics (queue depth, shed count, per-stage percentiles,
+    /// SLO burn rates).
     Stats {
         /// Correlation id.
         id: Option<i64>,
+        /// `true` = interval semantics: counters and histograms since the
+        /// previous delta-stats call (snapshot-and-diff). `false` (the
+        /// default) keeps the cumulative-since-start behaviour.
+        delta: bool,
+    },
+    /// Flight-recorder dump: retained request traces with full span trees.
+    Trace {
+        /// Correlation id.
+        id: Option<i64>,
+        /// Return only the trace with this trace id.
+        trace_id: Option<u64>,
+        /// Return only the newest this-many traces.
+        last: Option<usize>,
     },
     /// Liveness probe.
     Ping {
@@ -199,7 +279,32 @@ impl Request {
                 };
                 Ok(Request::Translate { id, db, question, deadline_ms, gold_values, fault })
             }
-            "stats" => Ok(Request::Stats { id }),
+            "stats" => {
+                let delta = match v.get("window") {
+                    None | Some(Json::Null) => false,
+                    Some(Json::Str(s)) if s == "delta" => true,
+                    Some(Json::Str(s)) if s == "cumulative" => false,
+                    Some(_) => {
+                        return Err(bad("`window` must be \"cumulative\" or \"delta\"".into()))
+                    }
+                };
+                Ok(Request::Stats { id, delta })
+            }
+            "trace" => {
+                let trace_id = match v.get("trace_id") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Int(i)) if *i >= 0 => Some(*i as u64),
+                    Some(_) => {
+                        return Err(bad("`trace_id` must be a non-negative integer".into()))
+                    }
+                };
+                let last = match v.get("last") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Int(i)) if *i >= 0 => Some(*i as usize),
+                    Some(_) => return Err(bad("`last` must be a non-negative integer".into())),
+                };
+                Ok(Request::Trace { id, trace_id, last })
+            }
             "ping" => Ok(Request::Ping { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
             other => Err(bad(format!("unknown verb `{other}`"))),
@@ -210,7 +315,8 @@ impl Request {
     pub fn id(&self) -> Option<i64> {
         match self {
             Request::Translate { id, .. }
-            | Request::Stats { id }
+            | Request::Stats { id, .. }
+            | Request::Trace { id, .. }
             | Request::Ping { id }
             | Request::Shutdown { id } => *id,
         }
@@ -235,6 +341,9 @@ pub struct Translated {
     pub retries: u32,
     /// Whether the response was produced on the scalar degradation path.
     pub degraded: bool,
+    /// Per-request trace digest (absent only when the engine was started
+    /// with trace recording off).
+    pub trace: Option<TraceSummary>,
 }
 
 /// A response frame.
@@ -254,6 +363,13 @@ pub enum Response {
         /// The statistics object.
         stats: Json,
     },
+    /// Flight-recorder dump payload (already JSON).
+    Traces {
+        /// Echoed correlation id.
+        id: Option<i64>,
+        /// `{recorded, retained, traces:[...]}`.
+        traces: Json,
+    },
     /// Liveness reply.
     Pong {
         /// Echoed correlation id.
@@ -270,6 +386,11 @@ pub enum Response {
         id: Option<i64>,
         /// The rejection.
         error: ServeError,
+        /// Per-request trace digest — present for failures of *admitted*
+        /// requests (deadline, quarantine, retry exhaustion); absent for
+        /// synchronous rejections (shed, bad request) that never got a
+        /// trace.
+        trace: Option<TraceSummary>,
     },
 }
 
@@ -310,11 +431,19 @@ impl Response {
                 fields.push(("latency_us".into(), Json::Int(body.latency_us as i64)));
                 fields.push(("retries".into(), Json::Int(body.retries as i64)));
                 fields.push(("degraded".into(), Json::Bool(body.degraded)));
+                if let Some(t) = &body.trace {
+                    fields.push(("trace".into(), t.to_json()));
+                }
             }
             Response::Stats { id, stats } => {
                 fields.push(("id".into(), id_json(*id)));
                 fields.push(("ok".into(), Json::Bool(true)));
                 fields.push(("stats".into(), stats.clone()));
+            }
+            Response::Traces { id, traces } => {
+                fields.push(("id".into(), id_json(*id)));
+                fields.push(("ok".into(), Json::Bool(true)));
+                fields.push(("traces".into(), traces.clone()));
             }
             Response::Pong { id } => {
                 fields.push(("id".into(), id_json(*id)));
@@ -326,7 +455,7 @@ impl Response {
                 fields.push(("ok".into(), Json::Bool(true)));
                 fields.push(("shutdown".into(), Json::Bool(true)));
             }
-            Response::Error { id, error } => {
+            Response::Error { id, error, trace } => {
                 fields.push(("id".into(), id_json(*id)));
                 fields.push(("ok".into(), Json::Bool(false)));
                 fields.push((
@@ -336,6 +465,9 @@ impl Response {
                         ("detail", Json::Str(error.detail.clone())),
                     ]),
                 ));
+                if let Some(t) = trace {
+                    fields.push(("trace".into(), t.to_json()));
+                }
             }
         }
         Json::Obj(fields).render()
@@ -353,6 +485,7 @@ impl Response {
             _ => None,
         };
         let ok = matches!(v.get("ok"), Some(Json::Bool(true)));
+        let trace = v.get("trace").and_then(TraceSummary::from_json);
         if !ok {
             let err = v.get("error").ok_or("error response without `error`")?;
             let kind = err
@@ -362,10 +495,13 @@ impl Response {
                 .ok_or("error response with unknown `error.kind`")?;
             let detail =
                 err.get("detail").and_then(Json::as_str).unwrap_or_default().to_string();
-            return Ok(Response::Error { id, error: ServeError { kind, detail } });
+            return Ok(Response::Error { id, error: ServeError { kind, detail }, trace });
         }
         if let Some(stats) = v.get("stats") {
             return Ok(Response::Stats { id, stats: stats.clone() });
+        }
+        if let Some(traces) = v.get("traces") {
+            return Ok(Response::Traces { id, traces: traces.clone() });
         }
         if v.get("pong").is_some() {
             return Ok(Response::Pong { id });
@@ -409,6 +545,7 @@ impl Response {
                 latency_us: v.get("latency_us").and_then(Json::as_f64).unwrap_or(0.0) as u64,
                 retries: v.get("retries").and_then(Json::as_f64).unwrap_or(0.0) as u32,
                 degraded: matches!(v.get("degraded"), Some(Json::Bool(true))),
+                trace,
             }),
         })
     }
@@ -455,6 +592,12 @@ mod tests {
 
     #[test]
     fn response_round_trips() {
+        let trace = TraceSummary {
+            trace_id: 42,
+            queue_wait_us: 17,
+            attempts: 2,
+            stages: vec![("preprocess".into(), 5), ("execute".into(), 11)],
+        };
         let resp = Response::Translated {
             id: Some(3),
             body: Box::new(Translated {
@@ -465,6 +608,7 @@ mod tests {
                 latency_us: 812,
                 retries: 1,
                 degraded: true,
+                trace: Some(trace.clone()),
             }),
         };
         let line = resp.render();
@@ -477,21 +621,60 @@ mod tests {
                 assert!(body.ordered && body.degraded);
                 assert_eq!((body.latency_us, body.retries), (812, 1));
                 assert_eq!(body.values, vec!["France".to_string()]);
+                assert_eq!(body.trace, Some(trace.clone()));
             }
             other => panic!("wrong parse: {other:?}"),
         }
         let err = Response::Error {
             id: None,
-            error: ServeError::new(ErrorKind::Overload, "queue full"),
+            error: ServeError::new(ErrorKind::DeadlineExceeded, "expired"),
+            trace: Some(trace.clone()),
         };
         match Response::parse(&err.render()).unwrap() {
-            Response::Error { id, error } => {
+            Response::Error { id, error, trace: t } => {
                 assert_eq!(id, None);
-                assert_eq!(error.kind, ErrorKind::Overload);
-                assert_eq!(error.detail, "queue full");
+                assert_eq!(error.kind, ErrorKind::DeadlineExceeded);
+                assert_eq!(error.detail, "expired");
+                assert_eq!(t, Some(trace));
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_window_and_trace_verbs_parse() {
+        match Request::parse(r#"{"id":1,"verb":"stats"}"#).unwrap() {
+            Request::Stats { id, delta } => assert_eq!((id, delta), (Some(1), false)),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match Request::parse(r#"{"id":1,"verb":"stats","window":"delta"}"#).unwrap() {
+            Request::Stats { delta, .. } => assert!(delta),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match Request::parse(r#"{"id":1,"verb":"stats","window":"cumulative"}"#).unwrap() {
+            Request::Stats { delta, .. } => assert!(!delta),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert_eq!(
+            Request::parse(r#"{"verb":"stats","window":"sliding"}"#).unwrap_err().kind,
+            ErrorKind::BadRequest
+        );
+        match Request::parse(r#"{"id":2,"verb":"trace","trace_id":9,"last":4}"#).unwrap() {
+            Request::Trace { id, trace_id, last } => {
+                assert_eq!((id, trace_id, last), (Some(2), Some(9), Some(4)));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match Request::parse(r#"{"verb":"trace"}"#).unwrap() {
+            Request::Trace { trace_id, last, .. } => {
+                assert_eq!((trace_id, last), (None, None));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert_eq!(
+            Request::parse(r#"{"verb":"trace","trace_id":-1}"#).unwrap_err().kind,
+            ErrorKind::BadRequest
+        );
     }
 
     #[test]

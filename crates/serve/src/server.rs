@@ -88,8 +88,11 @@ fn handle_conn(st: &ServerState, stream: UnixStream) -> std::io::Result<()> {
                     gold_values,
                     fault,
                 }),
-            Ok(Request::Stats { id }) => {
-                Response::Stats { id, stats: st.engine.stats_json() }
+            Ok(Request::Stats { id, delta }) => {
+                Response::Stats { id, stats: st.engine.stats_json(delta) }
+            }
+            Ok(Request::Trace { id, trace_id, last }) => {
+                Response::Traces { id, traces: st.engine.traces_json(trace_id, last) }
             }
             Ok(Request::Ping { id }) => Response::Pong { id },
             Ok(Request::Shutdown { id }) => {
@@ -105,7 +108,7 @@ fn handle_conn(st: &ServerState, stream: UnixStream) -> std::io::Result<()> {
                 if error.detail.len() > 200 {
                     error.detail.truncate(200); // don't echo megabyte garbage
                 }
-                Response::Error { id, error }
+                Response::Error { id, error, trace: None }
             }
         };
         writeln!(writer, "{}", resp.render())?;

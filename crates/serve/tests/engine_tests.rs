@@ -5,6 +5,7 @@
 
 use valuenet_core::{train, ModelConfig, Pipeline, Stage, TrainConfig, ValueMode, ValueNetModel, Vocab};
 use valuenet_dataset::{generate, Corpus, CorpusConfig};
+use valuenet_obs::json::Json;
 use valuenet_preprocess::StatisticalNer;
 use valuenet_serve::{
     serve_unix, translate_frame, verb_frame, Client, Engine, ErrorKind, FaultSpec, Response,
@@ -135,6 +136,8 @@ fn trained_engine_end_to_end() {
         Response::Translated { body, .. } => {
             assert_eq!(body.retries, 1);
             assert!(body.degraded, "retry after panic must take the scalar path");
+            let t = body.trace.expect("response must carry its trace digest");
+            assert_eq!(t.attempts, 2, "digest must count the killed attempt");
         }
         Response::Error { error, .. } => {
             assert_eq!(error.kind, ErrorKind::TranslateFailed, "unexpected: {error}")
@@ -200,7 +203,7 @@ fn trained_engine_end_to_end() {
     }
 
     // --- Stats verb shape.
-    let stats = engine.stats_json();
+    let stats = engine.stats_json(false);
     assert_eq!(
         stats.get("workers").and_then(|w| w.get("configured")).and_then(|v| v.as_f64()),
         Some(1.0)
@@ -291,6 +294,135 @@ fn adversarial_inputs_get_typed_errors() {
     assert_eq!(engine.live_workers(), 1, "adversarial input killed a worker");
 }
 
+/// The tentpole invariant: a trace context allocated at admission survives
+/// a worker panic, the respawn, and the degraded retry — the reply digest
+/// and the flight-recorder span tree both cover *all* attempts.
+#[test]
+fn traces_survive_panic_respawn_and_degraded_retry() {
+    let c = corpus();
+    let db_name = c.databases[0].schema().db_id.clone();
+    let engine = Engine::start(untrained(), c.databases, harness_config(1, 8));
+
+    let mut j = job(1, &db_name, "How many are there?", &["1".to_string()]);
+    j.fault = Some(FaultSpec {
+        panic_stage: Some(Stage::EncodeDecode),
+        panic_times: 1,
+        ..Default::default()
+    });
+    let summary = match engine.translate_blocking(j) {
+        Response::Translated { body, .. } => {
+            body.trace.expect("completed response must carry a trace digest")
+        }
+        Response::Error { error, trace, .. } => {
+            assert_eq!(error.kind, ErrorKind::TranslateFailed, "unexpected: {error}");
+            trace.expect("typed error must carry a trace digest")
+        }
+        other => panic!("unexpected response: {other:?}"),
+    };
+    assert_eq!(summary.attempts, 2, "panic + degraded retry = two attempts");
+    assert!(
+        summary.stages.iter().any(|(s, _)| s == "preprocess"),
+        "per-stage totals missing from digest: {:?}",
+        summary.stages
+    );
+
+    // The flight recorder retains the full span tree under the same id.
+    let dump = engine.traces_json(Some(summary.trace_id), None);
+    let traces = dump.get("traces").and_then(Json::as_arr).expect("traces array");
+    assert_eq!(traces.len(), 1, "trace_id lookup must find the request");
+    let t = &traces[0];
+    let attempts = t.get("attempts").and_then(Json::as_arr).expect("attempts array");
+    assert_eq!(attempts.len(), 2);
+    assert_eq!(attempts[0].get("outcome").and_then(Json::as_str), Some("panic"));
+    assert_eq!(attempts[0].get("degraded"), Some(&Json::Bool(false)));
+    assert_eq!(attempts[1].get("degraded"), Some(&Json::Bool(true)));
+    // Fault attribution names the injected fault, not just "a panic".
+    let fault = t.get("fault").and_then(Json::as_str).expect("fault attribution");
+    assert!(fault.contains("injected"), "fault not attributed to injection: {fault}");
+    // Stage events from BOTH attempts survived the worker's death.
+    let stages = t.get("stages").and_then(Json::as_arr).expect("stages array");
+    assert!(stages.iter().any(|e| e.get("attempt") == Some(&Json::Int(0))));
+    assert!(stages.iter().any(|e| e.get("attempt") == Some(&Json::Int(1))));
+    engine.shutdown();
+}
+
+/// A quarantined request stays recoverable from the flight recorder with
+/// full span tree and fault attribution, even after later traffic.
+#[test]
+fn quarantined_request_is_recoverable_from_flight_recorder() {
+    let c = corpus();
+    let db_name = c.databases[0].schema().db_id.clone();
+    let engine = Engine::start(untrained(), c.databases, harness_config(1, 8));
+
+    let mut j = job(7, &db_name, "How many are there?", &["1".to_string()]);
+    j.fault = Some(FaultSpec {
+        panic_stage: Some(Stage::Preprocess),
+        panic_times: 99,
+        ..Default::default()
+    });
+    let trace_id = match engine.translate_blocking(j) {
+        Response::Error { error, trace, .. } => {
+            assert_eq!(error.kind, ErrorKind::Quarantined);
+            trace.expect("quarantine must carry a trace digest").trace_id
+        }
+        other => panic!("expected quarantine, got {other:?}"),
+    };
+    // Later traffic does not evict the terminal trace.
+    for i in 0..6 {
+        let _ = engine.translate_blocking(job(20 + i, &db_name, "How many?", &["1".to_string()]));
+    }
+    let full = engine
+        .flight()
+        .find(trace_id)
+        .expect("quarantined trace evicted from flight recorder");
+    assert_eq!(full.outcome, "quarantined");
+    assert_eq!(full.request_id, Some(7));
+    assert!(full.fault.as_deref().unwrap_or("").contains("injected"));
+    assert_eq!(full.attempts.len(), 2, "both kill attempts recorded");
+    assert!(full.attempts.iter().all(|a| a.outcome == "panic"));
+    assert!(!full.stages.is_empty(), "span tree lost");
+    engine.shutdown();
+}
+
+/// `stats` delta windows reset on read; cumulative windows do not.
+#[test]
+fn stats_delta_windows_reset_between_reads() {
+    let c = corpus();
+    let db_name = c.databases[0].schema().db_id.clone();
+    let engine = Engine::start(untrained(), c.databases, harness_config(1, 8));
+    let submitted = |s: &Json| {
+        s.get("requests")
+            .and_then(|r| r.get("submitted"))
+            .and_then(Json::as_f64)
+            .unwrap_or(-1.0)
+    };
+
+    let _ = engine.translate_blocking(job(1, &db_name, "How many?", &["1".to_string()]));
+    let d1 = engine.stats_json(true);
+    assert_eq!(d1.get("window").and_then(Json::as_str), Some("delta"));
+    assert_eq!(submitted(&d1), 1.0);
+    // Nothing happened since: the next delta window is empty…
+    let d2 = engine.stats_json(true);
+    assert_eq!(submitted(&d2), 0.0);
+    // …while the cumulative view still has everything, and gauges stay live.
+    let cum = engine.stats_json(false);
+    assert_eq!(cum.get("window").and_then(Json::as_str), Some("cumulative"));
+    assert_eq!(submitted(&cum), 1.0);
+    assert_eq!(
+        cum.get("workers").and_then(|w| w.get("live")).and_then(Json::as_f64),
+        Some(1.0)
+    );
+    // Both views carry an SLO section derived from the same window.
+    for s in [&d2, &cum] {
+        assert!(
+            s.get("slo").and_then(|v| v.get("availability_burn")).is_some(),
+            "missing slo section: {}",
+            s.render()
+        );
+    }
+    engine.shutdown();
+}
+
 #[test]
 fn unix_socket_roundtrip() {
     let c = corpus();
@@ -332,7 +464,7 @@ fn unix_socket_roundtrip() {
     }
     // Malformed with a recoverable id: the id is echoed back.
     match client.roundtrip_raw(r#"{"id":42,"verb":"warp"}"#).unwrap() {
-        Response::Error { id, error } => {
+        Response::Error { id, error, .. } => {
             assert_eq!(id, Some(42));
             assert_eq!(error.kind, ErrorKind::BadRequest);
         }
@@ -345,7 +477,7 @@ fn unix_socket_roundtrip() {
     let frame = translate_frame(2, &db_name, "How many are there?", None, Some(&gold), None);
     match client.roundtrip(&frame).unwrap() {
         Response::Translated { id, .. } => assert_eq!(id, Some(2)),
-        Response::Error { id, error } => {
+        Response::Error { id, error, .. } => {
             assert_eq!(id, Some(2));
             assert_eq!(error.kind, ErrorKind::TranslateFailed, "unexpected: {error}");
         }
@@ -357,12 +489,29 @@ fn unix_socket_roundtrip() {
         other => panic!("expected unknown_db, got {other:?}"),
     }
 
-    // Stats over the wire.
+    // Stats over the wire (cumulative by default, delta on request).
     match client.roundtrip(&verb_frame(4, "stats")).unwrap() {
         Response::Stats { stats, .. } => {
             assert!(stats.get("queue").is_some() && stats.get("workers").is_some());
+            assert_eq!(stats.get("window").and_then(Json::as_str), Some("cumulative"));
         }
         other => panic!("expected stats, got {other:?}"),
+    }
+    match client.roundtrip_raw(r#"{"id":6,"verb":"stats","window":"delta"}"#).unwrap() {
+        Response::Stats { stats, .. } => {
+            assert_eq!(stats.get("window").and_then(Json::as_str), Some("delta"));
+        }
+        other => panic!("expected delta stats, got {other:?}"),
+    }
+
+    // The trace verb dumps the flight recorder.
+    match client.roundtrip_raw(r#"{"id":7,"verb":"trace","last":4}"#).unwrap() {
+        Response::Traces { id, traces } => {
+            assert_eq!(id, Some(7));
+            let arr = traces.get("traces").and_then(Json::as_arr).expect("traces array");
+            assert!(!arr.is_empty(), "translate above must be retained");
+        }
+        other => panic!("expected traces, got {other:?}"),
     }
 
     // Graceful shutdown: acknowledged, server thread exits, socket gone.

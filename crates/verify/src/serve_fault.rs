@@ -39,7 +39,7 @@ use valuenet_dataset::{generate, Corpus, CorpusConfig};
 use valuenet_obs::json::Json;
 use valuenet_serve::{
     serve_unix, translate_frame, verb_frame, Client, Engine, ErrorKind, FaultSpec,
-    QuarantinePolicy, Response, RetryPolicy, ServeConfig,
+    QuarantinePolicy, Response, RetryPolicy, ServeConfig, TraceSummary,
 };
 
 use crate::fuzz::case_seed;
@@ -82,6 +82,9 @@ pub struct ServeFuzzReport {
     pub shed: u64,
     /// Malformed frames answered with `bad_request`.
     pub malformed: usize,
+    /// Responses whose trace digest was verified complete (id, attempts,
+    /// per-stage totals).
+    pub traced: usize,
     /// Worker panics the server counted.
     pub worker_panics: u64,
     /// Worker respawns the server counted (must equal `worker_panics`).
@@ -113,6 +116,7 @@ impl ServeFuzzReport {
             ("bursts", Json::Int(self.bursts as i64)),
             ("shed", Json::Int(self.shed as i64)),
             ("malformed", Json::Int(self.malformed as i64)),
+            ("traced", Json::Int(self.traced as i64)),
             ("worker_panics", Json::Int(self.worker_panics as i64)),
             ("worker_respawns", Json::Int(self.worker_respawns as i64)),
             ("live_workers", Json::Int(self.live_workers as i64)),
@@ -267,6 +271,77 @@ impl ServeFixture {
     }
 }
 
+/// Verifies a response-level trace digest is present and complete: nonzero
+/// id, at least `min_attempts` attempts, and per-stage totals that include
+/// `preprocess` (the gate every translation crosses). Returns the trace id.
+fn check_trace(
+    trace: Option<&TraceSummary>,
+    min_attempts: u32,
+    ctx: &str,
+) -> Result<u64, String> {
+    let t = trace.ok_or_else(|| format!("{ctx}: response carries no trace digest"))?;
+    if t.trace_id == 0 {
+        return Err(format!("{ctx}: zero trace id"));
+    }
+    if t.attempts < min_attempts {
+        return Err(format!(
+            "{ctx}: {} attempts in digest, expected >= {min_attempts}",
+            t.attempts
+        ));
+    }
+    if !t.stages.iter().any(|(s, _)| s == "preprocess") {
+        return Err(format!("{ctx}: per-stage totals missing preprocess: {:?}", t.stages));
+    }
+    Ok(t.trace_id)
+}
+
+/// Fetches one trace from the flight recorder over the wire and verifies
+/// the full span tree: terminal outcome, fault attribution, per-attempt
+/// records and stage events.
+fn check_flight_trace(
+    client: &mut Client,
+    rid: i64,
+    trace_id: u64,
+    outcome: &str,
+    min_attempts: usize,
+) -> Result<(), String> {
+    let frame = Json::obj(vec![
+        ("id", Json::Int(rid)),
+        ("verb", Json::Str("trace".into())),
+        ("trace_id", Json::Int(trace_id as i64)),
+    ]);
+    let resp = client
+        .roundtrip(&frame)
+        .map_err(|e| format!("trace verb roundtrip failed: {e}"))?;
+    let Response::Traces { traces, .. } = resp else {
+        return Err(format!("trace verb got unexpected frame: {resp:?}"));
+    };
+    let arr = traces
+        .get("traces")
+        .and_then(Json::as_arr)
+        .ok_or("trace verb payload has no traces array")?;
+    let [t] = arr else {
+        return Err(format!(
+            "trace {trace_id} not recoverable from flight recorder ({} matches)",
+            arr.len()
+        ));
+    };
+    if t.get("outcome").and_then(Json::as_str) != Some(outcome) {
+        return Err(format!("flight trace outcome: {:?}, expected {outcome}", t.get("outcome")));
+    }
+    if t.get("fault").and_then(Json::as_str).is_none_or(str::is_empty) {
+        return Err(format!("flight trace {trace_id} has no fault attribution"));
+    }
+    let attempts = t.get("attempts").and_then(Json::as_arr).map(<[Json]>::len).unwrap_or(0);
+    if attempts < min_attempts {
+        return Err(format!("flight trace has {attempts} attempts, expected >= {min_attempts}"));
+    }
+    if t.get("stages").and_then(Json::as_arr).is_none_or(<[Json]>::is_empty) {
+        return Err(format!("flight trace {trace_id} lost its span tree"));
+    }
+    Ok(())
+}
+
 /// Runs one seeded case against the fixture. Returns a short outcome
 /// description, or the invariant violation.
 ///
@@ -304,6 +379,8 @@ pub fn run_serve_case(fx: &ServeFixture, report: &mut ServeFuzzReport, seed: u64
                 .map_err(|e| format!("clean roundtrip failed: {e}"))?;
             match (expect.sql.as_ref(), resp) {
                 (Some(sql), Response::Translated { body, .. }) => {
+                    check_trace(body.trace.as_ref(), 1, "clean translated")?;
+                    report.traced += 1;
                     let expect_values = expect
                         .selected_values()
                         .map_err(|e| format!("reference values: {e}"))?;
@@ -332,9 +409,11 @@ pub fn run_serve_case(fx: &ServeFixture, report: &mut ServeFuzzReport, seed: u64
                     report.bit_identical += 1;
                     Ok(format!("clean: identical ({} rows)", body.rows.len()))
                 }
-                (None, Response::Error { error, .. })
+                (None, Response::Error { error, trace, .. })
                     if error.kind == ErrorKind::TranslateFailed =>
                 {
+                    check_trace(trace.as_ref(), 1, "clean translate_failed")?;
+                    report.traced += 1;
                     report.bit_identical += 1;
                     Ok("clean: both failed to translate".into())
                 }
@@ -371,10 +450,17 @@ pub fn run_serve_case(fx: &ServeFixture, report: &mut ServeFuzzReport, seed: u64
                             body.retries, body.degraded
                         ));
                     }
+                    // The digest must cover the killed attempt too.
+                    check_trace(body.trace.as_ref(), 2, "panic recovered")?;
+                    report.traced += 1;
                     report.recovered += 1;
                     Ok(format!("panic at {}: recovered degraded", stage.label()))
                 }
-                Response::Error { error, .. } if error.kind == ErrorKind::TranslateFailed => {
+                Response::Error { error, trace, .. }
+                    if error.kind == ErrorKind::TranslateFailed =>
+                {
+                    check_trace(trace.as_ref(), 2, "panic untranslatable")?;
+                    report.traced += 1;
                     report.recovered += 1;
                     Ok(format!("panic at {}: recovered (untranslatable)", stage.label()))
                 }
@@ -400,9 +486,20 @@ pub fn run_serve_case(fx: &ServeFixture, report: &mut ServeFuzzReport, seed: u64
                 .roundtrip(&frame)
                 .map_err(|e| format!("poison roundtrip failed: {e}"))?;
             match resp {
-                Response::Error { error, .. } if error.kind == ErrorKind::Quarantined => {
+                Response::Error { error, trace, .. } if error.kind == ErrorKind::Quarantined => {
+                    let trace_id = check_trace(trace.as_ref(), 2, "quarantined")?;
+                    report.traced += 1;
+                    // The full span tree (with fault attribution) must be
+                    // recoverable from the flight recorder over the wire.
+                    check_flight_trace(
+                        &mut fx.client(),
+                        rid + 1,
+                        trace_id,
+                        "quarantined",
+                        2,
+                    )?;
                     report.quarantined += 1;
-                    Ok(format!("poison at {}: quarantined", stage.label()))
+                    Ok(format!("poison at {}: quarantined, trace recovered", stage.label()))
                 }
                 other => Err(format!("poison case not quarantined: {other:?}")),
             }
@@ -429,7 +526,18 @@ pub fn run_serve_case(fx: &ServeFixture, report: &mut ServeFuzzReport, seed: u64
                 .roundtrip(&frame)
                 .map_err(|e| format!("deadline roundtrip failed: {e}"))?;
             match resp {
-                Response::Error { error, .. } if error.kind == ErrorKind::DeadlineExceeded => {
+                Response::Error { error, trace, .. }
+                    if error.kind == ErrorKind::DeadlineExceeded =>
+                {
+                    // No stage requirement: the deadline may (rarely) expire
+                    // while still queued, before any gate is crossed.
+                    let t = trace
+                        .as_ref()
+                        .ok_or("deadline rejection carries no trace digest")?;
+                    if t.attempts == 0 {
+                        return Err("deadline trace has no attempt records".into());
+                    }
+                    report.traced += 1;
                     report.deadline_hits += 1;
                     Ok(format!("stall at {}: deadline enforced", stage.label()))
                 }
@@ -482,10 +590,28 @@ pub fn run_serve_case(fx: &ServeFixture, report: &mut ServeFuzzReport, seed: u64
                     .map_err(|_| "burst client thread panicked".to_string())?
                     .map_err(|e| format!("burst roundtrip failed (possible stall): {e}"))?;
                 match resp {
-                    Response::Translated { .. } => {}
-                    Response::Error { error, .. } => match error.kind {
-                        ErrorKind::Overload => shed_here += 1,
-                        ErrorKind::TranslateFailed | ErrorKind::DeadlineExceeded => {}
+                    Response::Translated { body, .. } => {
+                        check_trace(body.trace.as_ref(), 1, "burst translated")?;
+                        report.traced += 1;
+                    }
+                    Response::Error { error, trace, .. } => match error.kind {
+                        ErrorKind::Overload => {
+                            // Shed before admission: there is nothing to trace.
+                            if trace.is_some() {
+                                return Err("shed response carries a trace digest".into());
+                            }
+                            shed_here += 1;
+                        }
+                        ErrorKind::TranslateFailed => {
+                            check_trace(trace.as_ref(), 1, "burst translate_failed")?;
+                            report.traced += 1;
+                        }
+                        ErrorKind::DeadlineExceeded => {
+                            if trace.is_none() {
+                                return Err("burst deadline rejection has no trace".into());
+                            }
+                            report.traced += 1;
+                        }
                         other => {
                             return Err(format!("burst got unexpected rejection: {other:?}"))
                         }
@@ -552,6 +678,9 @@ pub fn run_serve_fuzz(cfg: &ServeFuzzConfig) -> ServeFuzzReport {
         if let Err(desc) = run_serve_case(&fx, &mut report, seed) {
             report.failures.push((seed, desc));
         }
+    }
+    if report.cases > 0 && report.traced == 0 {
+        report.failures.push((0, "no response carried a verified trace digest".into()));
     }
     fx.finish(&mut report);
     report

@@ -2,14 +2,19 @@
 //!
 //! Connects to a running serving socket and walks the protocol end to end:
 //! liveness, a batch of real translations, one malformed frame, one
-//! injected worker panic (the server must run `--allow-faults`), a `stats`
-//! cross-check of the pool invariants, and a clean `shutdown`. Exits
+//! injected worker panic (the server must run `--allow-faults`), recovery
+//! of the panic's full trace from the flight recorder via the `trace`
+//! verb, a `stats` cross-check of the pool invariants plus its SLO
+//! section, delta-window stats semantics, and a clean `shutdown`. Exits
 //! non-zero (with a description) on the first violated expectation.
 //!
 //! ```text
 //! vn_serve_smoke --socket vn.sock [--seed 42] [--train 30] [--dev 10]
-//!                [--rows 30] [--requests 12]
+//!                [--rows 30] [--requests 12] [--slo-out serve-slo.json]
 //! ```
+//!
+//! `--slo-out` writes the final cumulative `stats` payload to a file so CI
+//! can gate the smoke run with `vn-slo-check`.
 //!
 //! The corpus parameters must match the served model's bundle so the
 //! driver regenerates the same databases and question set.
@@ -127,14 +132,52 @@ fn main() {
         None,
         Some(&fault),
     );
-    match client.roundtrip(&frame) {
+    let panic_trace = match client.roundtrip(&frame) {
         Ok(Response::Translated { body, .. }) if body.retries >= 1 && body.degraded => {
-            println!("injected panic: recovered on degraded retry")
+            println!("injected panic: recovered on degraded retry");
+            body.trace
         }
-        Ok(Response::Error { error, .. }) if error.kind == ErrorKind::TranslateFailed => {
-            println!("injected panic: recovered (question untranslatable)")
+        Ok(Response::Error { error, trace, .. }) if error.kind == ErrorKind::TranslateFailed => {
+            println!("injected panic: recovered (question untranslatable)");
+            trace
         }
         other => fail(&format!("injected panic not recovered: {other:?}")),
+    };
+    let panic_trace =
+        panic_trace.unwrap_or_else(|| fail("panic response carries no trace digest"));
+    if panic_trace.attempts < 2 {
+        fail(&format!("trace digest covers {} attempts, expected 2", panic_trace.attempts));
+    }
+
+    // 4b. The full span tree — including the killed attempt and its fault
+    // attribution — is recoverable from the flight recorder over the wire.
+    let frame = Json::obj(vec![
+        ("id", Json::Int(904)),
+        ("verb", Json::Str("trace".into())),
+        ("trace_id", Json::Int(panic_trace.trace_id as i64)),
+    ]);
+    match client.roundtrip(&frame) {
+        Ok(Response::Traces { traces, .. }) => {
+            let arr = traces
+                .get("traces")
+                .and_then(Json::as_arr)
+                .unwrap_or_else(|| fail("trace verb payload has no traces array"));
+            if arr.len() != 1 {
+                fail(&format!("flight recorder lookup found {} traces, expected 1", arr.len()));
+            }
+            let t = &arr[0];
+            let attempts =
+                t.get("attempts").and_then(Json::as_arr).map(<[Json]>::len).unwrap_or(0);
+            let stages = t.get("stages").and_then(Json::as_arr).map(<[Json]>::len).unwrap_or(0);
+            if attempts < 2 || stages == 0 {
+                fail(&format!("flight trace incomplete: {attempts} attempts, {stages} stages"));
+            }
+            if t.get("fault").and_then(Json::as_str).is_none() {
+                fail("flight trace has no fault attribution");
+            }
+            println!("trace verb: span tree recovered ({attempts} attempts, {stages} stages)");
+        }
+        other => fail(&format!("trace verb failed: {other:?}")),
     }
 
     // 5. Stats: pool invariants — no worker leak, every panic respawned.
@@ -163,6 +206,39 @@ fn main() {
         fail("total latency histogram undercounts completions");
     }
     println!("stats: {live}/{configured} workers live, {panics} panics / {respawns} respawns");
+
+    // 5b. The stats payload carries an SLO section with burn rates; keep it
+    // for the CI burn gate when asked to.
+    if stats.get("slo").and_then(|s| s.get("availability_burn")).is_none() {
+        fail("stats payload has no SLO section");
+    }
+    if let Some(out) = arg(&args, "--slo-out") {
+        std::fs::write(&out, format!("{}\n", stats.render()))
+            .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+        println!("slo: stats payload written to {out}");
+    }
+
+    // 5c. Delta-window stats: the first delta read drains the window, so a
+    // second immediate read must report an empty window (gauges stay live).
+    for (id, expect_empty) in [(905, false), (906, true)] {
+        let frame = format!(r#"{{"id":{id},"verb":"stats","window":"delta"}}"#);
+        match client.roundtrip_raw(&frame) {
+            Ok(Response::Stats { stats, .. }) => {
+                if stats.get("window").and_then(Json::as_str) != Some("delta") {
+                    fail("delta stats not labelled as delta window");
+                }
+                let submitted = pick(&stats, &["requests", "submitted"]);
+                if expect_empty && submitted != 0 {
+                    fail(&format!("second delta window not empty: {submitted} submitted"));
+                }
+                if pick(&stats, &["workers", "live"]) != live {
+                    fail("delta window lost the live-workers gauge");
+                }
+            }
+            other => fail(&format!("delta stats verb failed: {other:?}")),
+        }
+    }
+    println!("stats: delta windows reset on read");
 
     // 6. Clean shutdown.
     match client.roundtrip(&verb_frame(903, "shutdown")) {
