@@ -19,6 +19,17 @@
 //! path. The fault arm's records carry the pool counters (panics, respawns,
 //! shed, live workers) so the report shows recovery, not just slowdown.
 //!
+//! A third section measures **cross-request batching**: a beam-4 pipeline
+//! (decode-dominant, the regime batching targets) trained once, then a
+//! sweep over worker-pool sizes where each pool size runs a fresh engine
+//! twice — identical weights and offered concurrency (2 lanes per
+//! worker), differing only in the batch window (0 vs
+//! `VN_BATCH_WINDOW_US`). The `serve_batching` records carry sustained
+//! qps, latency percentiles, flush reasons and the realised
+//! batch-occupancy distribution; the pair at the largest pool repeats in
+//! alternating order and its drift-cancelled ratio lands in the
+//! `serve_batching_headline` record.
+//!
 //! The report goes through the observability JSONL sink
 //! ([`valuenet_obs::JsonlWriter`]): a `meta` line first, then one
 //! `{"type":"bench"}` record per measurement, all stamped with
@@ -57,14 +68,29 @@ fn fault_for(seq: u64, every: u64) -> Option<FaultSpec> {
     })
 }
 
+/// Walks a JSON object path, returning 0.0 when absent.
+fn json_num(j: &Json, path: &[&str]) -> f64 {
+    let mut v = j;
+    for k in path {
+        match v.get(k) {
+            Some(next) => v = next,
+            None => return 0.0,
+        }
+    }
+    v.as_f64().unwrap_or(0.0)
+}
+
 struct OpenLoopResult {
     offered_qps: f64,
+    achieved_qps: f64,
     dispatched: usize,
     completed: u64,
     translate_failed: u64,
     rejected: u64,
     shed_at_submit: u64,
     latencies_us: Vec<u64>,
+    occupancy_mean: f64,
+    occupancy_p99: f64,
 }
 
 fn main() {
@@ -173,6 +199,9 @@ fn main() {
     let offered_qps = (clean_qps * 0.7).max(1.0);
     let n_requests = if quick { 150 } else { 400 };
     let open_loop = |fault_every: u64| -> OpenLoopResult {
+        // Reset the delta stats window so the occupancy read below covers
+        // exactly this run.
+        let _ = engine.stats_json(true);
         let interval = Duration::from_secs_f64(1.0 / offered_qps);
         let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(n_requests));
         let completed = AtomicU64::new(0);
@@ -180,6 +209,7 @@ fn main() {
         let rejected = AtomicU64::new(0);
         let mut shed_at_submit = 0u64;
         let mut dispatched = 0usize;
+        let t_run = Instant::now();
         let (tx, rx) = mpsc::channel::<(Instant, mpsc::Receiver<Response>)>();
         let rx = Mutex::new(rx);
         std::thread::scope(|s| {
@@ -235,16 +265,25 @@ fn main() {
             }
             drop(tx); // collectors drain the channel and exit
         });
+        let run_secs = t_run.elapsed().as_secs_f64();
+        let stats = engine.stats_json(true);
         let mut latencies_us = latencies.into_inner().unwrap();
         latencies_us.sort_unstable();
+        let completed = completed.load(Ordering::Relaxed);
+        let translate_failed = translate_failed.load(Ordering::Relaxed);
         OpenLoopResult {
             offered_qps,
+            // Responses actually served per second of wall clock — under
+            // overload this sags below the offered rate.
+            achieved_qps: (completed + translate_failed) as f64 / run_secs.max(1e-9),
             dispatched,
-            completed: completed.load(Ordering::Relaxed),
-            translate_failed: translate_failed.load(Ordering::Relaxed),
+            completed,
+            translate_failed,
             rejected: rejected.load(Ordering::Relaxed),
             shed_at_submit,
             latencies_us,
+            occupancy_mean: json_num(&stats, &["batching", "occupancy", "mean"]),
+            occupancy_p99: json_num(&stats, &["batching", "occupancy", "p99"]),
         }
     };
 
@@ -255,6 +294,7 @@ fn main() {
             ("faults", Json::Bool(faulted)),
             ("workers", Json::Int(workers as i64)),
             ("offered_qps", Json::Num(r.offered_qps)),
+            ("achieved_qps", Json::Num(r.achieved_qps)),
             ("dispatched", Json::Int(r.dispatched as i64)),
             ("completed", Json::Int(r.completed as i64)),
             ("translate_failed", Json::Int(r.translate_failed as i64)),
@@ -263,6 +303,8 @@ fn main() {
             ("p50_ms", Json::Num(percentile_ms(&r.latencies_us, 0.50))),
             ("p90_ms", Json::Num(percentile_ms(&r.latencies_us, 0.90))),
             ("p99_ms", Json::Num(percentile_ms(&r.latencies_us, 0.99))),
+            ("occupancy_mean", Json::Num(r.occupancy_mean)),
+            ("occupancy_p99", Json::Num(r.occupancy_p99)),
         ];
         if faulted {
             fields.push(("worker_panics", Json::Int(engine.stats().worker_panics() as i64)));
@@ -300,6 +342,247 @@ fn main() {
         std::process::exit(1);
     }
 
+    // --- Cross-request batching: workers × window sweep -------------------
+    // A decode-dominant pipeline (beam 4) trained ONCE; every arm gets a
+    // fresh engine on bit-identically rehydrated weights (model JSON round
+    // trip), a fresh corpus, and a closed loop of `2×workers` client lanes.
+    // At each worker count the pair differs only in the batch window, so
+    // the qps ratio isolates what the batch assembler buys at that pool
+    // size: near nothing at small pools (joint decode is compute-parity on
+    // a single core), and an increasing win as the unbatched engine's
+    // per-request-per-worker decode tapes start thrashing the cache. The
+    // headline pair at the largest pool runs twice in alternating order
+    // (unbatched, batched, batched, unbatched) so slow host drift cancels
+    // out of the ratio of summed rates.
+    struct BatchArm {
+        workers: usize,
+        lanes: usize,
+        window_us: u64,
+        qps: f64,
+        completed: u64,
+        other: u64,
+        latencies_us: Vec<u64>,
+        occupancy_mean: f64,
+        occupancy_p99: f64,
+        batches: f64,
+        batch_members: f64,
+        size_flushes: f64,
+        window_flushes: f64,
+    }
+    let batch_window_us = env_usize("VN_BATCH_WINDOW_US", 2_000) as u64;
+    let batch_max = env_usize("VN_BATCH_MAX", 8);
+    // Total requests per arm; spread over however many lanes the arm has.
+    let arm_requests = env_usize("VN_SERVE_BATCH_REQUESTS", if quick { 96 } else { 2048 });
+    // Worker-pool sizes to sweep; `VN_SERVE_BATCH_WORKERS=a,b,c` overrides. The
+    // last pool is the headline comparison, so it should be the most
+    // oversubscribed one — that is where the unbatched engine's thrash is worst
+    // and the one-batch-in-flight design pays off most.
+    let worker_sweep: Vec<usize> = match std::env::var("VN_SERVE_BATCH_WORKERS") {
+        Ok(s) => s
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .filter(|&w| w > 0)
+            .collect(),
+        Err(_) => {
+            if quick {
+                vec![2, 8]
+            } else {
+                vec![4, 32, 256]
+            }
+        }
+    };
+    let (batch_model_json, batch_ner) = {
+        let corpus = generate(&CorpusConfig {
+            seed: 11,
+            train_size: env_usize("VN_TRAIN", dt),
+            dev_size: env_usize("VN_DEV", dd),
+            rows_per_table: env_usize("VN_ROWS", dr),
+            ..CorpusConfig::default()
+        });
+        // Training ignores the beam width (teacher forcing), so the decode
+        // width is free to differ from the main section's greedy pipeline.
+        let (pipeline, _) = train(
+            &corpus,
+            ValueMode::Full,
+            ModelConfig { beam_width: 4, ..ModelConfig::tiny() },
+            &TrainConfig { epochs: 2, threads: 1, ..Default::default() },
+        );
+        (pipeline.model.to_json(), pipeline.ner.clone())
+    };
+    let run_batch_arm = |workers: usize, window_us: u64| -> BatchArm {
+        let corpus = generate(&CorpusConfig {
+            seed: 11,
+            train_size: env_usize("VN_TRAIN", dt),
+            dev_size: env_usize("VN_DEV", dd),
+            rows_per_table: env_usize("VN_ROWS", dr),
+            ..CorpusConfig::default()
+        });
+        let model = valuenet_core::ValueNetModel::from_json(&batch_model_json)
+            .expect("model JSON roundtrips");
+        let pipeline = valuenet_core::Pipeline::new(model, ValueMode::Full, batch_ner.clone());
+        let reqs: Vec<(String, String)> = corpus
+            .dev
+            .iter()
+            .map(|s| (corpus.db(s).schema().db_id.clone(), s.question.clone()))
+            .collect();
+        let lanes = workers * 2;
+        let per_lane = (arm_requests / lanes).max(2);
+        let engine = Engine::start(pipeline, corpus.databases, ServeConfig {
+            workers,
+            queue_capacity: (lanes * 2).max(256),
+            batch_window_us: window_us,
+            batch_max,
+            ..ServeConfig::default()
+        });
+        for (db, question) in &reqs {
+            engine.translate_blocking(TranslateJob {
+                id: Some(0),
+                db: db.clone(),
+                question: question.clone(),
+                ..TranslateJob::default()
+            });
+        }
+        let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(lanes * per_lane));
+        let completed = AtomicU64::new(0);
+        let other = AtomicU64::new(0);
+        let _ = engine.stats_json(true); // reset the delta window
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for lane in 0..lanes {
+                let (engine, reqs, latencies, completed, other) =
+                    (&engine, &reqs, &latencies, &completed, &other);
+                s.spawn(move || {
+                    for i in 0..per_lane {
+                        let (db, question) = &reqs[(lane * 7 + i) % reqs.len()];
+                        let job = TranslateJob {
+                            id: Some((lane * 1000 + i) as i64),
+                            db: db.clone(),
+                            question: question.clone(),
+                            ..TranslateJob::default()
+                        };
+                        let t = Instant::now();
+                        let resp = engine.translate_blocking(job);
+                        latencies.lock().unwrap().push(t.elapsed().as_micros() as u64);
+                        match resp {
+                            Response::Translated { .. } => {
+                                completed.fetch_add(1, Ordering::Relaxed)
+                            }
+                            _ => other.fetch_add(1, Ordering::Relaxed),
+                        };
+                    }
+                });
+            }
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        let stats = engine.stats_json(true);
+        if engine.live_workers() != workers {
+            eprintln!(
+                "bench_serve: WORKER LEAK in batching arm — {} live of {workers}",
+                engine.live_workers()
+            );
+            std::process::exit(1);
+        }
+        engine.shutdown();
+        let mut latencies_us = latencies.into_inner().unwrap();
+        latencies_us.sort_unstable();
+        let (completed, other) = (completed.load(Ordering::Relaxed), other.load(Ordering::Relaxed));
+        BatchArm {
+            workers,
+            lanes,
+            window_us,
+            qps: (completed + other) as f64 / secs.max(1e-9),
+            completed,
+            other,
+            latencies_us,
+            occupancy_mean: json_num(&stats, &["batching", "occupancy", "mean"]),
+            occupancy_p99: json_num(&stats, &["batching", "occupancy", "p99"]),
+            batches: json_num(&stats, &["batching", "batches"]),
+            batch_members: json_num(&stats, &["batching", "members"]),
+            size_flushes: json_num(&stats, &["batching", "size_flushes"]),
+            window_flushes: json_num(&stats, &["batching", "window_flushes"]),
+        }
+    };
+    let batch_record = |r: &BatchArm, speedup: Option<(f64, f64)>| -> Json {
+        let arm = if r.window_us == 0 { "unbatched" } else { "batched" };
+        let mut fields = vec![
+            ("type", Json::Str("bench".into())),
+            ("name", Json::Str("serve_batching".into())),
+            ("arm", Json::Str(arm.into())),
+            ("window_us", Json::Int(r.window_us as i64)),
+            ("batch_max", Json::Int(batch_max as i64)),
+            ("workers", Json::Int(r.workers as i64)),
+            ("lanes", Json::Int(r.lanes as i64)),
+            ("beam_width", Json::Int(4)),
+            ("requests", Json::Int((r.completed + r.other) as i64)),
+            ("completed", Json::Int(r.completed as i64)),
+            ("other", Json::Int(r.other as i64)),
+            ("queries_per_sec", Json::Num(r.qps)),
+            ("p50_ms", Json::Num(percentile_ms(&r.latencies_us, 0.50))),
+            ("p90_ms", Json::Num(percentile_ms(&r.latencies_us, 0.90))),
+            ("p99_ms", Json::Num(percentile_ms(&r.latencies_us, 0.99))),
+            ("occupancy_mean", Json::Num(r.occupancy_mean)),
+            ("occupancy_p99", Json::Num(r.occupancy_p99)),
+            ("batches", Json::Num(r.batches)),
+            ("batch_members", Json::Num(r.batch_members)),
+            ("size_flushes", Json::Num(r.size_flushes)),
+            ("window_flushes", Json::Num(r.window_flushes)),
+        ];
+        if let Some((speedup, unbatched_p99)) = speedup {
+            fields.push(("speedup_vs_unbatched", Json::Num(speedup)));
+            fields.push(("unbatched_p99_ms", Json::Num(unbatched_p99)));
+        }
+        Json::obj(fields)
+    };
+    let mut batching_records: Vec<Json> = Vec::new();
+    let mut headline: Option<Json> = None;
+    for (i, &bw) in worker_sweep.iter().enumerate() {
+        let last = i == worker_sweep.len() - 1;
+        let mut arms = vec![run_batch_arm(bw, 0), run_batch_arm(bw, batch_window_us)];
+        if last {
+            // Headline pair: repeat in reverse order so drift cancels.
+            arms.push(run_batch_arm(bw, batch_window_us));
+            arms.push(run_batch_arm(bw, 0));
+        }
+        let (unbatched, batched): (Vec<&BatchArm>, Vec<&BatchArm>) =
+            (arms.iter().filter(|a| a.window_us == 0).collect(),
+             arms.iter().filter(|a| a.window_us != 0).collect());
+        let uq: f64 = unbatched.iter().map(|a| a.qps).sum::<f64>() / unbatched.len() as f64;
+        let bq: f64 = batched.iter().map(|a| a.qps).sum::<f64>() / batched.len() as f64;
+        let speedup = bq / uq.max(1e-9);
+        let mut u_lat: Vec<u64> =
+            unbatched.iter().flat_map(|a| a.latencies_us.iter().copied()).collect();
+        u_lat.sort_unstable();
+        let mut b_lat: Vec<u64> =
+            batched.iter().flat_map(|a| a.latencies_us.iter().copied()).collect();
+        b_lat.sort_unstable();
+        let (u_p99, b_p99) = (percentile_ms(&u_lat, 0.99), percentile_ms(&b_lat, 0.99));
+        eprintln!(
+            "batching w{bw:<3} unbatched {uq:.1} qps (p99 {u_p99:.1} ms) | batched {bq:.1} qps \
+             (p99 {b_p99:.1} ms, occupancy {:.2}) | {speedup:.2}x",
+            batched.iter().map(|a| a.occupancy_mean).sum::<f64>() / batched.len() as f64,
+        );
+        for arm in &arms {
+            let sp = (arm.window_us != 0).then_some((speedup, u_p99));
+            batching_records.push(batch_record(arm, sp));
+        }
+        if last {
+            headline = Some(Json::obj(vec![
+                ("type", Json::Str("bench".into())),
+                ("name", Json::Str("serve_batching_headline".into())),
+                ("workers", Json::Int(bw as i64)),
+                ("lanes", Json::Int((bw * 2) as i64)),
+                ("window_us", Json::Int(batch_window_us as i64)),
+                ("batch_max", Json::Int(batch_max as i64)),
+                ("unbatched_qps", Json::Num(uq)),
+                ("batched_qps", Json::Num(bq)),
+                ("speedup_vs_unbatched", Json::Num(speedup)),
+                ("unbatched_p99_ms", Json::Num(u_p99)),
+                ("batched_p99_ms", Json::Num(b_p99)),
+            ]));
+        }
+    }
+    let headline = headline.expect("worker sweep is non-empty");
+
     let sustained = Json::obj(vec![
         ("type", Json::Str("bench".into())),
         ("name", Json::Str("serve_sustained".into())),
@@ -329,11 +612,19 @@ fn main() {
     w.write(sustained.clone()).expect("sustained record writes");
     w.write(open_clean.clone()).expect("open-loop record writes");
     w.write(open_faulted.clone()).expect("faulted open-loop record writes");
+    for r in &batching_records {
+        w.write(r.clone()).expect("batching record writes");
+    }
+    w.write(headline.clone()).expect("headline record writes");
     w.write(slo.clone()).expect("slo record writes");
     w.finish().expect("report flushes");
     println!("{}", sustained.render());
     println!("{}", open_clean.render());
     println!("{}", open_faulted.render());
+    for r in &batching_records {
+        println!("{}", r.render());
+    }
+    println!("{}", headline.render());
     println!("{}", slo.render());
 
     engine.shutdown();

@@ -23,6 +23,10 @@ static CHOICE_COLUMN: valuenet_obs::Counter = valuenet_obs::Counter::new("decode
 static CHOICE_TABLE: valuenet_obs::Counter = valuenet_obs::Counter::new("decode.choice.table");
 static CHOICE_VALUE: valuenet_obs::Counter = valuenet_obs::Counter::new("decode.choice.value");
 
+/// Scored expansions for each live beam of one request: `None` until the
+/// beam's pointer head (or sketch scorer) has filled its slot this step.
+type BeamChoices = Vec<Option<Vec<(Action, f32)>>>;
+
 /// One live beam hypothesis (shared by the batched and unbatched search).
 struct BeamHyp {
     ts: TransitionSystem,
@@ -201,6 +205,26 @@ impl Decoder {
         g.add(logits, m)
     }
 
+    /// The shared-weight half of a pointer head: projects feature rows into
+    /// item-encoding space. Row-batched like every other head, so a
+    /// multi-request decode can push all requests' rows through one pass and
+    /// score each request against its own item matrix afterwards.
+    fn pointer_project(&self, g: &mut Graph, ps: &ParamStore, f: Var, which: NonTerminal) -> Var {
+        match which {
+            NonTerminal::C => self.ptr_col.forward(g, ps, f),
+            NonTerminal::T => self.ptr_tab.forward(g, ps, f),
+            NonTerminal::V => self.ptr_val.forward(g, ps, f),
+            other => unreachable!("pointer_project on {other:?}"),
+        }
+    }
+
+    /// Scores projected feature rows against an item matrix (scaled dot
+    /// product, the second half of [`Decoder::pointer_project`]).
+    fn pointer_score_items(&self, g: &mut Graph, proj: Var, items: Var) -> Var {
+        let raw = g.matmul_transposed_b(proj, items);
+        g.scale(raw, 1.0 / (self.d as f32).sqrt())
+    }
+
     fn pointer_scores(
         &self,
         g: &mut Graph,
@@ -209,14 +233,8 @@ impl Decoder {
         items: Var,
         which: NonTerminal,
     ) -> Var {
-        let proj = match which {
-            NonTerminal::C => self.ptr_col.forward(g, ps, f),
-            NonTerminal::T => self.ptr_tab.forward(g, ps, f),
-            NonTerminal::V => self.ptr_val.forward(g, ps, f),
-            other => unreachable!("pointer_scores on {other:?}"),
-        };
-        let raw = g.matmul_transposed_b(proj, items);
-        g.scale(raw, 1.0 / (self.d as f32).sqrt())
+        let proj = self.pointer_project(g, ps, f, which);
+        self.pointer_score_items(g, proj, items)
     }
 
     /// Teacher-forced loss over a gold action sequence. Returns a scalar.
@@ -648,6 +666,464 @@ impl Decoder {
             actions.push(action);
         }
         Ok(actions)
+    }
+
+    /// One fused LSTM + attention step over rows drawn from *multiple*
+    /// requests. `blocks` lists, in row order, `(enc index, row count)` per
+    /// request; `embs`/`ctxs`/`hs`/`cs` are the flattened per-row inputs.
+    ///
+    /// The shared-weight kernels (the LSTM gate matmul — the dominant
+    /// per-step cost — and the attention query projection) run once over all
+    /// rows; attention scores and contexts are computed per request against
+    /// that request's own question encodings, so no padding or masking is
+    /// needed and every output row stays bit-identical to what the request
+    /// would compute alone (the same row-stability discipline
+    /// [`Decoder::step`] relies on).
+    ///
+    /// Returns the stacked state, the stacked attention contexts and the
+    /// feature matrix `[B_total, hidden + d]`.
+    #[allow(clippy::too_many_arguments)]
+    fn step_multi(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        encs: &[Encodings],
+        blocks: &[(usize, usize)],
+        embs: &[Var],
+        ctxs: &[Var],
+        hs: &[Var],
+        cs: &[Var],
+    ) -> (LstmState, Var, Var) {
+        let prev_emb = g.concat_rows(embs);
+        let prev_ctx = g.concat_rows(ctxs);
+        let state = LstmState { h: g.concat_rows(hs), c: g.concat_rows(cs) };
+        let x = g.concat_cols(&[prev_emb, prev_ctx]);
+        let state = self.cell.step(g, ps, x, state);
+        let q_all = self.attn_q.forward(g, ps, state.h);
+        let scale = 1.0 / (self.d as f32).sqrt();
+        let mut ctx_parts = Vec::with_capacity(blocks.len());
+        let mut off = 0usize;
+        for &(ei, n) in blocks {
+            let enc = &encs[ei];
+            let q = if blocks.len() == 1 { q_all } else { g.slice_rows(q_all, off, off + n) };
+            let attn = g.attn_softmax(q, enc.question, scale, None);
+            ctx_parts.push(g.matmul(attn, enc.question));
+            off += n;
+        }
+        let ctx_all = if ctx_parts.len() == 1 { ctx_parts[0] } else { g.concat_rows(&ctx_parts) };
+        let f_all = g.concat_cols(&[state.h, ctx_all]);
+        (state, ctx_all, f_all)
+    }
+
+    /// Beam search over *several requests at once*: all live hypotheses of
+    /// all unfinished requests advance through one [`Decoder::step_multi`]
+    /// pass per search step, and each head (sketch, column/table/value
+    /// pointers) runs its shared-weight projection once over every row that
+    /// needs it across the whole batch. Per-request work — attention over
+    /// the request's question, pointer scores against the request's item
+    /// matrices, expansion, pruning, completion — is untouched, so each
+    /// request terminates independently and drops out of subsequent steps.
+    ///
+    /// Returns one [`Decoder::decode_beam`]-shaped result per request, in
+    /// input order, bit-identical to decoding each request alone (pinned by
+    /// `tests/multi_decode.rs`).
+    pub fn decode_beam_multi(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        encs: &[Encodings],
+        max_steps: usize,
+        beam_width: usize,
+    ) -> Vec<Vec<(Vec<Action>, f32)>> {
+        assert!(beam_width >= 1, "beam width must be at least 1");
+        let _span = valuenet_obs::span("decode.beam_multi");
+        struct ReqBeam {
+            beams: Vec<BeamHyp>,
+            completed: Vec<(Vec<Action>, f32)>,
+            done: bool,
+        }
+        let mut reqs: Vec<ReqBeam> = encs
+            .iter()
+            .map(|enc| {
+                let start = self.action_emb.forward(g, ps, &[0]);
+                let init = self.init_state(g, ps, enc);
+                ReqBeam {
+                    beams: vec![BeamHyp {
+                        ts: TransitionSystem::new(),
+                        state: init,
+                        prev_emb: start,
+                        prev_ctx: enc.pooled,
+                        actions: Vec::new(),
+                        score: 0.0,
+                    }],
+                    completed: Vec::new(),
+                    done: false,
+                }
+            })
+            .collect();
+        for _ in 0..max_steps {
+            for rq in reqs.iter_mut() {
+                if rq.beams.is_empty() {
+                    rq.done = true;
+                }
+            }
+            let active: Vec<usize> =
+                (0..reqs.len()).filter(|&r| !reqs[r].done).collect();
+            if active.is_empty() {
+                break;
+            }
+            BEAM_STEPS.add(active.len() as u64);
+            // Stack every live hypothesis of every unfinished request.
+            let mut blocks: Vec<(usize, usize)> = Vec::with_capacity(active.len());
+            let mut embs = Vec::new();
+            let mut ctxs = Vec::new();
+            let mut hs = Vec::new();
+            let mut cs = Vec::new();
+            for &r in &active {
+                blocks.push((r, reqs[r].beams.len()));
+                for h in &reqs[r].beams {
+                    embs.push(h.prev_emb);
+                    ctxs.push(h.prev_ctx);
+                    hs.push(h.state.h);
+                    cs.push(h.state.c);
+                }
+            }
+            let (state_all, ctx_all, f_all) =
+                self.step_multi(g, ps, encs, &blocks, &embs, &ctxs, &hs, &cs);
+            // Group rows by frontier kind across all requests. Rows of one
+            // request stay contiguous within a kind, so per-request scores
+            // slice out of one shared projection pass.
+            let mut ptr_rows: [Vec<(usize, usize, usize)>; 3] =
+                [Vec::new(), Vec::new(), Vec::new()];
+            let mut sketch_rows: Vec<(usize, usize, usize, Vec<usize>)> = Vec::new();
+            let mut base = 0usize;
+            for &(r, n) in &blocks {
+                let has_values = encs[r].values.is_some();
+                for (li, hyp) in reqs[r].beams.iter().enumerate() {
+                    let gi = base + li;
+                    match hyp.ts.frontier().expect("incomplete hypotheses only") {
+                        NonTerminal::C => ptr_rows[0].push((gi, r, li)),
+                        NonTerminal::T => ptr_rows[1].push((gi, r, li)),
+                        NonTerminal::V => ptr_rows[2].push((gi, r, li)),
+                        _ => {
+                            let valid = self.valid_sketch(&hyp.ts, has_values);
+                            if valid.is_empty() {
+                                BEAM_DEAD_ENDS.add(1);
+                            } else {
+                                sketch_rows.push((gi, r, li, valid));
+                            }
+                        }
+                    }
+                }
+                base += n;
+            }
+            let mut choices: Vec<BeamChoices> = reqs
+                .iter()
+                .map(|rq| if rq.done { Vec::new() } else { vec![None; rq.beams.len()] })
+                .collect();
+            for (k, rows) in ptr_rows.iter().enumerate() {
+                if rows.is_empty() {
+                    continue;
+                }
+                let which = [NonTerminal::C, NonTerminal::T, NonTerminal::V][k];
+                let global: Vec<usize> = rows.iter().map(|&(gi, _, _)| gi).collect();
+                let f_k = g.gather_rows(f_all, &global);
+                // One shared-weight projection pass per pointer head …
+                let proj = self.pointer_project(g, ps, f_k, which);
+                // … then scores per request, against its own item matrix.
+                let mut i = 0;
+                while i < rows.len() {
+                    let r = rows[i].1;
+                    let mut j = i;
+                    while j < rows.len() && rows[j].1 == r {
+                        j += 1;
+                    }
+                    let items = match which {
+                        NonTerminal::C => encs[r].columns,
+                        NonTerminal::T => encs[r].tables,
+                        _ => encs[r].values.expect("masking guarantees candidates"),
+                    };
+                    let proj_r = if i == 0 && j == rows.len() {
+                        proj
+                    } else {
+                        g.slice_rows(proj, i, j)
+                    };
+                    let scores = self.pointer_score_items(g, proj_r, items);
+                    let lp = g.log_softmax_rows(scores);
+                    for (jj, &(_, _, li)) in rows[i..j].iter().enumerate() {
+                        let row = g.value(lp).row(jj);
+                        choices[r][li] = Some(
+                            row.iter()
+                                .enumerate()
+                                .map(|(i2, &p)| {
+                                    let a = match which {
+                                        NonTerminal::C => Action::C(i2),
+                                        NonTerminal::T => Action::T(i2),
+                                        _ => Action::V(i2),
+                                    };
+                                    (a, p)
+                                })
+                                .collect(),
+                        );
+                    }
+                    i = j;
+                }
+            }
+            if !sketch_rows.is_empty() {
+                let global: Vec<usize> = sketch_rows.iter().map(|&(gi, _, _, _)| gi).collect();
+                let f_s = g.gather_rows(f_all, &global);
+                let logits = self.sketch_head.forward(g, ps, f_s);
+                let mut mask = Tensor::full(sketch_rows.len(), SKETCH_VOCAB, -1e9);
+                for (j, (_, _, _, valid)) in sketch_rows.iter().enumerate() {
+                    for &i in valid {
+                        mask.set(j, i, 0.0);
+                    }
+                }
+                let m = g.input(mask);
+                let masked = g.add(logits, m);
+                let lp = g.log_softmax_rows(masked);
+                for (j, (_, r, li, valid)) in sketch_rows.iter().enumerate() {
+                    let row = g.value(lp).row(j);
+                    choices[*r][*li] = Some(
+                        valid.iter().map(|&i| (Action::from_sketch_index(i), row[i])).collect(),
+                    );
+                }
+            }
+            // Expand, prune and early-exit each request exactly like the
+            // single-request batched search.
+            let mut base = 0usize;
+            for &(r, n) in &blocks {
+                let rq = &mut reqs[r];
+                let enc = &encs[r];
+                let mut state_rows: Vec<Option<(Var, Var, Var)>> = (0..n).map(|_| None).collect();
+                let mut expansions: Vec<BeamHyp> = Vec::new();
+                for (li, hyp) in rq.beams.drain(..).enumerate() {
+                    let Some(mut ranked) = choices[r][li].take() else { continue };
+                    BEAM_CANDIDATES.record(ranked.len() as u64);
+                    ranked.sort_by(|a, b| {
+                        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    for (action, logp) in ranked.into_iter().take(beam_width) {
+                        let mut ts = hyp.ts.clone();
+                        if ts.apply(&action).is_err() {
+                            continue;
+                        }
+                        count_choice(&action);
+                        BEAM_EXPANDED.add(1);
+                        let mut actions = hyp.actions.clone();
+                        actions.push(action);
+                        let score = hyp.score + logp;
+                        if ts.is_complete() {
+                            BEAM_COMPLETED.add(1);
+                            rq.completed.push((actions, score));
+                        } else {
+                            let gi = base + li;
+                            if state_rows[li].is_none() {
+                                state_rows[li] = Some((
+                                    g.slice_rows(state_all.h, gi, gi + 1),
+                                    g.slice_rows(state_all.c, gi, gi + 1),
+                                    g.slice_rows(ctx_all, gi, gi + 1),
+                                ));
+                            }
+                            let (h, c, ctx) = state_rows[li].expect("just inserted");
+                            let prev_emb = self.action_input(g, ps, enc, &action);
+                            expansions.push(BeamHyp {
+                                ts,
+                                state: LstmState { h, c },
+                                prev_emb,
+                                prev_ctx: ctx,
+                                actions,
+                                score,
+                            });
+                        }
+                    }
+                }
+                expansions.sort_by(|a, b| {
+                    b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                BEAM_PRUNED.add(expansions.len().saturating_sub(beam_width) as u64);
+                expansions.truncate(beam_width);
+                rq.beams = expansions;
+                if rq.completed.len() >= beam_width
+                    && rq
+                        .beams
+                        .iter()
+                        .all(|h| rq.completed.iter().any(|(_, cs)| *cs >= h.score))
+                {
+                    rq.done = true;
+                    rq.beams.clear();
+                }
+                base += n;
+            }
+        }
+        reqs.into_iter().map(|rq| rank_completed(rq.completed, beam_width)).collect()
+    }
+
+    /// Greedy decoding over several requests at once: one
+    /// [`Decoder::step_multi`] pass per step with one row per live request,
+    /// shared-weight head projections batched across requests, argmax and
+    /// grammar bookkeeping per request. Each request's result is
+    /// bit-identical to [`Decoder::decode_greedy`] on that request alone —
+    /// including the exact error strings for step-budget exhaustion and
+    /// dead-end frontiers.
+    pub fn decode_greedy_multi(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        encs: &[Encodings],
+        max_steps: usize,
+    ) -> Vec<Result<Vec<Action>, String>> {
+        let _span = valuenet_obs::span("decode.greedy_multi");
+        struct ReqGreedy {
+            ts: TransitionSystem,
+            state: LstmState,
+            prev_emb: Var,
+            prev_ctx: Var,
+            actions: Vec<Action>,
+            result: Option<Result<Vec<Action>, String>>,
+        }
+        let mut reqs: Vec<ReqGreedy> = encs
+            .iter()
+            .map(|enc| ReqGreedy {
+                ts: TransitionSystem::new(),
+                state: self.init_state(g, ps, enc),
+                prev_emb: self.action_emb.forward(g, ps, &[0]),
+                prev_ctx: enc.pooled,
+                actions: Vec::new(),
+                result: None,
+            })
+            .collect();
+        loop {
+            // Terminal checks, in the single-request loop's order: a complete
+            // derivation finishes Ok; an over-budget one finishes Err.
+            for rq in reqs.iter_mut() {
+                if rq.result.is_some() {
+                    continue;
+                }
+                if rq.ts.is_complete() {
+                    rq.result = Some(Ok(std::mem::take(&mut rq.actions)));
+                } else if rq.actions.len() >= max_steps {
+                    rq.result = Some(Err(format!("decoding exceeded {max_steps} steps")));
+                }
+            }
+            let active: Vec<usize> =
+                (0..reqs.len()).filter(|&r| reqs[r].result.is_none()).collect();
+            if active.is_empty() {
+                break;
+            }
+            let blocks: Vec<(usize, usize)> = active.iter().map(|&r| (r, 1)).collect();
+            let embs: Vec<Var> = active.iter().map(|&r| reqs[r].prev_emb).collect();
+            let ctxs: Vec<Var> = active.iter().map(|&r| reqs[r].prev_ctx).collect();
+            let hs: Vec<Var> = active.iter().map(|&r| reqs[r].state.h).collect();
+            let cs: Vec<Var> = active.iter().map(|&r| reqs[r].state.c).collect();
+            let (state_all, ctx_all, f_all) =
+                self.step_multi(g, ps, encs, &blocks, &embs, &ctxs, &hs, &cs);
+            for (gi, &r) in active.iter().enumerate() {
+                let rq = &mut reqs[r];
+                rq.state = LstmState {
+                    h: g.slice_rows(state_all.h, gi, gi + 1),
+                    c: g.slice_rows(state_all.c, gi, gi + 1),
+                };
+                rq.prev_ctx = g.slice_rows(ctx_all, gi, gi + 1);
+            }
+            // Group the single row of each request by frontier kind.
+            let mut ptr_rows: [Vec<(usize, usize)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+            let mut sketch_rows: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+            let mut dead: Vec<(usize, NonTerminal)> = Vec::new();
+            for (gi, &r) in active.iter().enumerate() {
+                let rq = &reqs[r];
+                let frontier = rq.ts.frontier().expect("incomplete derivation has a frontier");
+                match frontier {
+                    NonTerminal::C => ptr_rows[0].push((gi, r)),
+                    NonTerminal::T => ptr_rows[1].push((gi, r)),
+                    NonTerminal::V => ptr_rows[2].push((gi, r)),
+                    _ => {
+                        let valid = self.valid_sketch(&rq.ts, encs[r].values.is_some());
+                        if valid.is_empty() {
+                            dead.push((r, frontier));
+                        } else {
+                            sketch_rows.push((gi, r, valid));
+                        }
+                    }
+                }
+            }
+            for (r, frontier) in dead {
+                reqs[r].result = Some(Err(format!("no valid action at frontier {frontier:?}")));
+            }
+            let mut pending: Vec<Option<Action>> = vec![None; reqs.len()];
+            for (k, rows) in ptr_rows.iter().enumerate() {
+                if rows.is_empty() {
+                    continue;
+                }
+                let which = [NonTerminal::C, NonTerminal::T, NonTerminal::V][k];
+                let global: Vec<usize> = rows.iter().map(|&(gi, _)| gi).collect();
+                let f_k = g.gather_rows(f_all, &global);
+                let proj = self.pointer_project(g, ps, f_k, which);
+                for (j, &(_, r)) in rows.iter().enumerate() {
+                    let items = match which {
+                        NonTerminal::C => encs[r].columns,
+                        NonTerminal::T => encs[r].tables,
+                        _ => encs[r].values.expect("V frontier without candidates"),
+                    };
+                    let proj_r = if rows.len() == 1 {
+                        proj
+                    } else {
+                        g.slice_rows(proj, j, j + 1)
+                    };
+                    let scores = self.pointer_score_items(g, proj_r, items);
+                    let i = g.value(scores).argmax();
+                    pending[r] = Some(match which {
+                        NonTerminal::C => Action::C(i),
+                        NonTerminal::T => Action::T(i),
+                        _ => Action::V(i),
+                    });
+                }
+            }
+            if !sketch_rows.is_empty() {
+                let global: Vec<usize> = sketch_rows.iter().map(|&(gi, _, _)| gi).collect();
+                let f_s = g.gather_rows(f_all, &global);
+                let logits = self.sketch_head.forward(g, ps, f_s);
+                let mut mask = Tensor::full(sketch_rows.len(), SKETCH_VOCAB, -1e9);
+                for (j, (_, _, valid)) in sketch_rows.iter().enumerate() {
+                    for &i in valid {
+                        mask.set(j, i, 0.0);
+                    }
+                }
+                let m = g.input(mask);
+                let masked = g.add(logits, m);
+                for (j, (_, r, _)) in sketch_rows.iter().enumerate() {
+                    // Row argmax with `Tensor::argmax` semantics (first
+                    // strict maximum wins).
+                    let row = g.value(masked).row(j);
+                    let mut best = 0;
+                    for (i, &v) in row.iter().enumerate() {
+                        if v > row[best] {
+                            best = i;
+                        }
+                    }
+                    pending[*r] = Some(Action::from_sketch_index(best));
+                }
+            }
+            for &r in &active {
+                let Some(action) = pending[r] else { continue };
+                let enc = &encs[r];
+                let prev_emb = self.action_input(g, ps, enc, &action);
+                let rq = &mut reqs[r];
+                rq.prev_emb = prev_emb;
+                match rq.ts.apply(&action) {
+                    Ok(()) => {
+                        count_choice(&action);
+                        rq.actions.push(action);
+                    }
+                    Err(e) => {
+                        rq.result = Some(Err(format!("decoder chose invalid action: {e}")));
+                    }
+                }
+            }
+        }
+        reqs.into_iter()
+            .map(|rq| rq.result.expect("every request finished"))
+            .collect()
     }
 }
 

@@ -41,7 +41,8 @@ pub use heuristic::HeuristicBaseline;
 pub use input::{build_input, build_input_opts, candidate_texts, InputOptions, ItemTokens, ModelInput};
 pub use model::{ModelConfig, ValueNetModel};
 pub use pipeline::{
-    assemble_candidates, Pipeline, PipelineError, Prediction, Stage, StageTimings, ValueMode,
+    assemble_candidates, Pipeline, PipelineError, PreparedRequest, Prediction, Stage,
+    StageTimings, ValueMode,
 };
 pub use trainer::{train, TrainConfig, TrainReport};
 pub use vocab::Vocab;

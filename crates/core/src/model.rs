@@ -232,6 +232,44 @@ impl ValueNetModel {
         })
     }
 
+    /// Beam-search prediction for several inputs at once: all requests'
+    /// live hypotheses ride the same fused LSTM/attention/pointer kernels,
+    /// one pass per search step (see [`Decoder::decode_beam_multi`]). A
+    /// single input takes the exact [`ValueNetModel::predict_beam`] code
+    /// path; every result is bit-identical to predicting that input alone.
+    pub fn predict_beam_multi(&self, inputs: &[&ModelInput]) -> Vec<Vec<(Vec<Action>, f32)>> {
+        if inputs.len() == 1 {
+            return vec![self.predict_beam(inputs[0])];
+        }
+        Self::with_inference_tape(|g| {
+            let encs: Vec<Encodings> =
+                inputs.iter().map(|input| self.encode(g, input, None)).collect();
+            self.decoder.decode_beam_multi(
+                g,
+                &self.params,
+                &encs,
+                self.config.max_decode_steps,
+                self.config.beam_width.max(1),
+            )
+        })
+    }
+
+    /// Greedy prediction for several inputs at once, one fused step pass per
+    /// decode step (see [`Decoder::decode_greedy_multi`]). A single input
+    /// takes the exact [`ValueNetModel::predict`] code path; every result —
+    /// including error strings — is bit-identical to predicting that input
+    /// alone.
+    pub fn predict_greedy_multi(&self, inputs: &[&ModelInput]) -> Vec<Result<Vec<Action>, String>> {
+        if inputs.len() == 1 {
+            return vec![self.predict(inputs[0])];
+        }
+        Self::with_inference_tape(|g| {
+            let encs: Vec<Encodings> =
+                inputs.iter().map(|input| self.encode(g, input, None)).collect();
+            self.decoder.decode_greedy_multi(g, &self.params, &encs, self.config.max_decode_steps)
+        })
+    }
+
     /// Beam-search prediction through the per-hypothesis reference decoder
     /// ([`Decoder::decode_beam_unbatched`]). Bit-identical to
     /// [`ValueNetModel::predict_beam`]; kept as the differential oracle and

@@ -150,6 +150,20 @@ impl StageTimings {
 /// A completed hypothesis chosen by execution-guided selection.
 type ChosenHypothesis = (Vec<Action>, SemQl, Option<SelectStmt>, Option<ResultSet>);
 
+/// A request that has run every pipeline stage up to (and including) input
+/// assembly, and is ready for the neural decode. This is the unit a serving
+/// engine batches: several prepared requests from different clients can ride
+/// one fused decode pass ([`Pipeline::decode_batch`]) before each finishes
+/// independently ([`Pipeline::finish_guarded`]).
+pub struct PreparedRequest<'a> {
+    db: &'a Database,
+    input: crate::input::ModelInput,
+    hypotheses: Vec<Vec<Action>>,
+    /// Per-stage timings accumulated so far (preprocess, value lookup, input
+    /// assembly; [`Pipeline::decode_batch`] adds the decode wall time).
+    pub timings: StageTimings,
+}
+
 /// The outcome of translating one question.
 pub struct Prediction {
     /// Decoded action sequence (empty on decoding failure).
@@ -319,24 +333,48 @@ impl Pipeline {
         guard: &mut dyn FnMut(Stage) -> bool,
     ) -> Result<Prediction, PipelineError> {
         let _span = valuenet_obs::span("pipeline.translate");
+        let mut prepared = self.prepare_guarded(db, question, gold_values, guard)?;
+        self.decode_batch(&mut [&mut prepared]);
+        self.finish_guarded(prepared, guard)
+    }
+
+    /// Consults the stage guard with `stage`, stamping the ambient request
+    /// trace (if one is installed — serving path only) *before* the guard
+    /// runs, so injected faults and deadline aborts attribute to the stage
+    /// being entered.
+    fn gate(
+        guard: &mut dyn FnMut(Stage) -> bool,
+        stage: Stage,
+    ) -> Result<(), PipelineError> {
+        valuenet_obs::trace::enter_stage(stage.label());
+        if guard(stage) {
+            Ok(())
+        } else {
+            Err(PipelineError::Aborted { stage })
+        }
+    }
+
+    /// The per-request front half of [`Pipeline::try_translate_guarded`]:
+    /// pre-processing, value lookup and model-input assembly, through the
+    /// [`Stage::EncodeDecode`] gate but *not* the decode itself. The
+    /// returned [`PreparedRequest`] is ready for [`Pipeline::decode_batch`].
+    ///
+    /// # Errors
+    /// As [`Pipeline::try_translate_guarded`], for the stages covered here.
+    pub fn prepare_guarded<'a>(
+        &self,
+        db: &'a Database,
+        question: &str,
+        gold_values: Option<&[String]>,
+        guard: &mut dyn FnMut(Stage) -> bool,
+    ) -> Result<PreparedRequest<'a>, PipelineError> {
         if self.mode == ValueMode::Light && gold_values.is_none() {
             return Err(PipelineError::MissingGoldValues);
         }
-        let gate = |guard: &mut dyn FnMut(Stage) -> bool, stage: Stage| {
-            // Stamp the ambient request trace (if one is installed — serving
-            // path only) *before* the guard runs, so injected faults and
-            // deadline aborts attribute to the stage being entered.
-            valuenet_obs::trace::enter_stage(stage.label());
-            if guard(stage) {
-                Ok(())
-            } else {
-                Err(PipelineError::Aborted { stage })
-            }
-        };
         let mut timings = StageTimings::default();
 
         // Stage 1a: tokenisation (pre-processing).
-        gate(guard, Stage::Preprocess)?;
+        Self::gate(guard, Stage::Preprocess)?;
         let t0 = Instant::now();
         let tokens = {
             let _s = valuenet_obs::span("pipeline.pre_processing");
@@ -346,7 +384,7 @@ impl Pipeline {
 
         // Stage 2: value extraction + candidate generation + validation
         // ("Value lookup" in Table II — dominated by database lookups).
-        gate(guard, Stage::ValueLookup)?;
+        Self::gate(guard, Stage::ValueLookup)?;
         let t0 = Instant::now();
         let candidates = {
             let _s = valuenet_obs::span("pipeline.value_lookup");
@@ -366,24 +404,86 @@ impl Pipeline {
         };
         timings.pre_processing += t0.elapsed();
 
-        // Stage 3: encode + decode (greedy, or beam search when the model
-        // is configured with a beam width above one).
-        gate(guard, Stage::EncodeDecode)?;
+        // Stage 3 (input half): the encode/decode gate fires here — serving
+        // faults and deadline aborts happen per request, before the request
+        // can join a shared decode batch — followed by candidate assembly
+        // and input construction. The decode itself is batch-wide.
+        Self::gate(guard, Stage::EncodeDecode)?;
         let t0 = Instant::now();
-        let (input, hypotheses) = {
+        let input = {
             let _s = valuenet_obs::span("pipeline.encode_decode");
             let cands = assemble_candidates(db, &pre, self.mode, gold_values, false);
-            let input =
-                build_input_opts(db, &pre, &cands, &self.model.vocab, self.model.input_options());
-            let hypotheses: Vec<Vec<Action>> = if self.model.config.beam_width > 1 {
-                self.model.predict_beam(&input).into_iter().map(|(a, _)| a).collect()
-            } else {
-                self.model.predict(&input).into_iter().collect()
-            };
-            (input, hypotheses)
+            build_input_opts(db, &pre, &cands, &self.model.vocab, self.model.input_options())
         };
         timings.encoder_decoder += t0.elapsed();
+        Ok(PreparedRequest { db, input, hypotheses: Vec::new(), timings })
+    }
 
+    /// Decodes a batch of prepared requests — possibly from different
+    /// serving clients — in one fused pass, stamping each request's
+    /// hypotheses and adding the decode wall time to each request's
+    /// `encoder_decoder` timing (every co-batched request experiences the
+    /// full batch decode as latency).
+    ///
+    /// A batch of one takes the exact single-request code path
+    /// ([`ValueNetModel::predict_beam`] / [`ValueNetModel::predict`]), so a
+    /// lone in-flight request is bit-identical to the unbatched engine.
+    pub fn decode_batch(&self, batch: &mut [&mut PreparedRequest<'_>]) {
+        if batch.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        {
+            let _s = valuenet_obs::span("pipeline.encode_decode");
+            let beam = self.model.config.beam_width > 1;
+            if batch.len() == 1 {
+                let m = &mut *batch[0];
+                m.hypotheses = if beam {
+                    self.model.predict_beam(&m.input).into_iter().map(|(a, _)| a).collect()
+                } else {
+                    self.model.predict(&m.input).into_iter().collect()
+                };
+            } else {
+                let hyps: Vec<Vec<Vec<Action>>> = {
+                    let inputs: Vec<&crate::input::ModelInput> =
+                        batch.iter().map(|m| &m.input).collect();
+                    if beam {
+                        self.model
+                            .predict_beam_multi(&inputs)
+                            .into_iter()
+                            .map(|hs| hs.into_iter().map(|(a, _)| a).collect())
+                            .collect()
+                    } else {
+                        self.model
+                            .predict_greedy_multi(&inputs)
+                            .into_iter()
+                            .map(|r| r.into_iter().collect())
+                            .collect()
+                    }
+                };
+                for (m, h) in batch.iter_mut().zip(hyps) {
+                    m.hypotheses = h;
+                }
+            }
+        }
+        let dt = t0.elapsed();
+        for m in batch.iter_mut() {
+            m.timings.encoder_decoder += dt;
+        }
+    }
+
+    /// The per-request back half of [`Pipeline::try_translate_guarded`]:
+    /// SemQL lowering and execution-guided selection over the hypotheses
+    /// stamped by [`Pipeline::decode_batch`].
+    ///
+    /// # Errors
+    /// As [`Pipeline::try_translate_guarded`], for the stages covered here.
+    pub fn finish_guarded(
+        &self,
+        prepared: PreparedRequest<'_>,
+        guard: &mut dyn FnMut(Stage) -> bool,
+    ) -> Result<Prediction, PipelineError> {
+        let PreparedRequest { db, input, hypotheses, mut timings } = prepared;
         // Stages 4 + 5: lower each hypothesis (best first) and keep the
         // first whose SQL executes — execution-guided selection. With a
         // greedy decode there is exactly one hypothesis, so this reduces to
@@ -392,7 +492,7 @@ impl Pipeline {
         let resolved: Vec<ResolvedValue> =
             input.candidates.iter().map(ResolvedValue::new).collect();
         let mut chosen: Option<ChosenHypothesis> = None;
-        gate(guard, Stage::PostProcess)?;
+        Self::gate(guard, Stage::PostProcess)?;
         for actions in &hypotheses {
             let t0 = Instant::now();
             let (semql, sql) = {
@@ -404,7 +504,7 @@ impl Pipeline {
                 (semql, sql)
             };
             timings.post_processing += t0.elapsed();
-            gate(guard, Stage::Execute)?;
+            Self::gate(guard, Stage::Execute)?;
             let t0 = Instant::now();
             let result = {
                 let _s = valuenet_obs::span("pipeline.execution");

@@ -1,0 +1,292 @@
+//! Cross-request batched decoding invariants on fixed-seed micro models.
+//!
+//! The serving engine merges the live hypotheses of *several concurrent
+//! requests* into one step batch per LSTM/attention/pointer pass
+//! (`decode_beam_multi` / `decode_greedy_multi`). Every fused kernel is
+//! row-stable, so co-batching requests must not change a single bit of any
+//! request's output relative to decoding it alone:
+//!
+//! * `decode_beam_multi` over N requests reproduces N independent
+//!   `decode_beam` calls exactly (actions and `f32` score bits),
+//! * `decode_greedy_multi` reproduces `decode_greedy` exactly, including
+//!   the error strings of requests that fail mid-batch,
+//! * the model-level `predict_beam_multi` / `predict_greedy_multi` hold the
+//!   same identity across all kernel tiers of the degradation ladder
+//!   (SIMD+fused, packed weights off, int8 quantized, forced scalar),
+//! * a batch of one takes the exact single-request code path.
+
+use std::sync::Mutex;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use valuenet_core::{
+    build_input, Decoder, Encoder, ModelConfig, ModelInput, ValueNetModel, Vocab,
+};
+use valuenet_nn::ParamStore;
+use valuenet_preprocess::{preprocess, CandidateConfig, HeuristicNer};
+use valuenet_schema::{ColumnType, SchemaBuilder};
+use valuenet_storage::Database;
+use valuenet_tensor::Graph;
+
+// Untrained weights can wander through deeply nested derivations before
+// completing, so the cap is well above anything a trained model needs.
+const MAX_STEPS: usize = 200;
+
+/// `set_packed_inference` is process-global, and every test here compares
+/// two decodes bit-for-bit — a concurrent tier flip between the two halves
+/// would produce spurious mismatches. All tests serialise on this lock.
+static TIER_LOCK: Mutex<()> = Mutex::new(());
+
+fn demo_db() -> Database {
+    let schema = SchemaBuilder::new("d")
+        .table(
+            "student",
+            &[
+                ("stu_id", ColumnType::Number),
+                ("name", ColumnType::Text),
+                ("age", ColumnType::Number),
+                ("home_country", ColumnType::Text),
+            ],
+        )
+        .build();
+    let mut db = Database::new(schema);
+    let s = db.schema().table_by_name("student").unwrap();
+    db.insert(s, vec![1.into(), "Alice".into(), 20.into(), "France".into()]);
+    db.insert(s, vec![2.into(), "Bob".into(), 23.into(), "Peru".into()]);
+    db.rebuild_index();
+    db
+}
+
+fn micro_config() -> ModelConfig {
+    ModelConfig {
+        d_model: 8,
+        summary_hidden: 4,
+        heads: 2,
+        encoder_layers: 1,
+        ffn_inner: 12,
+        action_dim: 6,
+        decoder_hidden: 12,
+        dropout: 0.0,
+        max_decode_steps: MAX_STEPS,
+        beam_width: 1,
+        use_hints: true,
+        encode_value_location: true,
+    }
+}
+
+/// Three distinct requests against the same database: different questions,
+/// different value candidates, different pointer targets. Co-batched beams
+/// therefore diverge in shape almost immediately, which is exactly the
+/// regime the block-diagonal batching has to get right.
+const REQUESTS: [(&str, &str, &str); 3] = [
+    ("How many students are from France?", "France", "home_country"),
+    ("List the name of every student from Peru", "Peru", "home_country"),
+    ("What is the age of Alice", "Alice", "name"),
+];
+
+fn build_vocab() -> Vocab {
+    Vocab::build(
+        REQUESTS
+            .iter()
+            .map(|(q, _, _)| *q)
+            .chain(["student name age home country france peru alice"]),
+    )
+}
+
+fn build_inputs(db: &Database, vocab: &Vocab) -> Vec<ModelInput> {
+    REQUESTS
+        .iter()
+        .map(|(q, value, col)| {
+            let pre = preprocess(q, db, &HeuristicNer::new(), &CandidateConfig::default());
+            let col = db.schema().any_column_by_name(col).map(|(_, c)| c).unwrap();
+            let cands = vec![(value.to_string(), vec![col])];
+            build_input(db, &pre, &cands, vocab)
+        })
+        .collect()
+}
+
+/// Fixed-seed encoder/decoder pair plus the three encodable inputs. Seeds
+/// vary per test so invariants are not an artefact of one weight draw.
+fn setup(seed: u64) -> (ParamStore, Encoder, Decoder, Vec<ModelInput>) {
+    let db = demo_db();
+    let vocab = build_vocab();
+    let cfg = micro_config();
+    let mut ps = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let encoder = Encoder::new(&mut ps, &mut rng, &cfg, vocab.len());
+    let decoder = Decoder::new(&mut ps, &mut rng, &cfg);
+    let inputs = build_inputs(&db, &vocab);
+    (ps, encoder, decoder, inputs)
+}
+
+fn model_setup(seed: u64, beam_width: usize) -> (ValueNetModel, Vec<ModelInput>) {
+    let db = demo_db();
+    let vocab = build_vocab();
+    let cfg = ModelConfig { beam_width, ..micro_config() };
+    let model = ValueNetModel::new(cfg, vocab.clone(), seed);
+    let inputs = build_inputs(&db, &vocab);
+    (model, inputs)
+}
+
+fn assert_beams_identical(
+    multi: &[(Vec<valuenet_semql::Action>, f32)],
+    single: &[(Vec<valuenet_semql::Action>, f32)],
+    what: &str,
+) {
+    assert_eq!(multi.len(), single.len(), "{what}: completion counts differ");
+    for (i, (m, s)) in multi.iter().zip(single).enumerate() {
+        assert_eq!(m.0, s.0, "{what}: hypothesis {i} actions differ");
+        assert_eq!(
+            m.1.to_bits(),
+            s.1.to_bits(),
+            "{what}: hypothesis {i} score differs ({} vs {})",
+            m.1,
+            s.1
+        );
+    }
+}
+
+#[test]
+fn multi_request_beam_matches_independent_beams_exactly() {
+    let _t = TIER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut nonempty = 0;
+    for seed in [3u64, 17, 29, 41] {
+        for width in [1usize, 2, 4] {
+            let (ps, encoder, decoder, inputs) = setup(seed);
+
+            let mut g = Graph::new();
+            let encs: Vec<_> =
+                inputs.iter().map(|i| encoder.forward(&mut g, &ps, i, 0.0, None)).collect();
+            let multi = decoder.decode_beam_multi(&mut g, &ps, &encs, MAX_STEPS, width);
+            assert_eq!(multi.len(), inputs.len());
+
+            for (ri, input) in inputs.iter().enumerate() {
+                let mut g = Graph::new();
+                let enc = encoder.forward(&mut g, &ps, input, 0.0, None);
+                let single = decoder.decode_beam(&mut g, &ps, &enc, MAX_STEPS, width);
+                assert_beams_identical(
+                    &multi[ri],
+                    &single,
+                    &format!("seed {seed} width {width} request {ri}"),
+                );
+                nonempty += usize::from(!single.is_empty());
+            }
+        }
+    }
+    assert!(nonempty >= 6, "too few runs completed ({nonempty}) — the check is vacuous");
+}
+
+#[test]
+fn multi_request_greedy_matches_independent_greedy_exactly() {
+    let _t = TIER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut completed = 0;
+    for seed in [3u64, 17, 29, 41] {
+        let (ps, encoder, decoder, inputs) = setup(seed);
+
+        let mut g = Graph::new();
+        let encs: Vec<_> =
+            inputs.iter().map(|i| encoder.forward(&mut g, &ps, i, 0.0, None)).collect();
+        let multi = decoder.decode_greedy_multi(&mut g, &ps, &encs, MAX_STEPS);
+        assert_eq!(multi.len(), inputs.len());
+
+        for (ri, input) in inputs.iter().enumerate() {
+            let mut g = Graph::new();
+            let enc = encoder.forward(&mut g, &ps, input, 0.0, None);
+            let single = decoder.decode_greedy(&mut g, &ps, &enc, MAX_STEPS);
+            // Results must match exactly — including the error string of a
+            // request that fails mid-batch while its co-batched neighbours
+            // keep decoding.
+            assert_eq!(multi[ri], single, "seed {seed} request {ri}: greedy results differ");
+            completed += usize::from(single.is_ok());
+        }
+    }
+    assert!(completed >= 3, "too few requests completed ({completed}) — the check is vacuous");
+}
+
+#[test]
+fn multi_greedy_reports_per_request_step_budget_errors() {
+    let _t = TIER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // With a step budget no derivation can finish in, every co-batched
+    // request must fail with exactly the error its solo decode produces.
+    let (ps, encoder, decoder, inputs) = setup(3);
+    let mut g = Graph::new();
+    let encs: Vec<_> =
+        inputs.iter().map(|i| encoder.forward(&mut g, &ps, i, 0.0, None)).collect();
+    let multi = decoder.decode_greedy_multi(&mut g, &ps, &encs, 2);
+    for (ri, input) in inputs.iter().enumerate() {
+        let mut g = Graph::new();
+        let enc = encoder.forward(&mut g, &ps, input, 0.0, None);
+        let single = decoder.decode_greedy(&mut g, &ps, &enc, 2);
+        assert_eq!(multi[ri], single, "request {ri}: truncated decode mismatch");
+        assert_eq!(
+            multi[ri].as_ref().unwrap_err(),
+            "decoding exceeded 2 steps",
+            "request {ri}: unexpected error shape"
+        );
+    }
+}
+
+#[test]
+fn model_level_multi_matches_singles_across_kernel_tiers() {
+    let _t = TIER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    // The packed-weights flag is process-global; restore it even if an
+    // assertion below unwinds so sibling tests keep a sane tier.
+    struct RestorePacked;
+    impl Drop for RestorePacked {
+        fn drop(&mut self) {
+            valuenet_nn::set_packed_inference(true);
+        }
+    }
+    let _restore = RestorePacked;
+
+    let (model, inputs) = model_setup(17, 4);
+    let refs: Vec<&ModelInput> = inputs.iter().collect();
+
+    let run_tier = |tier: &str| {
+        let multi = model.predict_beam_multi(&refs);
+        let multi_greedy = model.predict_greedy_multi(&refs);
+        for (ri, input) in inputs.iter().enumerate() {
+            let single = model.predict_beam(input);
+            assert_beams_identical(&multi[ri], &single, &format!("tier {tier} request {ri}"));
+            assert_eq!(
+                multi_greedy[ri],
+                model.predict(input),
+                "tier {tier} request {ri}: greedy results differ"
+            );
+        }
+    };
+
+    // Default tier: SIMD + fused graph ops + packed weights.
+    run_tier("default");
+
+    valuenet_nn::set_packed_inference(false);
+    run_tier("packed-off");
+    valuenet_nn::set_packed_inference(true);
+
+    model.params.set_quantized(true);
+    run_tier("int8");
+    model.params.set_quantized(false);
+
+    // The degradation ladder's last rung — the engine only ever runs this
+    // tier on singleton batches, but the identity must hold regardless.
+    ValueNetModel::with_scalar_fallback(|| run_tier("scalar"));
+}
+
+#[test]
+fn batch_of_one_takes_the_single_request_path() {
+    let _t = TIER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for seed in [3u64, 29] {
+        let (model, inputs) = model_setup(seed, 4);
+        for input in &inputs {
+            let multi = model.predict_beam_multi(&[input]);
+            assert_eq!(multi.len(), 1);
+            assert_beams_identical(&multi[0], &model.predict_beam(input), "beam singleton");
+            assert_eq!(
+                model.predict_greedy_multi(&[input])[0],
+                model.predict(input),
+                "greedy singleton differs from predict()"
+            );
+        }
+    }
+}

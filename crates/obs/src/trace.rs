@@ -101,6 +101,9 @@ pub struct RequestTrace {
     pub stages: Vec<StageEvent>,
     /// Per-attempt records, in order.
     pub attempts: Vec<AttemptTrace>,
+    /// Decode-batch cohort size of the last attempt that reached the neural
+    /// decode (1 = decoded alone, 0 = never reached the decode).
+    pub batch_size: u32,
 }
 
 impl RequestTrace {
@@ -117,6 +120,7 @@ impl RequestTrace {
             fault: None,
             stages: Vec::new(),
             attempts: Vec::new(),
+            batch_size: 0,
         }
     }
 
@@ -207,6 +211,7 @@ impl RequestTrace {
                     None => Json::Null,
                 },
             ),
+            ("batch_size", Json::Int(self.batch_size as i64)),
             ("stages", Json::Arr(stages)),
             ("attempts", Json::Arr(attempts)),
         ])

@@ -114,6 +114,9 @@ pub struct TraceSummary {
     pub queue_wait_us: u64,
     /// Worker attempts the request took (1 = no retries).
     pub attempts: u32,
+    /// Decode-batch cohort size of the attempt that produced the reply
+    /// (1 = decoded alone, 0 = the request never reached the decode).
+    pub batch_size: u32,
     /// Total duration per stage label, aggregated across attempts, in
     /// first-execution order.
     pub stages: Vec<(String, u64)>,
@@ -126,6 +129,7 @@ impl TraceSummary {
             trace_id: t.trace_id.0,
             queue_wait_us: t.queue_wait_us(),
             attempts: t.attempts.len() as u32,
+            batch_size: t.batch_size,
             stages: t.stage_totals().iter().map(|&(s, d)| (s.to_string(), d)).collect(),
         }
     }
@@ -136,6 +140,7 @@ impl TraceSummary {
             ("trace_id", Json::Int(self.trace_id as i64)),
             ("queue_wait_us", Json::Int(self.queue_wait_us as i64)),
             ("attempts", Json::Int(self.attempts as i64)),
+            ("batch_size", Json::Int(self.batch_size as i64)),
             (
                 "stages",
                 Json::Obj(
@@ -162,6 +167,7 @@ impl TraceSummary {
             trace_id,
             queue_wait_us: v.get("queue_wait_us").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             attempts: v.get("attempts").and_then(Json::as_f64).unwrap_or(0.0) as u32,
+            batch_size: v.get("batch_size").and_then(Json::as_f64).unwrap_or(0.0) as u32,
             stages,
         })
     }
@@ -596,6 +602,7 @@ mod tests {
             trace_id: 42,
             queue_wait_us: 17,
             attempts: 2,
+            batch_size: 3,
             stages: vec![("preprocess".into(), 5), ("execute".into(), 11)],
         };
         let resp = Response::Translated {

@@ -423,6 +423,195 @@ fn stats_delta_windows_reset_between_reads() {
     engine.shutdown();
 }
 
+/// Cross-request batching must be invisible in the responses: every job
+/// decoded in a shared step batch returns exactly what the in-process
+/// reference pipeline produces for it alone, and a single in-flight request
+/// on the batched path takes the identical PR 6 code path.
+#[test]
+fn batched_engine_matches_unbatched_reference_bitwise() {
+    let reference = trained();
+    let ref_corpus = corpus();
+    let engine_corpus = corpus();
+    let cfg = ServeConfig {
+        batch_window_us: 30_000,
+        batch_max: 8,
+        ..harness_config(2, 16)
+    };
+    let engine = Engine::start(trained(), engine_corpus.databases, cfg);
+
+    let expectations: Vec<_> = ref_corpus
+        .dev
+        .iter()
+        .take(8)
+        .map(|sample| {
+            let db = ref_corpus.db(sample);
+            (
+                db.schema().db_id.clone(),
+                sample,
+                reference
+                    .try_translate(db, &sample.question, Some(&sample.values))
+                    .expect("reference translation"),
+            )
+        })
+        .collect();
+
+    // Phase 1: sequential singles — a batch of one must be bit-identical.
+    // Phase 2: all eight submitted at once so the 30 ms window co-batches
+    // them, each response still bit-identical to its solo reference.
+    for concurrent in [false, true] {
+        let responses: Vec<Response> = if concurrent {
+            let rxs: Vec<_> = expectations
+                .iter()
+                .enumerate()
+                .map(|(i, (db_id, sample, _))| {
+                    engine
+                        .submit(job(i as i64, db_id, &sample.question, &sample.values))
+                        .expect("job admitted")
+                })
+                .collect();
+            rxs.into_iter().map(|rx| rx.recv().expect("reply")).collect()
+        } else {
+            expectations
+                .iter()
+                .enumerate()
+                .map(|(i, (db_id, sample, _))| {
+                    engine.translate_blocking(job(i as i64, db_id, &sample.question, &sample.values))
+                })
+                .collect()
+        };
+        for (i, resp) in responses.into_iter().enumerate() {
+            let expect = &expectations[i].2;
+            match (expect.sql.as_ref(), resp) {
+                (Some(sql), Response::Translated { body, .. }) => {
+                    assert_eq!(body.sql, sql.to_string(), "SQL diverged on dev[{i}]");
+                    assert_eq!(body.values, expect.selected_values().unwrap());
+                    let expect_rows: Vec<Vec<String>> = expect
+                        .result
+                        .as_ref()
+                        .map(|rs| {
+                            rs.rows
+                                .iter()
+                                .map(|r| r.iter().map(|d| d.to_string()).collect())
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    assert_eq!(body.rows, expect_rows, "rows diverged on dev[{i}]");
+                    assert!(!body.degraded && body.retries == 0);
+                    let t = body.trace.expect("trace digest");
+                    assert!(t.batch_size >= 1, "decoded request missing batch size");
+                }
+                (None, resp) => expect_error(resp, ErrorKind::TranslateFailed),
+                (Some(_), other) => panic!("expected translation, got {other:?}"),
+            }
+        }
+    }
+
+    // The batching counters must reflect real shared batches: every decoded
+    // job is a member of exactly one batch, and each batch flushed either on
+    // the window timer or on reaching `batch_max`.
+    let stats = engine.stats_json(false);
+    let b = stats.get("batching").expect("stats must expose a batching section");
+    let num = |k: &str| b.get(k).and_then(Json::as_f64).unwrap_or(-1.0);
+    assert_eq!(num("window_us"), 30_000.0);
+    assert!(num("batches") >= 1.0, "no batches formed: {}", stats.render());
+    assert_eq!(
+        num("window_flushes") + num("size_flushes"),
+        num("batches"),
+        "every batch flushes exactly once: {}",
+        stats.render()
+    );
+    assert!(num("members") >= num("batches"));
+    let mean = b.get("occupancy").and_then(|o| o.get("mean")).and_then(Json::as_f64).unwrap();
+    assert!(
+        mean > 1.0,
+        "concurrent phase never co-batched requests (mean occupancy {mean}): {}",
+        stats.render()
+    );
+    engine.shutdown();
+    assert_eq!(engine.live_workers(), 0);
+}
+
+/// A degraded scalar retry must never share a step batch: the scalar tier
+/// is not bit-compatible with the fused kernels, so the engine decodes it
+/// alone. Co-batched innocents of the panicking attempt complete cleanly
+/// without spending any of their own retry budget.
+#[test]
+fn degraded_retry_decodes_alone_and_innocents_complete_clean() {
+    let c = corpus();
+    let db_name = c.databases[0].schema().db_id.clone();
+    let cfg = ServeConfig {
+        batch_window_us: 30_000,
+        batch_max: 8,
+        ..harness_config(1, 16)
+    };
+    let engine = Engine::start(untrained(), c.databases, cfg);
+    let gold = vec!["1".to_string()];
+
+    // The faulty job goes in first so the 30 ms window co-batches the three
+    // clean ones behind it; its decode-stage panic then aborts the batch.
+    let mut bad = job(50, &db_name, "How many are there?", &gold);
+    bad.fault = Some(FaultSpec {
+        panic_stage: Some(Stage::EncodeDecode),
+        panic_times: 1,
+        ..Default::default()
+    });
+    let bad_rx = engine.submit(bad).expect("faulty job admitted");
+    let clean_rx: Vec<_> = (0..3)
+        .map(|i| {
+            engine
+                .submit(job(60 + i, &db_name, "How many are there?", &gold))
+                .expect("clean job admitted")
+        })
+        .collect();
+
+    let summary = match bad_rx.recv().expect("faulty reply") {
+        Response::Translated { body, .. } => {
+            assert_eq!(body.retries, 1);
+            assert!(body.degraded, "post-panic retry must take the scalar path");
+            body.trace.expect("trace digest")
+        }
+        Response::Error { error, trace, .. } => {
+            assert_eq!(error.kind, ErrorKind::TranslateFailed, "unexpected: {error}");
+            trace.expect("trace digest")
+        }
+        other => panic!("unexpected response: {other:?}"),
+    };
+    assert_eq!(
+        summary.batch_size, 1,
+        "degraded scalar retry joined a shared batch (size {})",
+        summary.batch_size
+    );
+
+    let mut cobatched = 0u32;
+    for rx in clean_rx {
+        match rx.recv().expect("clean reply") {
+            Response::Translated { body, .. } => {
+                assert!(!body.degraded, "innocent co-batched job was degraded");
+                assert_eq!(body.retries, 0, "innocent job charged a retry");
+                let t = body.trace.expect("trace digest");
+                cobatched += u32::from(t.batch_size >= 2);
+            }
+            Response::Error { error, trace, .. } => {
+                assert_eq!(error.kind, ErrorKind::TranslateFailed, "unexpected: {error}");
+                let t = trace.expect("trace digest");
+                assert_eq!(t.attempts, 1, "innocent job re-attempted");
+                cobatched += u32::from(t.batch_size >= 2);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert!(
+        cobatched >= 2,
+        "clean jobs were never co-batched after the abort — the scenario is vacuous"
+    );
+
+    // Exactly one worker died and exactly one replacement spawned.
+    assert_eq!(engine.stats().worker_panics(), 1);
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert_eq!(engine.live_workers(), 1, "worker pool leaked after batch abort");
+    engine.shutdown();
+}
+
 #[test]
 fn unix_socket_roundtrip() {
     let c = corpus();

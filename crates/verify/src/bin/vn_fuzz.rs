@@ -120,8 +120,9 @@ fn main() -> ExitCode {
         println!(
             "vn-fuzz --serve: {} cases (seed {}): {} clean ({} bit-identical), \
              {} panics injected ({} recovered, {} quarantined), {} deadline hits, \
-             {} bursts ({} shed), {} malformed frames; workers {}/{} live, \
-             {} panics / {} respawns; {} failures",
+             {} bursts ({} shed), {} malformed frames, {} batched cases \
+             ({} members identical, {} members / {} step batches); \
+             workers {}/{} live, {} panics / {} respawns; {} failures",
             report.cases,
             cfg.seed,
             report.clean,
@@ -133,6 +134,10 @@ fn main() -> ExitCode {
             report.bursts,
             report.shed,
             report.malformed,
+            report.batched,
+            report.batched_identical,
+            report.batch_members,
+            report.batches,
             report.live_workers,
             report.configured_workers,
             report.worker_panics,

@@ -24,10 +24,22 @@
 //!   rejection) with no deadlock.
 //! * **malformed** — protocol garbage on the wire; the server must answer
 //!   `bad_request` and the same connection must keep working.
+//! * **batched-concurrent** — several clean requests fired at once so the
+//!   engine's batch window merges their decodes into shared step batches;
+//!   every member must still be bit-identical to its solo single-process
+//!   reference. A seeded fraction adds a member that panics mid-batch: the
+//!   co-batched members must complete clean (no retries, not degraded)
+//!   while the faulty one recovers on the degraded path — decoding alone,
+//!   never inside a shared batch.
+//!
+//! The engine under test runs with cross-request batching *enabled*
+//! (a 2 ms window), so every family above also exercises the batched
+//! dispatch path.
 //!
 //! After the cases, the harness asserts the pool leaked nothing: live
 //! workers equal the configured count, every caught panic has a matching
-//! respawn, and the queue is empty.
+//! respawn, and the queue is empty — and that the run formed at least one
+//! genuinely shared batch.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -39,7 +51,7 @@ use valuenet_dataset::{generate, Corpus, CorpusConfig};
 use valuenet_obs::json::Json;
 use valuenet_serve::{
     serve_unix, translate_frame, verb_frame, Client, Engine, ErrorKind, FaultSpec,
-    QuarantinePolicy, Response, RetryPolicy, ServeConfig, TraceSummary,
+    QuarantinePolicy, Response, RetryPolicy, ServeConfig, TraceSummary, Translated,
 };
 
 use crate::fuzz::case_seed;
@@ -82,6 +94,15 @@ pub struct ServeFuzzReport {
     pub shed: u64,
     /// Malformed frames answered with `bad_request`.
     pub malformed: usize,
+    /// Batched-concurrent cases fired.
+    pub batched: usize,
+    /// Co-batched members verified bit-identical to their solo reference.
+    pub batched_identical: usize,
+    /// Decode step batches the engine formed across the run.
+    pub batches: u64,
+    /// Total members across those batches (> `batches` iff requests were
+    /// ever genuinely co-batched).
+    pub batch_members: u64,
     /// Responses whose trace digest was verified complete (id, attempts,
     /// per-stage totals).
     pub traced: usize,
@@ -116,6 +137,10 @@ impl ServeFuzzReport {
             ("bursts", Json::Int(self.bursts as i64)),
             ("shed", Json::Int(self.shed as i64)),
             ("malformed", Json::Int(self.malformed as i64)),
+            ("batched", Json::Int(self.batched as i64)),
+            ("batched_identical", Json::Int(self.batched_identical as i64)),
+            ("batches", Json::Int(self.batches as i64)),
+            ("batch_members", Json::Int(self.batch_members as i64)),
             ("traced", Json::Int(self.traced as i64)),
             ("worker_panics", Json::Int(self.worker_panics as i64)),
             ("worker_respawns", Json::Int(self.worker_respawns as i64)),
@@ -131,6 +156,12 @@ impl ServeFuzzReport {
 /// pool.
 const WORKERS: usize = 2;
 const QUEUE_CAPACITY: usize = 4;
+/// Batch window of the engine under test. Wide enough (2 ms) that the
+/// batched-concurrent family's near-simultaneous submits reliably land in
+/// one assembly window on a loaded CI host.
+const BATCH_WINDOW_US: u64 = 2_000;
+/// At most a full queue's worth of members per step batch.
+const BATCH_MAX: usize = QUEUE_CAPACITY;
 /// Stages whose guard gate is reached on every translation (`Execute` only
 /// runs when a hypothesis survives lowering, so it would make
 /// deadline/panic cases model-dependent).
@@ -180,6 +211,8 @@ impl ServeFixture {
                 workers: WORKERS,
                 queue_capacity: QUEUE_CAPACITY,
                 allow_fault_injection: true,
+                batch_window_us: BATCH_WINDOW_US,
+                batch_max: BATCH_MAX,
                 retry: RetryPolicy { max_retries: 2, base_ms: 5, cap_ms: 20 },
                 quarantine: QuarantinePolicy { max_worker_kills: 2 },
                 ..ServeConfig::default()
@@ -265,6 +298,18 @@ impl ServeFixture {
         if pick(&["queue", "depth"]) != 0 {
             report.failures.push((0, "queue not drained after run".into()));
         }
+        report.batches = pick(&["batching", "batches"]);
+        report.batch_members = pick(&["batching", "members"]);
+        if report.batched > 0 && report.batch_members <= report.batches {
+            report.failures.push((
+                0,
+                format!(
+                    "batching never co-batched concurrent requests: \
+                     {} members across {} batches",
+                    report.batch_members, report.batches
+                ),
+            ));
+        }
         let _ = client.roundtrip(&verb_frame(-2, "shutdown"));
         let _ = self.server.join().expect("server thread panicked");
         stats
@@ -342,6 +387,40 @@ fn check_flight_trace(
     Ok(())
 }
 
+/// Bit-identity check between a served `Translated` body and the solo
+/// single-process reference: SQL text, selected values, result rows and
+/// row-order flag must all match exactly.
+fn check_identical(
+    expect: &valuenet_core::Prediction,
+    body: &Translated,
+    ctx: &str,
+) -> Result<(), String> {
+    let Some(sql) = expect.sql.as_ref() else {
+        return Err(format!("{ctx}: reference produced no SQL but the server translated"));
+    };
+    let expect_values =
+        expect.selected_values().map_err(|e| format!("{ctx}: reference values: {e}"))?;
+    let expect_rows: Vec<Vec<String>> = expect
+        .result
+        .as_ref()
+        .map(|rs| {
+            rs.rows.iter().map(|r| r.iter().map(|d| d.to_string()).collect()).collect()
+        })
+        .unwrap_or_default();
+    let expect_ordered = expect.result.as_ref().map(|rs| rs.ordered).unwrap_or(false);
+    if body.sql != sql.to_string()
+        || body.values != expect_values
+        || body.rows != expect_rows
+        || body.ordered != expect_ordered
+    {
+        return Err(format!(
+            "{ctx}: served response diverged from pipeline: served sql `{}` vs `{}`",
+            body.sql, sql
+        ));
+    }
+    Ok(())
+}
+
 /// Runs one seeded case against the fixture. Returns a short outcome
 /// description, or the invariant violation.
 ///
@@ -359,7 +438,7 @@ pub fn run_serve_case(fx: &ServeFixture, report: &mut ServeFuzzReport, seed: u64
 
     match rng.gen_range(0..100u32) {
         // ------------------------------------------------ clean: bit-identity
-        0..=39 => {
+        0..=34 => {
             report.clean += 1;
             let expect = fx
                 .reference
@@ -378,34 +457,10 @@ pub fn run_serve_case(fx: &ServeFixture, report: &mut ServeFuzzReport, seed: u64
                 .roundtrip(&frame)
                 .map_err(|e| format!("clean roundtrip failed: {e}"))?;
             match (expect.sql.as_ref(), resp) {
-                (Some(sql), Response::Translated { body, .. }) => {
+                (Some(_), Response::Translated { body, .. }) => {
                     check_trace(body.trace.as_ref(), 1, "clean translated")?;
                     report.traced += 1;
-                    let expect_values = expect
-                        .selected_values()
-                        .map_err(|e| format!("reference values: {e}"))?;
-                    let expect_rows: Vec<Vec<String>> = expect
-                        .result
-                        .as_ref()
-                        .map(|rs| {
-                            rs.rows
-                                .iter()
-                                .map(|r| r.iter().map(|d| d.to_string()).collect())
-                                .collect()
-                        })
-                        .unwrap_or_default();
-                    let expect_ordered =
-                        expect.result.as_ref().map(|rs| rs.ordered).unwrap_or(false);
-                    if body.sql != sql.to_string()
-                        || body.values != expect_values
-                        || body.rows != expect_rows
-                        || body.ordered != expect_ordered
-                    {
-                        return Err(format!(
-                            "served response diverged from pipeline: served sql `{}` vs `{}`",
-                            body.sql, sql
-                        ));
-                    }
+                    check_identical(&expect, &body, "clean")?;
                     report.bit_identical += 1;
                     Ok(format!("clean: identical ({} rows)", body.rows.len()))
                 }
@@ -425,7 +480,7 @@ pub fn run_serve_case(fx: &ServeFixture, report: &mut ServeFuzzReport, seed: u64
             }
         }
         // --------------------------------------- panic once: recover degraded
-        40..=59 => {
+        35..=49 => {
             report.injected_panics += 1;
             let stage = ALLOWED_PANIC_STAGES[rng.gen_range(0..ALLOWED_PANIC_STAGES.len())];
             let fault =
@@ -468,7 +523,7 @@ pub fn run_serve_case(fx: &ServeFixture, report: &mut ServeFuzzReport, seed: u64
             }
         }
         // ------------------------------------------------- poison: quarantine
-        60..=69 => {
+        50..=59 => {
             report.injected_panics += 1;
             let stage = ALLOWED_PANIC_STAGES[rng.gen_range(0..ALLOWED_PANIC_STAGES.len())];
             let fault =
@@ -505,7 +560,7 @@ pub fn run_serve_case(fx: &ServeFixture, report: &mut ServeFuzzReport, seed: u64
             }
         }
         // --------------------------------------------- stalled stage: deadline
-        70..=79 => {
+        60..=69 => {
             let stage = ALWAYS_STAGES[rng.gen_range(0..ALWAYS_STAGES.len())];
             let deadline = rng.gen_range(5..15u64);
             let fault = FaultSpec {
@@ -545,7 +600,7 @@ pub fn run_serve_case(fx: &ServeFixture, report: &mut ServeFuzzReport, seed: u64
             }
         }
         // --------------------------------------------------- overload burst
-        80..=89 => {
+        70..=79 => {
             report.bursts += 1;
             // Park both workers on slow requests, then throw more requests
             // than the queue holds: sheds are typed, everyone is answered.
@@ -564,10 +619,17 @@ pub fn run_serve_case(fx: &ServeFixture, report: &mut ServeFuzzReport, seed: u64
                         }),
                     );
                     let mut client = fx.client();
-                    std::thread::spawn(move || client.roundtrip(&frame))
+                    let h = std::thread::spawn(move || client.roundtrip(&frame));
+                    // Stagger the parks well past the batch window so each
+                    // worker's assembly window closes on a singleton and it
+                    // stalls in the injected delay — were both parks
+                    // submitted together, one worker would co-batch them
+                    // and the other would keep draining the queue.
+                    std::thread::sleep(Duration::from_millis(25));
+                    h
                 })
                 .collect();
-            std::thread::sleep(Duration::from_millis(40)); // workers pick them up
+            std::thread::sleep(Duration::from_millis(15)); // workers pick them up
             let burst = QUEUE_CAPACITY + 4;
             let others: Vec<_> = (0..burst)
                 .map(|b| {
@@ -624,6 +686,152 @@ pub fn run_serve_case(fx: &ServeFixture, report: &mut ServeFuzzReport, seed: u64
             }
             report.shed += shed_here;
             Ok(format!("burst: {shed_here}/{burst} shed, all answered"))
+        }
+        // -------------------------------- batched-concurrent: co-batched identity
+        80..=89 => {
+            report.batched += 1;
+            // Two or three clean requests fired simultaneously so the batch
+            // window co-batches their decodes; each must be bit-identical to
+            // its solo reference. Members may repeat a question — identical
+            // requests sharing a step batch is a valid (and likely) shape.
+            let k = rng.gen_range(2..=3usize);
+            let mut members = Vec::with_capacity(k);
+            for m in 0..k {
+                let idx = rng.gen_range(0..n_all);
+                let s = if idx < n_train {
+                    &fx.corpus.train[idx]
+                } else {
+                    &fx.corpus.dev[idx - n_train]
+                };
+                let mdb = fx.corpus.db(s);
+                let expect = fx
+                    .reference
+                    .try_translate(mdb, &s.question, Some(&s.values))
+                    .map_err(|e| format!("reference failed on batch member {m}: {e}"))?;
+                members.push((mdb.schema().db_id.clone(), s, expect));
+            }
+            // A seeded 40% of cases add a member that panics mid-batch at a
+            // seeded stage: its abort must not leak into the members above.
+            let panic_stage = (rng.gen_range(0..10u32) < 4)
+                .then(|| ALLOWED_PANIC_STAGES[rng.gen_range(0..ALLOWED_PANIC_STAGES.len())]);
+
+            let fault_handle = panic_stage.map(|stage| {
+                report.injected_panics += 1;
+                let frame = translate_frame(
+                    rid + 50,
+                    &db_name,
+                    &sample.question,
+                    None,
+                    Some(&sample.values),
+                    Some(&FaultSpec {
+                        panic_stage: Some(stage),
+                        panic_times: 1,
+                        ..Default::default()
+                    }),
+                );
+                let mut client = fx.client();
+                std::thread::spawn(move || client.roundtrip(&frame))
+            });
+            let handles: Vec<_> = members
+                .iter()
+                .enumerate()
+                .map(|(m, (db_id, s, _))| {
+                    let frame = translate_frame(
+                        rid + m as i64,
+                        db_id,
+                        &s.question,
+                        None,
+                        Some(&s.values),
+                        None,
+                    );
+                    let mut client = fx.client();
+                    std::thread::spawn(move || client.roundtrip(&frame))
+                })
+                .collect();
+
+            // Co-batched members: bit-identical, untouched by the co-member
+            // panic — no retries, not degraded, answered exactly once.
+            for (m, (h, (_, _, expect))) in handles.into_iter().zip(&members).enumerate() {
+                let resp = h
+                    .join()
+                    .map_err(|_| "batched client thread panicked".to_string())?
+                    .map_err(|e| format!("batched member {m} roundtrip failed: {e}"))?;
+                match (expect.sql.as_ref(), resp) {
+                    (Some(_), Response::Translated { body, .. }) => {
+                        if body.degraded || body.retries != 0 {
+                            return Err(format!(
+                                "co-batched member {m} caught a co-member's fault \
+                                 (retries {}, degraded {})",
+                                body.retries, body.degraded
+                            ));
+                        }
+                        check_trace(body.trace.as_ref(), 1, "batched member")?;
+                        report.traced += 1;
+                        check_identical(expect, &body, &format!("batched member {m}"))?;
+                        report.batched_identical += 1;
+                    }
+                    (None, Response::Error { error, trace, .. })
+                        if error.kind == ErrorKind::TranslateFailed =>
+                    {
+                        check_trace(trace.as_ref(), 1, "batched member translate_failed")?;
+                        report.traced += 1;
+                        report.batched_identical += 1;
+                    }
+                    (gold, got) => {
+                        return Err(format!(
+                            "batched member {m} outcome mismatch: reference sql {:?}, \
+                             served {:?}",
+                            gold.map(|s| s.to_string()),
+                            got
+                        ))
+                    }
+                }
+            }
+
+            // The faulty member recovers on the degraded path — and its
+            // final decode must have run alone, never in a shared batch.
+            if let Some(h) = fault_handle {
+                let resp = h
+                    .join()
+                    .map_err(|_| "mid-batch panic client thread panicked".to_string())?
+                    .map_err(|e| format!("mid-batch panic roundtrip failed: {e}"))?;
+                let trace = match resp {
+                    Response::Translated { body, .. } => {
+                        if body.retries == 0 || !body.degraded {
+                            return Err(format!(
+                                "mid-batch panic answered without degraded retry \
+                                 (retries {}, degraded {})",
+                                body.retries, body.degraded
+                            ));
+                        }
+                        body.trace
+                    }
+                    Response::Error { error, trace, .. }
+                        if error.kind == ErrorKind::TranslateFailed =>
+                    {
+                        trace
+                    }
+                    other => {
+                        return Err(format!("mid-batch panic not recovered: {other:?}"))
+                    }
+                };
+                check_trace(trace.as_ref(), 2, "mid-batch panic")?;
+                report.traced += 1;
+                let batch_size = trace.map(|t| t.batch_size).unwrap_or(0);
+                if batch_size != 1 {
+                    return Err(format!(
+                        "degraded retry decoded in a shared batch of {batch_size}"
+                    ));
+                }
+                report.recovered += 1;
+            }
+            Ok(match panic_stage {
+                Some(stage) => format!(
+                    "batched: {k} co-batched identical, mid-batch panic at {} isolated",
+                    stage.label()
+                ),
+                None => format!("batched: {k} co-batched identical"),
+            })
         }
         // ----------------------------------------------- malformed protocol
         _ => {

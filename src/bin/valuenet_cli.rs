@@ -224,20 +224,30 @@ fn cmd_serve(args: &[String]) {
         eprintln!("serving with int8 quantized weights");
     }
     let defaults = ServeConfig::default();
+    // Batching window: --batch-window µs wins, then VN_BATCH_WINDOW_US,
+    // then the config default (off).
+    let env_window = std::env::var("VN_BATCH_WINDOW_US")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(defaults.batch_window_us);
     let cfg = ServeConfig {
         workers: arg_usize(args, "--workers", defaults.workers),
         queue_capacity: arg_usize(args, "--queue", defaults.queue_capacity),
         default_deadline_ms: arg_usize(args, "--deadline-ms", 0) as u64,
         allow_fault_injection: args.iter().any(|a| a == "--allow-faults"),
+        batch_window_us: arg_usize(args, "--batch-window", env_window as usize) as u64,
+        batch_max: arg_usize(args, "--batch-max", defaults.batch_max),
         ..defaults
     };
     let engine = Engine::start(pipeline, corpus.databases, cfg);
     eprintln!(
-        "serving {} databases on {socket} ({} workers, queue {}); \
+        "serving {} databases on {socket} ({} workers, queue {}, batch window {}µs × {}); \
          send {{\"verb\":\"shutdown\"}} to stop",
         engine.database_names().len(),
         cfg.workers,
-        cfg.queue_capacity
+        cfg.queue_capacity,
+        cfg.batch_window_us,
+        cfg.batch_max
     );
     serve_unix(engine, std::path::Path::new(&socket))
         .unwrap_or_else(|e| fatal(&format!("serve failed: {e}")));
@@ -291,6 +301,7 @@ fn main() {
                  \x20 repl  --model model.json --db <db_id>\n\
                  \x20 serve --model model.json --socket valuenet.sock [--load ckpt.jsonl] [--quantized]\n\
                  \x20       [--workers N] [--queue N] [--deadline-ms N] [--allow-faults]\n\
+                 \x20       [--batch-window US] [--batch-max N]   (env: VN_BATCH_WINDOW_US)\n\
                  \x20 dbs   [--seed N]"
             );
             std::process::exit(2);
